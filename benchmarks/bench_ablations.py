@@ -1,0 +1,167 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these quantify the mechanisms behind them:
+
+* sliding-window size (flow control headroom vs memory),
+* delayed-ack threshold (extra traffic vs ack latency),
+* striping policy (round-robin vs shortest-queue vs single rail),
+* interrupt coalescing depth (CPU cost vs latency),
+* in-order vs fence-mode delivery cost on two rails,
+* selective repeat vs go-back-N under loss,
+* frame striping vs byte-level striping (the paper's §1 contrast).
+"""
+
+from dataclasses import replace
+
+from repro.baselines import install_go_back_n, run_byte_striping
+from repro.bench import Table, make_cluster
+from repro.bench.micro import run_one_way, run_ping_pong
+from repro.core import AckPolicyParams, ProtocolParams
+from repro.ethernet import LinkParams
+
+
+def run_experiment():
+    out = {}
+
+    # 1. Window size sweep (one-way, 1L-1G).
+    out["window"] = []
+    for window in (8, 32, 128, 256):
+        proto = ProtocolParams(window_frames=window)
+        cluster = make_cluster("1L-1G", nodes=2, protocol=proto)
+        r = run_one_way(cluster, 262144, iterations=10)
+        out["window"].append((window, r.throughput_mbps))
+
+    # 2. Delayed-ack threshold sweep.
+    out["ack"] = []
+    for every in (2, 8, 32, 128):
+        proto = ProtocolParams(ack=AckPolicyParams(ack_every_frames=every))
+        cluster = make_cluster("1L-1G", nodes=2, protocol=proto)
+        r = run_one_way(cluster, 262144, iterations=10)
+        out["ack"].append((every, r.throughput_mbps, r.extra_frame_fraction))
+
+    # 3. Striping policies on two rails.
+    out["striping"] = []
+    for policy in ("round_robin", "shortest_queue", "single_rail"):
+        proto = ProtocolParams(striping=policy)
+        cluster = make_cluster("2Lu-1G", nodes=2, protocol=proto)
+        r = run_one_way(cluster, 524288, iterations=10)
+        out["striping"].append(
+            (policy, r.throughput_mbps, r.out_of_order_fraction)
+        )
+
+    # 4. Interrupt coalescing depth (ping-pong latency vs CPU).
+    out["coalesce"] = []
+    for frames in (1, 4, 8, 32):
+        cluster = make_cluster("1L-1G", nodes=2)
+        for node in cluster.nodes:
+            for nic in node.nics:
+                nic.params = replace(nic.params, coalesce_frames=frames)
+        lat = run_ping_pong(cluster, 64)
+        out["coalesce"].append((frames, lat.latency_us, lat.cpu_util_pct))
+
+    # 5. In-order vs fence-mode delivery on two rails.
+    ordered = run_one_way(make_cluster("2L-1G", nodes=2), 524288, iterations=10)
+    relaxed = run_one_way(make_cluster("2Lu-1G", nodes=2), 524288, iterations=10)
+    out["ordering"] = [
+        ("in-order", ordered.throughput_mbps, ordered.cpu_util_pct),
+        ("fences", relaxed.throughput_mbps, relaxed.cpu_util_pct),
+    ]
+
+    # 6. Selective repeat vs go-back-N under bit errors.
+    link = LinkParams(speed_bps=1e9, bit_error_rate=3e-7)
+    sel = run_one_way(
+        make_cluster("1L-1G", nodes=2, link=link), 262144, iterations=10
+    )
+    cluster = make_cluster("1L-1G", nodes=2, link=link)
+    for s in cluster.stacks:
+        install_go_back_n(s.protocol)
+    gbn = run_one_way(cluster, 262144, iterations=10)
+    out["recovery"] = [
+        ("selective", sel.throughput_mbps, sel.extra_frame_fraction),
+        ("go-back-N", gbn.throughput_mbps, gbn.extra_frame_fraction),
+    ]
+
+    # 7. Frame striping (MultiEdge) vs byte-level striping on 2 rails.
+    frame2 = run_one_way(make_cluster("2Lu-1G", nodes=2), 524288, iterations=10)
+    byte2 = run_byte_striping(make_cluster("2L-1G", nodes=2), 2_000_000)
+    out["spatial"] = [
+        ("frame striping", frame2.throughput_mbps),
+        ("byte striping", byte2.throughput_mbps),
+    ]
+    return out
+
+
+def test_ablations(benchmark):
+    out = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    t = Table("Ablation: window size (one-way 1L-1G)", ["window", "MB/s"])
+    for w, thr in out["window"]:
+        t.add(w, thr)
+    t.show()
+
+    t = Table(
+        "Ablation: delayed-ack threshold", ["ack every", "MB/s", "extra frames"]
+    )
+    for e, thr, extra in out["ack"]:
+        t.add(e, thr, extra)
+    t.show()
+
+    t = Table(
+        "Ablation: striping policy (2 rails)", ["policy", "MB/s", "out-of-order"]
+    )
+    for p, thr, ooo in out["striping"]:
+        t.add(p, thr, ooo)
+    t.show()
+
+    t = Table(
+        "Ablation: interrupt coalescing", ["frames/irq", "latency us", "CPU %"]
+    )
+    for f, lat, cpu in out["coalesce"]:
+        t.add(f, lat, cpu)
+    t.show()
+
+    t = Table("Ablation: delivery ordering (2 rails)", ["mode", "MB/s", "CPU %"])
+    for m, thr, cpu in out["ordering"]:
+        t.add(m, thr, cpu)
+    t.show()
+
+    t = Table(
+        "Ablation: loss recovery at BER 3e-7", ["scheme", "MB/s", "extra frames"]
+    )
+    for m, thr, extra in out["recovery"]:
+        t.add(m, thr, extra)
+    t.show()
+
+    t = Table("Ablation: spatial parallelism style", ["scheme", "MB/s"])
+    for m, thr in out["spatial"]:
+        t.add(m, thr)
+    t.show()
+
+    # -- assertions --------------------------------------------------------
+    window = dict(out["window"])
+    assert window[8] < window[128], "tiny window must throttle throughput"
+    assert window[128] >= 0.9 * window[256]
+
+    acks = {e: (thr, extra) for e, thr, extra in out["ack"]}
+    assert acks[2][1] > acks[32][1], "frequent acks => more extra traffic"
+    assert acks[32][0] >= 0.95 * acks[2][0]
+
+    striping = {p: (thr, ooo) for p, thr, ooo in out["striping"]}
+    assert striping["round_robin"][0] > 1.7 * striping["single_rail"][0]
+    assert striping["single_rail"][1] < 0.01
+    assert striping["round_robin"][1] > 0.05
+
+    coalesce = {f: (lat, cpu) for f, lat, cpu in out["coalesce"]}
+    # Depth-1 coalescing interrupts immediately: small-message latency must
+    # be no worse than deep coalescing (which waits out the timer).
+    assert coalesce[1][0] <= coalesce[32][0] + 2.0
+
+    ordering = dict((m, thr) for m, thr, _ in out["ordering"])
+    assert abs(ordering["in-order"] - ordering["fences"]) < 0.1 * ordering["fences"]
+
+    recovery = {m: (thr, extra) for m, thr, extra in out["recovery"]}
+    assert recovery["selective"][0] > 1.5 * recovery["go-back-N"][0]
+    assert recovery["go-back-N"][1] > recovery["selective"][1]
+
+    spatial = dict(out["spatial"])
+    assert spatial["frame striping"] > spatial["byte striping"]

@@ -1,0 +1,60 @@
+"""Figure 2(a): micro-benchmark latency versus transfer size.
+
+Paper: minimum latency ≈ 30 µs (1L-10G ping-pong, memory to memory);
+host overhead to initiate an operation ≈ 2 µs (one-way / two-way).
+"""
+
+from conftest import FIG2_CONFIGS, FIG2_SIZES
+
+from repro.bench import MICRO_BENCHMARKS, Table, micro_sweep
+from repro.bench.paper_data import FIG2_HOST_OVERHEAD_US, FIG2_MIN_LATENCY_US
+
+
+def run_experiment():
+    return {
+        (config, bench): micro_sweep(config, bench, FIG2_SIZES)
+        for config in FIG2_CONFIGS
+        for bench in MICRO_BENCHMARKS
+    }
+
+
+def test_fig2a_latency(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = Table(
+        "Figure 2(a) — latency (us): ping-pong one-way mem-to-mem; "
+        "one/two-way host overhead",
+        ["config", "benchmark"] + [str(s) for s in FIG2_SIZES],
+    )
+    for (config, bench), sweep in results.items():
+        table.add(config, bench, *[r.latency_us for r in sweep])
+    table.show()
+
+    # Paper-vs-measured for the stated endpoints.
+    check = Table(
+        "Figure 2(a) — paper vs measured",
+        ["metric", "paper", "measured"],
+    )
+    min_pp_10g = min(r.latency_us for r in results[("1L-10G", "ping-pong")])
+    check.add("min latency 1L-10G (us)", FIG2_MIN_LATENCY_US["1L-10G"], min_pp_10g)
+    overheads = [
+        r.latency_us
+        for (c, b), sweep in results.items()
+        if b in ("one-way", "two-way")
+        for r in sweep
+        if r.size <= 1024
+    ]
+    check.add(
+        "host overhead small ops (us)",
+        FIG2_HOST_OVERHEAD_US,
+        min(overheads),
+    )
+    check.show()
+
+    # Shape assertions (generous bands around the paper's endpoints).
+    assert 15.0 <= min_pp_10g <= 45.0
+    assert 1.0 <= min(overheads) <= 6.0
+    # Latency grows monotonically-ish with size for ping-pong.
+    for config in FIG2_CONFIGS:
+        lats = [r.latency_us for r in results[(config, "ping-pong")]]
+        assert lats[-1] > lats[0] * 10

@@ -1,0 +1,61 @@
+"""Figure 2(b): micro-benchmark throughput versus transfer size.
+
+Paper: 1-GbE configurations deliver >95 % of nominal link throughput
+(≈120 MB/s on one link, ≈240 MB/s on two); on 10 GbE one-way reaches
+≈1100 MB/s (≈88 % of nominal), ping-pong ≈710 MB/s, two-way ≈1500 MB/s.
+"""
+
+from conftest import FIG2_CONFIGS, FIG2_SIZES
+
+from repro.bench import MICRO_BENCHMARKS, Table, micro_sweep
+from repro.bench.paper_data import FIG2_MAX_THROUGHPUT_MBPS, LINK_NOMINAL_MBPS
+
+
+def run_experiment():
+    return {
+        (config, bench): micro_sweep(config, bench, FIG2_SIZES)
+        for config in FIG2_CONFIGS
+        for bench in MICRO_BENCHMARKS
+    }
+
+
+def test_fig2b_throughput(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = Table(
+        "Figure 2(b) — throughput (MBytes/s) vs transfer size",
+        ["config", "benchmark"] + [str(s) for s in FIG2_SIZES],
+    )
+    for (config, bench), sweep in results.items():
+        table.add(config, bench, *[r.throughput_mbps for r in sweep])
+    table.show()
+
+    check = Table(
+        "Figure 2(b) — paper vs measured maxima",
+        ["config", "benchmark", "paper MB/s", "measured MB/s", "nominal %"],
+    )
+    measured_max = {}
+    for (config, bench), sweep in results.items():
+        peak = max(r.throughput_mbps for r in sweep)
+        measured_max[(config, bench)] = peak
+        paper = FIG2_MAX_THROUGHPUT_MBPS.get((config, bench))
+        nominal = LINK_NOMINAL_MBPS[config] * (2 if bench == "two-way" else 1)
+        check.add(config, bench, paper, peak, 100 * peak / nominal)
+    check.show()
+
+    # Headline claims.
+    one_g = measured_max[("1L-1G", "one-way")]
+    assert one_g >= 0.93 * 125.0, "1-GbE should deliver >~95% of nominal"
+    two_rails = measured_max[("2L-1G", "one-way")]
+    assert two_rails >= 1.85 * one_g, "two rails should nearly double"
+    ten_g = measured_max[("1L-10G", "one-way")]
+    assert 0.80 * 1250 <= ten_g <= 0.97 * 1250, "10-GbE ~88% of nominal"
+    # Ordering on 10 GbE: ping-pong < one-way <= two-way.
+    assert (
+        measured_max[("1L-10G", "ping-pong")]
+        < measured_max[("1L-10G", "one-way")]
+    )
+    assert (
+        measured_max[("1L-10G", "two-way")]
+        >= measured_max[("1L-10G", "one-way")]
+    )

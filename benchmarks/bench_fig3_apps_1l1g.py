@@ -1,0 +1,95 @@
+"""Figure 3: application statistics over a single 1-GbE link (1L-1G).
+
+Panels reproduced:
+  (a) speedup curves at 1..16 nodes — Barnes/Raytrace/Water-Nsquared scale
+      well (13–14), LU/Water-Spatial/Water-SpatialFL are medium (6–8),
+      FFT/Radix scale poorly;
+  (b) execution-time breakdowns (compute / data wait / sync);
+  (c) CPU time in the MultiEdge protocol: ≤11 % worst case, ≤4 % typical;
+  (d) fraction of frames causing interrupts: 10–40 %;
+  (e) extra traffic ≤15 %, dominated by acks; out-of-order ≈ 0.
+"""
+
+from repro.bench import Table, app_run, check_band
+from repro.bench.paper_data import APP_ORDER, FIG3_NET_STATS, FIG3_SPEEDUP_BANDS
+
+NODE_COUNTS = (1, 2, 4, 8, 16)
+
+
+def run_experiment():
+    runs = {
+        (name, n): app_run(name, "1L-1G", n)
+        for name in APP_ORDER
+        for n in NODE_COUNTS
+    }
+    return runs
+
+
+def test_fig3_apps_single_1g_link(benchmark):
+    runs = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    speed = Table(
+        "Figure 3(a) — speedups over 1L-1G",
+        ["app"] + [f"{n} nodes" for n in NODE_COUNTS] + ["paper band @16"],
+    )
+    speedups = {}
+    for name in APP_ORDER:
+        base = runs[(name, 1)]
+        curve = [runs[(name, n)].speedup_vs(base) for n in NODE_COUNTS]
+        speedups[name] = curve[-1]
+        lo, hi = FIG3_SPEEDUP_BANDS[name]
+        speed.add(name, *curve, f"{lo}-{hi}")
+    speed.show()
+
+    bd = Table(
+        "Figure 3(b) — execution-time breakdown at 16 nodes",
+        ["app", "compute", "data wait", "sync", "dsm ovh", "other"],
+    )
+    for name in APP_ORDER:
+        b = runs[(name, 16)].mean_breakdown
+        bd.add(name, b.compute, b.data_wait, b.sync, b.dsm_overhead, b.other)
+    bd.show()
+
+    net = Table(
+        "Figure 3(c,d,e) — network statistics at 16 nodes",
+        ["app", "protocol CPU", "irq fraction", "extra traffic",
+         "ack share", "out-of-order"],
+    )
+    for name in APP_ORDER:
+        r = runs[(name, 16)].dsm
+        extra = r.network.extra_frame_fraction
+        acks = r.network.explicit_acks_sent
+        ack_share = acks / max(1, r.network.extra_frames_sent)
+        net.add(
+            name, r.protocol_cpu_fraction, r.interrupt_fraction,
+            extra, ack_share, r.network.out_of_order_fraction,
+        )
+    net.show()
+
+    # -- assertions --------------------------------------------------------
+    for name in APP_ORDER:
+        assert runs[(name, 16)].verified, name
+        assert check_band(speedups[name], FIG3_SPEEDUP_BANDS[name], slack=0.35), (
+            name, speedups[name]
+        )
+        # Speedup curves are monotone up to noise for the scalable apps.
+        if FIG3_SPEEDUP_BANDS[name][0] >= 5.0:
+            base = runs[(name, 1)]
+            curve = [runs[(name, n)].speedup_vs(base) for n in NODE_COUNTS]
+            assert all(b >= a * 0.85 for a, b in zip(curve, curve[1:])), name
+
+    for name in APP_ORDER:
+        r = runs[(name, 16)].dsm
+        # FFT/Radix run a few points above the paper's 11 % (EXPERIMENTS.md
+        # notes our fully-accounted interrupt/copy costs).
+        assert r.protocol_cpu_fraction <= FIG3_NET_STATS["protocol_cpu_max"] + 0.08, name
+        assert r.network.out_of_order_fraction <= 0.05, name
+        assert r.network.extra_frame_fraction <= FIG3_NET_STATS["extra_traffic_max"] + 0.05, name
+        # Extra traffic dominated by explicit acks, not retransmissions.
+        assert (
+            r.network.explicit_acks_sent >= 2 * r.network.retransmitted_frames
+        ), name
+    # FFT overhead dominated by remote fetches (paper: ~77 % of overhead).
+    fft = runs[("fft", 16)].mean_breakdown
+    overhead = fft.data_wait + fft.sync + fft.other
+    assert fft.data_wait / overhead > 0.5

@@ -1,0 +1,72 @@
+"""Figure 4: application statistics over a single 10-GbE link (1L-10G).
+
+Paper: with only 4 nodes, most applications reach speedups of 3–4 (except
+FFT and Radix); synchronization and data-wait time improve by about a
+factor of two versus the 1-GbE setup.
+"""
+
+from repro.bench import Table, app_run, check_band
+from repro.bench.paper_data import APP_ORDER, FIG4_SPEEDUP_BANDS
+
+NODE_COUNTS = (1, 2, 4)
+
+
+def run_experiment():
+    runs = {
+        (name, n): app_run(name, "1L-10G", n)
+        for name in APP_ORDER
+        for n in NODE_COUNTS
+    }
+    # 1-GbE four-node runs for the factor-of-two comparison.
+    ref = {name: app_run(name, "1L-1G", 4) for name in APP_ORDER}
+    return runs, ref
+
+
+def test_fig4_apps_single_10g_link(benchmark):
+    runs, ref = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    speed = Table(
+        "Figure 4(a) — speedups over 1L-10G",
+        ["app"] + [f"{n} nodes" for n in NODE_COUNTS] + ["paper band @4"],
+    )
+    speedups = {}
+    for name in APP_ORDER:
+        base = runs[(name, 1)]
+        curve = [runs[(name, n)].speedup_vs(base) for n in NODE_COUNTS]
+        speedups[name] = curve[-1]
+        lo, hi = FIG4_SPEEDUP_BANDS[name]
+        speed.add(name, *curve, f"{lo}-{hi}")
+    speed.show()
+
+    comp = Table(
+        "Figure 4(b) — sync + data-wait vs 1L-1G at 4 nodes (ms)",
+        ["app", "1L-1G wait", "1L-10G wait", "improvement x"],
+    )
+    improvements = []
+    for name in APP_ORDER:
+        b1 = ref[name].mean_breakdown
+        b10 = runs[(name, 4)].mean_breakdown
+        wait_1g = (b1.data_wait + b1.sync) * ref[name].elapsed_ms
+        wait_10g = (b10.data_wait + b10.sync) * runs[(name, 4)].elapsed_ms
+        factor = wait_1g / wait_10g if wait_10g > 0 else float("inf")
+        improvements.append(factor)
+        comp.add(name, wait_1g, wait_10g, factor)
+    comp.show()
+
+    for name in APP_ORDER:
+        assert runs[(name, 4)].verified, name
+        assert check_band(speedups[name], FIG4_SPEEDUP_BANDS[name], slack=0.4), (
+            name, speedups[name]
+        )
+    # Paper: wait times improve "by about a factor of two on most
+    # applications".  Bandwidth-bound waits improve strongly in our model;
+    # latency-bound lock/barrier waits less so — require a meaningful
+    # improvement on several applications and overall.
+    improved = sum(1 for f in improvements if f >= 1.35)
+    assert improved >= 3, improvements
+    assert sum(improvements) / len(improvements) >= 1.2, improvements
+    # FFT and Radix "still spend a significant portion of execution time
+    # in communication and barrier synchronization" on 10 GbE.
+    for name in ("fft", "radix"):
+        b = runs[(name, 4)].mean_breakdown
+        assert b.data_wait + b.sync >= 0.20, name

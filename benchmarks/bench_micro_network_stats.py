@@ -1,0 +1,79 @@
+"""§4 micro-benchmark network statistics.
+
+Paper: single-link runs see almost no out-of-order delivery; multi-link
+runs see at most 45–50 % out-of-order frames (closely spaced); explicit
+acks + retransmissions add at most 5.5 % extra frames; dropped frames are
+low — about 20 % of the extra traffic.  (Drops need actual loss, so a
+bit-error run supplements the clean sweeps.)
+"""
+
+from repro.bench import Table, make_cluster, micro_sweep
+from repro.bench.micro import run_one_way
+from repro.bench.paper_data import MICRO_NET_STATS
+from repro.ethernet import LinkParams
+
+SIZES = (16384, 262144, 1048576)
+
+
+def run_experiment():
+    clean = {
+        config: micro_sweep(config, "one-way", SIZES)
+        for config in ("1L-1G", "2L-1G", "2Lu-1G")
+    }
+    # Lossy single-link run to exercise NACK/retransmission recovery.
+    lossy_cluster = make_cluster(
+        "1L-1G", nodes=2, link=LinkParams(speed_bps=1e9, bit_error_rate=3e-7)
+    )
+    lossy = run_one_way(lossy_cluster, 524288, iterations=10)
+    return clean, lossy
+
+
+def test_micro_network_stats(benchmark):
+    clean, lossy = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = Table(
+        "§4 micro network statistics (one-way)",
+        ["config", "size", "out-of-order", "extra frames", "drops"],
+    )
+    for config, sweep in clean.items():
+        for r in sweep:
+            table.add(
+                config, r.size, r.out_of_order_fraction,
+                r.extra_frame_fraction, r.frames_dropped,
+            )
+    table.add("1L-1G+BER", lossy.size, lossy.out_of_order_fraction,
+              lossy.extra_frame_fraction, lossy.frames_dropped)
+    table.show()
+
+    check = Table(
+        "§4 — paper vs measured",
+        ["metric", "paper", "measured"],
+    )
+    ooo_1l = max(r.out_of_order_fraction for r in clean["1L-1G"])
+    ooo_2l = max(
+        max(r.out_of_order_fraction for r in clean[c])
+        for c in ("2L-1G", "2Lu-1G")
+    )
+    extra = max(
+        r.extra_frame_fraction for sweep in clean.values() for r in sweep
+    )
+    check.add("out-of-order 1L (max)", "~0", ooo_1l)
+    check.add("out-of-order 2L (max)", "<= 0.45-0.50", ooo_2l)
+    check.add("extra frames (max, clean)", "<= 0.055", extra)
+    drops_share = (
+        lossy.frames_dropped
+        / max(
+            1,
+            lossy.frames_dropped
+            + lossy.data_frames * lossy.extra_frame_fraction,
+        )
+    )
+    check.add("drops / extra traffic (lossy)", "~0.20", drops_share)
+    check.show()
+
+    assert ooo_1l <= MICRO_NET_STATS["out_of_order_1l"][1]
+    lo, hi = MICRO_NET_STATS["out_of_order_2l"]
+    assert lo <= ooo_2l <= hi + 0.05
+    assert extra <= MICRO_NET_STATS["extra_frames_max"]
+    assert lossy.frames_dropped > 0
+    assert 0.02 <= drops_share <= 0.6

@@ -1,0 +1,52 @@
+"""Table 1: benchmark applications, problem sizes, sequential times.
+
+Prints the paper's Table 1 verbatim next to our scaled workloads and the
+*measured* 1-node execution time of each scaled problem (the simulated
+"sequential" baseline every speedup in Figures 3–6 divides by).
+"""
+
+from repro.apps import SCALED, TABLE1
+from repro.bench import Table, app_run
+from repro.bench.paper_data import APP_ORDER
+
+
+def run_experiment():
+    return {name: app_run(name, "1L-1G", 1) for name in APP_ORDER}
+
+
+def test_table1_workloads(benchmark):
+    singles = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    paper = Table(
+        "Table 1 (paper) — benchmark applications",
+        ["application", "problem size", "seq time (ms)", "footprint (MB)"],
+    )
+    for row in TABLE1:
+        paper.add(
+            row.application, row.problem_size,
+            row.seq_exec_time_ms, row.footprint_mb,
+        )
+    paper.show()
+
+    scaled = Table(
+        "Scaled workloads (this reproduction)",
+        ["app", "paper size", "scaled size", "scale", "measured T1 (ms)"],
+    )
+    by_app = {w.app: w for w in SCALED}
+    for name in APP_ORDER:
+        w = by_app[name]
+        scaled.add(
+            w.app, w.paper_size, w.scaled_size, w.scale_factor,
+            singles[name].elapsed_ms,
+        )
+    scaled.show()
+
+    for name, result in singles.items():
+        assert result.verified, name
+        assert result.elapsed_ns > 0
+    # Ordering sanity mirroring Table 1: Water-Nsquared is by far the
+    # longest sequential run; FFT and Radix sit in the bottom half.
+    times = {n: r.elapsed_ms for n, r in singles.items()}
+    assert times["water-nsq"] == max(times.values())
+    median = sorted(times.values())[len(times) // 2]
+    assert times["fft"] <= median and times["radix"] <= median

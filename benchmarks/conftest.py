@@ -1,0 +1,11 @@
+"""Shared benchmark configuration.
+
+Experiments are deterministic discrete-event simulations: re-running them
+adds no statistical information, so every benchmark uses
+``benchmark.pedantic(..., rounds=1, iterations=1)`` and the runner module
+caches results so related figures share their underlying runs.
+"""
+
+# Sweep used by the Figure-2 benchmarks (paper sweeps 64 B .. 1 MB).
+FIG2_SIZES = (64, 1024, 16384, 262144, 1048576)
+FIG2_CONFIGS = ("1L-1G", "2L-1G", "1L-10G")

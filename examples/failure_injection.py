@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Reliability demo: bit errors, transient outages, and congestion drops.
+
+MultiEdge guarantees delivery across transient faults (paper §2.4).  This
+example injects three kinds of trouble and shows the transfer completing
+with correct bytes every time, plus what the recovery cost was:
+
+1. a noisy cable (bit-error rate) — CRC drops recovered by NACKs,
+2. a 5 ms link outage mid-transfer — recovered by the coarse timeout,
+3. an incast storm overflowing a tiny switch queue — congestion drops
+   recovered by selective retransmission.
+
+Run:  python examples/failure_injection.py
+"""
+
+from repro.bench import make_cluster
+from repro.ethernet import Frame, LinkParams, MultiEdgeHeader, SwitchParams
+
+
+def transfer(cluster, size=300_000, limit_ms=5000):
+    a, b = cluster.connect(0, 1)
+    src = a.node.memory.alloc(size)
+    dst = b.node.memory.alloc(size)
+    payload = bytes(i % 251 for i in range(size))
+    a.node.memory.write(src, payload)
+
+    def app():
+        handle = yield from a.rdma_write(src, dst, size)
+        yield from handle.wait()
+
+    proc = cluster.sim.process(app())
+    cluster.sim.run_until_done(proc, limit=limit_ms * 1_000_000)
+    ok = b.node.memory.read(dst, size) == payload
+    return ok, a.stats, cluster
+
+
+def scenario_bit_errors() -> None:
+    cluster = make_cluster(
+        "1L-1G", nodes=2,
+        link=LinkParams(speed_bps=1e9, bit_error_rate=1e-6),
+    )
+    ok, stats, cl = transfer(cluster)
+    crc = sum(n.counters.rx_dropped_crc for node in cl.nodes for n in node.nics)
+    print(f"bit errors   : data intact={ok}  CRC drops={crc}  "
+          f"retransmits={stats.retransmitted_frames}  "
+          f"nacks rx={stats.nacks_received}")
+
+
+def scenario_outage() -> None:
+    cluster = make_cluster("1L-1G", nodes=2)
+    # Fail node 0's uplink for 5 ms shortly after the transfer starts.
+    link = cluster.nodes[0].nics[0].tx_link
+    cluster.sim.schedule(2_000_000, link.fail_for, 5_000_000)
+    ok, stats, cl = transfer(cluster)
+    print(f"5ms outage   : data intact={ok}  "
+          f"lost to outage={link.frames_lost_outage}  "
+          f"timeout retransmits={stats.timeout_retransmits}  "
+          f"retransmits={stats.retransmitted_frames}")
+
+
+def scenario_congestion() -> None:
+    # Tiny switch buffers + three senders blasting one receiver.
+    cluster = make_cluster(
+        "1L-1G", nodes=4,
+        switch=SwitchParams(ports=4, output_queue_frames=24),
+    )
+    conns = [cluster.connect(i, 3)[0] for i in range(3)]
+    size = 150_000
+    payload = bytes(i % 249 for i in range(size))
+    dsts = []
+    procs = []
+    for i, conn in enumerate(conns):
+        src = conn.node.memory.alloc(size)
+        dst = cluster.stacks[3].node.memory.alloc(size)
+        conn.node.memory.write(src, payload)
+        dsts.append(dst)
+
+        def app(conn=conn, src=src, dst=dst):
+            handle = yield from conn.rdma_write(src, dst, size)
+            yield from handle.wait()
+
+        procs.append(cluster.sim.process(app()))
+    for p in procs:
+        cluster.sim.run_until_done(p, limit=10_000_000_000)
+    ok = all(
+        cluster.stacks[3].node.memory.read(dst, size) == payload
+        for dst in dsts
+    )
+    dropped = sum(sw.dropped_total for sw in cluster.switches)
+    retrans = sum(
+        c.stats.retransmitted_frames + 0 for c in conns
+    )
+    print(f"incast storm : data intact={ok}  switch drops={dropped}  "
+          f"retransmits={retrans}")
+
+
+def main() -> None:
+    scenario_bit_errors()
+    scenario_outage()
+    scenario_congestion()
+
+
+if __name__ == "__main__":
+    main()

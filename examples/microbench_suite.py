@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Reproduce the paper's Figure 2 sweep from the command line.
+
+Runs ping-pong / one-way / two-way across transfer sizes on a chosen
+configuration and prints latency, throughput, and protocol CPU — the
+same series the paper plots.
+
+Run:  python examples/microbench_suite.py [1L-1G|2L-1G|2Lu-1G|1L-10G]
+"""
+
+import sys
+
+from repro.bench import MICRO_BENCHMARKS, Table, make_cluster, run_micro
+
+SIZES = (64, 256, 1024, 4096, 16384, 65536, 262144, 1048576)
+
+
+def main() -> None:
+    config = sys.argv[1] if len(sys.argv) > 1 else "1L-1G"
+    print(f"configuration: {config}  (sizes {SIZES[0]} B .. {SIZES[-1]} B)\n")
+    for bench in MICRO_BENCHMARKS:
+        table = Table(
+            f"{bench} on {config}",
+            ["size (B)", "latency (us)", "throughput (MB/s)", "CPU (% of 200)"],
+        )
+        for size in SIZES:
+            cluster = make_cluster(config, nodes=2)
+            r = run_micro(
+                bench, cluster, size,
+                iterations=10 if size >= 262144 else None,
+            )
+            table.add(size, r.latency_us, r.throughput_mbps, r.cpu_util_pct)
+        table.show()
+
+
+if __name__ == "__main__":
+    main()

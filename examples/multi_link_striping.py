@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Spatial parallelism: one connection transparently striped over two rails.
+
+Streams 1 MB over one and then two 1-GbE links and shows the throughput
+doubling, the out-of-order arrival fraction round-robin striping creates,
+and what fences cost — the paper's §2.5 mechanics in ~60 lines.
+
+Run:  python examples/multi_link_striping.py
+"""
+
+from repro.bench import make_cluster
+from repro.bench.micro import run_one_way
+from repro.ethernet import OpFlags
+
+
+def stream(config: str, size: int = 1 << 20) -> None:
+    cluster = make_cluster(config, nodes=2)
+    result = run_one_way(cluster, size, iterations=8)
+    rails = cluster.config.rails
+    print(f"{config:7s} ({rails} rail{'s' if rails > 1 else ' '}): "
+          f"{result.throughput_mbps:7.1f} MB/s   "
+          f"out-of-order {100 * result.out_of_order_fraction:5.1f} %   "
+          f"extra frames {100 * result.extra_frame_fraction:4.1f} %")
+
+
+def fenced_writes() -> None:
+    """Backward fence: the fenced op is applied only after predecessors."""
+    cluster = make_cluster("2Lu-1G", nodes=2)
+    a, b = cluster.connect(0, 1)
+    size = 1464 * 4
+    src1, src2 = a.node.memory.alloc(size), a.node.memory.alloc(size)
+    dst = b.node.memory.alloc(size)
+    a.node.memory.write(src1, b"1" * size)
+    a.node.memory.write(src2, b"2" * size)
+
+    def app():
+        # Two writes to the same target; frames interleave across rails.
+        yield from a.rdma_write(src1, dst, size)
+        h2 = yield from a.rdma_write(
+            src2, dst, size, flags=OpFlags.FENCE_BACKWARD | OpFlags.NOTIFY
+        )
+        yield from h2.wait()
+
+    def check():
+        yield from b.wait_notification()
+        final = b.node.memory.read(dst, size)
+        assert final == b"2" * size, "backward fence must order the writes"
+        print("fenced write applied last despite two-rail reordering  ✓")
+
+    cluster.sim.process(app())
+    proc = cluster.sim.process(check())
+    cluster.sim.run_until_done(proc, limit=100_000_000)
+
+
+def main() -> None:
+    print("== one-way throughput, 1 MB transfers ==")
+    for config in ("1L-1G", "2L-1G", "2Lu-1G"):
+        stream(config)
+    print("\n== ordering semantics on two unordered rails ==")
+    fenced_writes()
+
+
+if __name__ == "__main__":
+    main()

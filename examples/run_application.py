@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Run any benchmark application on any cluster configuration.
+
+Usage:
+    python examples/run_application.py <app> [config] [nodes]
+
+    app     one of: barnes fft lu radix raytrace water-nsq
+            water-spatial water-spatial-fl
+    config  one of: 1L-1G 2L-1G 2Lu-1G 1L-10G   (default 1L-1G)
+    nodes   node count                            (default 8)
+
+Prints the execution-time breakdown and network statistics the paper's
+Figures 3–6 are built from, for a single run.
+"""
+
+import sys
+
+from repro.apps import APP_CLASSES, run_app
+from repro.bench import Table
+
+
+def main() -> None:
+    if len(sys.argv) < 2 or sys.argv[1] not in APP_CLASSES:
+        print(__doc__)
+        raise SystemExit(1)
+    app_name = sys.argv[1]
+    config = sys.argv[2] if len(sys.argv) > 2 else "1L-1G"
+    nodes = int(sys.argv[3]) if len(sys.argv) > 3 else 8
+
+    print(f"running {app_name} on {config} with {nodes} node(s) ...")
+    result = run_app(APP_CLASSES[app_name](), config=config, nodes=nodes)
+
+    print(f"\nverified: {result.verified}")
+    print(f"parallel execution time: {result.elapsed_ms:.2f} ms (simulated)")
+
+    b = result.mean_breakdown
+    t = Table("execution-time breakdown (mean over nodes)",
+              ["compute", "data wait", "sync", "dsm overhead", "other"])
+    t.add(b.compute, b.data_wait, b.sync, b.dsm_overhead, b.other)
+    t.show()
+
+    net = result.dsm.network
+    t = Table("network statistics", ["metric", "value"])
+    t.add("data frames", net.data_frames_sent)
+    t.add("payload MB", net.data_bytes_sent / 1e6)
+    t.add("explicit acks", net.explicit_acks_sent)
+    t.add("retransmissions", net.retransmitted_frames)
+    t.add("extra-frame fraction", net.extra_frame_fraction)
+    t.add("out-of-order fraction", net.out_of_order_fraction)
+    t.add("frames dropped", result.dsm.frames_dropped)
+    t.add("protocol CPU fraction", result.dsm.protocol_cpu_fraction)
+    t.add("page fetches", sum(n.page_fetches for n in result.dsm.per_node))
+    t.add("diffs flushed", sum(n.diffs_flushed for n in result.dsm.per_node))
+    t.add("lock acquires", sum(n.lock_acquires for n in result.dsm.per_node))
+    t.show()
+
+
+if __name__ == "__main__":
+    main()

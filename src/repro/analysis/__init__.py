@@ -1,0 +1,20 @@
+"""Measurement probes and cluster-wide summaries."""
+
+from .probes import InflightProbe, QueueProbe, Sample, ThroughputProbe
+from .summary import (
+    ClusterSummary,
+    ascii_histogram,
+    reorder_histogram,
+    summarize_cluster,
+)
+
+__all__ = [
+    "ThroughputProbe",
+    "QueueProbe",
+    "InflightProbe",
+    "Sample",
+    "ClusterSummary",
+    "summarize_cluster",
+    "reorder_histogram",
+    "ascii_histogram",
+]

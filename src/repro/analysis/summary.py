@@ -1,0 +1,125 @@
+"""Cluster-wide measurement summaries.
+
+Turns the counters scattered across NICs, switches, connections, and CPU
+accounting into one flat report — the "detailed network statistics" view
+the paper builds its §4 analysis on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..bench.cluster import Cluster
+from ..core import merge_stats
+from ..core.stats import ConnectionStats
+
+__all__ = ["ClusterSummary", "summarize_cluster", "reorder_histogram", "ascii_histogram"]
+
+
+@dataclass
+class ClusterSummary:
+    """Flat roll-up of every layer's counters."""
+
+    elapsed_ns: int
+    # Protocol layer.
+    data_frames: int
+    data_bytes: int
+    explicit_acks: int
+    nacks: int
+    retransmissions: int
+    duplicates: int
+    out_of_order_fraction: float
+    extra_frame_fraction: float
+    mean_reorder_distance: float
+    # Hardware layer.
+    wire_frames: int
+    wire_bytes: int
+    irqs: int
+    switch_drops: int
+    nic_ring_drops: int
+    crc_drops: int
+    # Host layer.
+    protocol_cpu_fraction_mean: float
+
+    @property
+    def goodput_mbps(self) -> float:
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.data_bytes / (self.elapsed_ns / 1e9) / 1e6
+
+    @property
+    def wire_efficiency(self) -> float:
+        """Payload bytes as a fraction of all bytes that crossed any wire."""
+        return self.data_bytes / self.wire_bytes if self.wire_bytes else 0.0
+
+    @property
+    def interrupt_coalescing_factor(self) -> float:
+        """Frames per interrupt (paper Fig 5: 'total coalescing factor')."""
+        return self.wire_frames / self.irqs if self.irqs else 0.0
+
+
+def summarize_cluster(
+    cluster: Cluster, elapsed_ns: Optional[int] = None
+) -> ClusterSummary:
+    """Roll up every counter in the cluster into one summary."""
+    stats = merge_stats(
+        [s.protocol.total_stats() for s in cluster.stacks]
+    )
+    elapsed = elapsed_ns if elapsed_ns is not None else cluster.sim.now
+    wire_frames = wire_bytes = irqs = ring = crc = 0
+    for node in cluster.nodes:
+        for nic in node.nics:
+            wire_frames += nic.counters.tx_frames
+            wire_bytes += nic.counters.tx_bytes
+            irqs += nic.counters.irqs_raised
+            ring += nic.counters.rx_dropped_ring_full
+            crc += nic.counters.rx_dropped_crc
+    switch_drops = sum(sw.dropped_total for sw in cluster.all_switches)
+    n = len(cluster.stacks)
+    proto_frac = (
+        sum(s.node.protocol_cpu_time() / elapsed for s in cluster.stacks) / n
+        if elapsed > 0 and n
+        else 0.0
+    )
+    return ClusterSummary(
+        elapsed_ns=elapsed,
+        data_frames=stats.data_frames_sent,
+        data_bytes=stats.data_bytes_sent,
+        explicit_acks=stats.explicit_acks_sent,
+        nacks=stats.nacks_sent,
+        retransmissions=stats.retransmitted_frames,
+        duplicates=stats.duplicate_frames,
+        out_of_order_fraction=stats.out_of_order_fraction,
+        extra_frame_fraction=stats.extra_frame_fraction,
+        mean_reorder_distance=stats.mean_reorder_distance,
+        wire_frames=wire_frames,
+        wire_bytes=wire_bytes,
+        irqs=irqs,
+        switch_drops=switch_drops,
+        nic_ring_drops=ring,
+        crc_drops=crc,
+        protocol_cpu_fraction_mean=proto_frac,
+    )
+
+
+def reorder_histogram(cluster: Cluster) -> list[int]:
+    """Cluster-wide reorder-distance histogram (buckets 1..15, >=16)."""
+    stats = merge_stats([s.protocol.total_stats() for s in cluster.stacks])
+    return list(stats.reorder_histogram)
+
+
+def ascii_histogram(
+    buckets: list[int], labels: Optional[list[str]] = None, width: int = 40
+) -> str:
+    """Render a histogram as terminal text."""
+    if labels is None:
+        labels = [str(i + 1) for i in range(len(buckets) - 1)] + [
+            f">={len(buckets)}"
+        ]
+    peak = max(buckets) or 1
+    lines = []
+    for label, count in zip(labels, buckets):
+        bar = "#" * max(0, round(width * count / peak))
+        lines.append(f"{label:>5} | {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""SPLASH-2-style benchmark applications on the DSM."""
+
+from .barnes import BarnesApp
+from .base import AppResult, DsmApplication, gather_region_data, init_region_data, run_app
+from .fft import FftApp
+from .lu import LuApp
+from .radix import RadixApp
+from .raytrace import RaytraceApp
+from .water_nsq import WaterNsqApp
+from .water_spatial import WaterSpatialApp
+from .water_spatial_fl import WaterSpatialFlApp
+from .workloads import SCALED, TABLE1, ScaledWorkload, Table1Row
+
+APP_CLASSES = {
+    "barnes": BarnesApp,
+    "fft": FftApp,
+    "lu": LuApp,
+    "radix": RadixApp,
+    "raytrace": RaytraceApp,
+    "water-nsq": WaterNsqApp,
+    "water-spatial": WaterSpatialApp,
+    "water-spatial-fl": WaterSpatialFlApp,
+}
+
+__all__ = [
+    "DsmApplication",
+    "AppResult",
+    "run_app",
+    "init_region_data",
+    "gather_region_data",
+    "BarnesApp",
+    "FftApp",
+    "LuApp",
+    "RadixApp",
+    "RaytraceApp",
+    "WaterNsqApp",
+    "WaterSpatialApp",
+    "WaterSpatialFlApp",
+    "APP_CLASSES",
+    "TABLE1",
+    "SCALED",
+    "Table1Row",
+    "ScaledWorkload",
+]

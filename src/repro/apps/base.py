@@ -1,0 +1,150 @@
+"""Application harness for DSM workloads.
+
+A :class:`DsmApplication` bundles:
+
+* region allocation and (untimed) data initialisation,
+* the per-node program — a generator following the SPLASH-2 convention:
+  initialise → barrier → ``start_measurement()`` → timed parallel phases,
+* a compute-cost model: applications perform *real* computation on real
+  data (so the DSM moves real bytes and correctness is checkable) while
+  the simulated clock is charged via per-operation coefficients calibrated
+  against the paper's Table 1 workloads.
+
+``run_app`` builds the cluster + DSM, runs the program on every node, and
+returns both the DSM result and derived application metrics.  Speedup
+curves are produced by comparing against a 1-node run of the same
+program, as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from ..bench.cluster import make_cluster
+from ..dsm import DsmNode, DsmRunResult, DsmRuntime, SharedRegion
+from ..dsm.region import PAGE_SIZE
+
+__all__ = ["DsmApplication", "AppResult", "run_app", "init_region_data"]
+
+
+def init_region_data(runtime: DsmRuntime, region: SharedRegion, data: np.ndarray) -> None:
+    """Install initial contents into every page's *home* copy (untimed).
+
+    This models the untimed initialisation phase: data starts resident at
+    its home, and other nodes' first accesses fault it in.
+    """
+    flat = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+    if len(flat) > region.size:
+        raise ValueError(
+            f"init data ({len(flat)} B) larger than region ({region.size} B)"
+        )
+    for page_start in range(0, len(flat), PAGE_SIZE):
+        page = page_start // PAGE_SIZE
+        home = region.home_of(page)
+        chunk = flat[page_start : page_start + PAGE_SIZE]
+        runtime.nodes[home].stack.node.memory.write(
+            region.page_addr(home, page), chunk
+        )
+
+
+def gather_region_data(
+    runtime: DsmRuntime, region: SharedRegion, dtype=np.uint8, count: Optional[int] = None
+) -> np.ndarray:
+    """Collect the authoritative (home) copy of a region, for verification."""
+    out = np.empty(region.n_pages * PAGE_SIZE, dtype=np.uint8)
+    for page in range(region.n_pages):
+        home = region.home_of(page)
+        data = runtime.nodes[home].stack.node.memory.read(
+            region.page_addr(home, page), PAGE_SIZE
+        )
+        out[page * PAGE_SIZE : (page + 1) * PAGE_SIZE] = np.frombuffer(
+            data, dtype=np.uint8
+        )
+    typed = out.view(dtype)
+    return typed[:count] if count is not None else typed
+
+
+class DsmApplication:
+    """Base class for DSM benchmark applications."""
+
+    #: short identifier used by the benchmark harness (e.g. "fft")
+    name: str = "app"
+
+    def setup(self, runtime: DsmRuntime) -> None:
+        """Allocate regions and install initial data (untimed)."""
+        raise NotImplementedError
+
+    def program(self, node: DsmNode) -> Generator:
+        """The per-node program (a simulation-process generator)."""
+        raise NotImplementedError
+
+    def verify(self, runtime: DsmRuntime, result: "DsmRunResult") -> bool:
+        """Optional correctness check on final shared state."""
+        return True
+
+
+@dataclass
+class AppResult:
+    """Application metrics derived from a DSM run."""
+
+    app: str
+    config: str
+    nodes: int
+    elapsed_ns: int
+    dsm: DsmRunResult
+    verified: bool
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed_ns / 1e6
+
+    def speedup_vs(self, single: "AppResult") -> float:
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return single.elapsed_ns / self.elapsed_ns
+
+    @property
+    def mean_breakdown(self):
+        """Average execution-time breakdown across nodes."""
+        bds = self.dsm.breakdowns
+        n = len(bds)
+        if n == 0:
+            return None
+        from ..dsm.stats import Breakdown
+
+        return Breakdown(
+            elapsed_ns=self.elapsed_ns,
+            compute=sum(b.compute for b in bds) / n,
+            data_wait=sum(b.data_wait for b in bds) / n,
+            sync=sum(b.sync for b in bds) / n,
+            dsm_overhead=sum(b.dsm_overhead for b in bds) / n,
+            protocol=sum(b.protocol for b in bds) / n,
+            other=sum(b.other for b in bds) / n,
+        )
+
+
+def run_app(
+    app: DsmApplication,
+    config: str = "1L-1G",
+    nodes: int = 16,
+    seed: int = 0,
+    limit_ms: int = 600_000,
+    **cluster_overrides: Any,
+) -> AppResult:
+    """Run one application on one cluster configuration."""
+    cluster = make_cluster(config, nodes=nodes, seed=seed, **cluster_overrides)
+    runtime = DsmRuntime(cluster)
+    app.setup(runtime)
+    dsm_result = runtime.run(app.program, limit_ms=limit_ms)
+    verified = app.verify(runtime, dsm_result)
+    return AppResult(
+        app=app.name,
+        config=cluster.config.name,
+        nodes=nodes,
+        elapsed_ns=dsm_result.elapsed_ns,
+        dsm=dsm_result,
+        verified=verified,
+    )

@@ -1,0 +1,135 @@
+"""Six-step FFT (SPLASH-2 FFT kernel).
+
+The n-point complex FFT is computed on an m x m matrix (n = m^2):
+
+1. transpose, 2. m-point FFT on each row, 3. twiddle multiplication,
+4. transpose, 5. m-point FFT on each row, 6. transpose.
+
+Rows are block-distributed; each transpose makes every node read the
+entire matrix (all-to-all), which is why FFT is communication-bound and
+scales poorly in the paper (remote fetches ≈ 77 % of its parallel
+overhead).  The matrix is sized so one row is exactly one page.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..dsm import DsmNode, DsmRuntime, SharedRegion
+from .base import DsmApplication, gather_region_data, init_region_data
+
+__all__ = ["FftApp"]
+
+COMPLEX_BYTES = 16  # complex128
+
+
+class FftApp(DsmApplication):
+    """Parallel six-step FFT over the DSM."""
+
+    name = "fft"
+
+    def __init__(
+        self,
+        m: int = 256,
+        fft_ns_per_point: int = 110,
+        seed: int = 1,
+    ) -> None:
+        if m & (m - 1):
+            raise ValueError("m must be a power of two")
+        self.m = m
+        self.n = m * m
+        self.fft_ns_per_point = fft_ns_per_point
+        self.seed = seed
+        self.a: SharedRegion | None = None
+        self.b: SharedRegion | None = None
+        self.input: np.ndarray | None = None
+
+    # -- setup -------------------------------------------------------------
+
+    def setup(self, runtime: DsmRuntime) -> None:
+        size = self.n * COMPLEX_BYTES
+        self.a = runtime.alloc_region("fft.a", size, home="block")
+        self.b = runtime.alloc_region("fft.b", size, home="block")
+        rng = np.random.default_rng(self.seed)
+        self.input = (
+            rng.standard_normal(self.n) + 1j * rng.standard_normal(self.n)
+        ).astype(np.complex128)
+        init_region_data(runtime, self.a, self.input)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _rows_of(self, rank: int, size: int) -> tuple[int, int]:
+        per = self.m // size
+        if per == 0:
+            raise ValueError(f"FFT needs m >= nodes ({self.m} < {size})")
+        return rank * per, per
+
+    def _row_fft_cost(self, rows: int) -> int:
+        # m log2 m butterflies per row.
+        return int(
+            rows * self.m * np.log2(self.m) * self.fft_ns_per_point
+        )
+
+    def _transpose(
+        self, node: DsmNode, src: SharedRegion, dst: SharedRegion
+    ) -> Generator:
+        """dst[i, j] = src[j, i] for this node's rows i of dst."""
+        m = self.m
+        start, count = self._rows_of(node.rank, node.size)
+        # Reading a column block touches every row of src: full fetch.
+        src_view = yield from node.access(src, 0, self.n * COMPLEX_BYTES, "r")
+        src_mat = src_view.view(np.complex128).reshape(m, m)
+        dst_view = yield from node.access(
+            dst, start * m * COMPLEX_BYTES, count * m * COMPLEX_BYTES, "rw"
+        )
+        dst_mat = dst_view.view(np.complex128).reshape(count, m)
+        dst_mat[:, :] = src_mat[:, start : start + count].T
+        yield from node.compute(
+            int(count * m * self.fft_ns_per_point * 0.25)
+        )
+
+    def _row_ffts(
+        self, node: DsmNode, region: SharedRegion, twiddle: bool
+    ) -> Generator:
+        m = self.m
+        start, count = self._rows_of(node.rank, node.size)
+        view = yield from node.access(
+            region, start * m * COMPLEX_BYTES, count * m * COMPLEX_BYTES, "rw"
+        )
+        mat = view.view(np.complex128).reshape(count, m)
+        mat[:, :] = np.fft.fft(mat, axis=1)
+        if twiddle:
+            rows = np.arange(start, start + count).reshape(-1, 1)
+            cols = np.arange(m).reshape(1, -1)
+            mat *= np.exp(-2j * np.pi * rows * cols / self.n)
+        yield from node.compute(self._row_fft_cost(count))
+
+    # -- program ---------------------------------------------------------------
+
+    def program(self, node: DsmNode) -> Generator:
+        a, b = self.a, self.b
+        # Warm own rows (first-touch), then start the timed section.
+        yield from node.barrier(0)
+        node.start_measurement()
+
+        yield from self._transpose(node, a, b)  # step 1
+        yield from node.barrier(0)
+        yield from self._row_ffts(node, b, twiddle=True)  # steps 2+3
+        yield from node.barrier(0)
+        yield from self._transpose(node, b, a)  # step 4
+        yield from node.barrier(0)
+        yield from self._row_ffts(node, a, twiddle=False)  # step 5
+        yield from node.barrier(0)
+        yield from self._transpose(node, a, b)  # step 6
+        yield from node.barrier(0)
+
+    # -- verification ---------------------------------------------------------
+
+    def verify(self, runtime: DsmRuntime, result) -> bool:
+        out = gather_region_data(
+            runtime, self.b, dtype=np.complex128, count=self.n
+        )
+        expected = np.fft.fft(self.input)
+        return bool(np.allclose(out, expected, rtol=1e-8, atol=1e-6))

@@ -1,0 +1,142 @@
+"""Radix sort (SPLASH-2 RADIX kernel).
+
+LSD radix-256 sort of uniformly random keys.  Each pass: local histogram
+of the owned block, global prefix computation through a shared histogram
+region, then permutation — every node writes its keys to their destination
+positions, which scatters small writes across the whole output array.
+The scattered permutation is what gives Radix its notoriously poor
+spatial locality, heavy false sharing, and bursty all-to-all traffic
+(paper: poor scalability on every configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..dsm import PAGE_SIZE, DsmNode, DsmRuntime, SharedRegion
+from .base import DsmApplication, gather_region_data, init_region_data
+
+__all__ = ["RadixApp"]
+
+KEY_BYTES = 8  # int64 keys
+RADIX = 256
+
+
+class RadixApp(DsmApplication):
+    """Parallel LSD radix sort over the DSM."""
+
+    name = "radix"
+
+    def __init__(
+        self,
+        n_keys: int = 1 << 16,
+        key_bits: int = 16,
+        sort_ns_per_key: int = 300,
+        seed: int = 2,
+    ) -> None:
+        if key_bits % 8:
+            raise ValueError("key_bits must be a multiple of 8")
+        self.n_keys = n_keys
+        self.key_bits = key_bits
+        self.passes = key_bits // 8
+        self.sort_ns_per_key = sort_ns_per_key
+        self.seed = seed
+        self.keys_a: SharedRegion | None = None
+        self.keys_b: SharedRegion | None = None
+        self.hist: SharedRegion | None = None
+        self.input: np.ndarray | None = None
+
+    def setup(self, runtime: DsmRuntime) -> None:
+        size = self.n_keys * KEY_BYTES
+        self.keys_a = runtime.alloc_region("radix.a", size, home="block")
+        self.keys_b = runtime.alloc_region("radix.b", size, home="block")
+        # One page-aligned histogram row (RADIX counts) per node.
+        self.hist = runtime.alloc_region(
+            "radix.hist", runtime.n * PAGE_SIZE, home="block"
+        )
+        rng = np.random.default_rng(self.seed)
+        self.input = rng.integers(
+            0, 1 << self.key_bits, self.n_keys, dtype=np.int64
+        )
+        init_region_data(runtime, self.keys_a, self.input)
+
+    def _block_of(self, rank: int, size: int) -> tuple[int, int]:
+        per = self.n_keys // size
+        return rank * per, per if rank < size - 1 else self.n_keys - rank * per
+
+    def program(self, node: DsmNode) -> Generator:
+        rank, size = node.rank, node.size
+        start, count = self._block_of(rank, size)
+        src, dst = self.keys_a, self.keys_b
+
+        yield from node.barrier(0)
+        node.start_measurement()
+
+        for pass_no in range(self.passes):
+            shift = pass_no * 8
+            # 1. Local histogram of the owned block.
+            view = yield from node.access(
+                src, start * KEY_BYTES, count * KEY_BYTES, "r"
+            )
+            keys = view.view(np.int64)
+            digits = (keys >> shift) & (RADIX - 1)
+            local_hist = np.bincount(digits, minlength=RADIX).astype(np.int64)
+            yield from node.compute(count * self.sort_ns_per_key)
+            # Publish to our page of the shared histogram (home page).
+            hview = yield from node.access(
+                self.hist, rank * PAGE_SIZE, RADIX * 8, "rw"
+            )
+            hview.view(np.int64)[:RADIX] = local_hist
+            yield from node.barrier(0)
+
+            # 2. Global ranks: read every node's histogram row.
+            all_hist = np.zeros((size, RADIX), dtype=np.int64)
+            for peer in range(size):
+                pview = yield from node.access(
+                    self.hist, peer * PAGE_SIZE, RADIX * 8, "r"
+                )
+                all_hist[peer] = pview.view(np.int64)[:RADIX]
+            # rank_base[d] = keys with smaller digit + same digit on
+            # earlier nodes.
+            digit_starts = np.concatenate(
+                ([0], np.cumsum(all_hist.sum(axis=0))[:-1])
+            )
+            earlier = all_hist[:rank].sum(axis=0) if rank else np.zeros(
+                RADIX, dtype=np.int64
+            )
+            rank_base = digit_starts + earlier
+            yield from node.compute(RADIX * size * 2)
+
+            # 3. Permutation: scatter keys to their destinations.
+            order = np.argsort(digits, kind="stable")
+            sorted_keys = keys[order]
+            sorted_digits = digits[order]
+            offsets_within = np.arange(count) - np.searchsorted(
+                sorted_digits, sorted_digits
+            )
+            dest = rank_base[sorted_digits] + offsets_within
+            yield from node.compute(count * self.sort_ns_per_key)
+            # Group destination indices into page-contiguous chunks so each
+            # page is faulted once.
+            dest_bytes = dest * KEY_BYTES
+            page_ids = dest_bytes // PAGE_SIZE
+            boundaries = np.flatnonzero(np.diff(page_ids)) + 1
+            chunk_starts = np.concatenate(([0], boundaries))
+            chunk_ends = np.concatenate((boundaries, [count]))
+            for cs, ce in zip(chunk_starts, chunk_ends):
+                lo = int(dest_bytes[cs])
+                hi = int(dest_bytes[ce - 1]) + KEY_BYTES
+                dview = yield from node.access(dst, lo, hi - lo, "rw")
+                darr = dview.view(np.int64)
+                darr[(dest_bytes[cs:ce] - lo) // KEY_BYTES] = sorted_keys[cs:ce]
+            yield from node.barrier(0)
+            src, dst = dst, src
+
+        yield from node.barrier(0)
+
+    def verify(self, runtime: DsmRuntime, result) -> bool:
+        final = self.keys_a if self.passes % 2 == 0 else self.keys_b
+        out = gather_region_data(runtime, final, dtype=np.int64, count=self.n_keys)
+        return bool(np.array_equal(out, np.sort(self.input)))

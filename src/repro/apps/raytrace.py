@@ -1,0 +1,151 @@
+"""Raytrace: sphere-scene ray casting with a global tile task queue.
+
+Mirrors SPLASH-2 RAYTRACE's structure: a read-only scene, an image
+written tile by tile, and dynamic load balancing through a shared work
+counter protected by a lock.  Per-pixel work (ray/sphere intersection and
+shading) dwarfs the page traffic for scene and image, putting Raytrace in
+the paper's *good* speedup band.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..dsm import PAGE_SIZE, DsmNode, DsmRuntime, SharedRegion
+from .base import DsmApplication, gather_region_data, init_region_data
+
+__all__ = ["RaytraceApp"]
+
+SPHERE_BYTES = 8 * 8  # cx, cy, cz, radius, r, g, b, pad
+PIXEL_BYTES = 8  # float64 intensity
+WORK_LOCK = 911
+
+
+class RaytraceApp(DsmApplication):
+    """Parallel ray caster over the DSM."""
+
+    name = "raytrace"
+
+    def __init__(
+        self,
+        image: int = 256,
+        tile: int = 32,
+        n_spheres: int = 24,
+        ray_ns: int = 5000,
+        seed: int = 5,
+    ) -> None:
+        if image % tile:
+            raise ValueError("image must be a multiple of the tile size")
+        self.image = image
+        self.tile = tile
+        self.n_spheres = n_spheres
+        self.ray_ns = ray_ns
+        self.seed = seed
+        self.tiles_per_row = image // tile
+        self.n_tiles = self.tiles_per_row**2
+        self.scene: SharedRegion | None = None
+        self.frame: SharedRegion | None = None
+        self.counter: SharedRegion | None = None
+        self.spheres: np.ndarray | None = None
+
+    def setup(self, runtime: DsmRuntime) -> None:
+        self.scene = runtime.alloc_region(
+            "ray.scene", self.n_spheres * SPHERE_BYTES, home="fixed:0"
+        )
+        self.frame = runtime.alloc_region(
+            "ray.frame", self.image * self.image * PIXEL_BYTES, home="block"
+        )
+        self.counter = runtime.alloc_region("ray.queue", PAGE_SIZE, home="fixed:0")
+        rng = np.random.default_rng(self.seed)
+        spheres = np.zeros((self.n_spheres, 8))
+        spheres[:, 0:2] = rng.random((self.n_spheres, 2)) * 2 - 1  # cx, cy
+        spheres[:, 2] = rng.random(self.n_spheres) * 3 + 2  # cz (in front)
+        spheres[:, 3] = rng.random(self.n_spheres) * 0.35 + 0.1  # radius
+        spheres[:, 4:7] = rng.random((self.n_spheres, 3))  # colour
+        self.spheres = spheres
+        init_region_data(runtime, self.scene, spheres)
+
+    def _render_tile(self, spheres: np.ndarray, tile_idx: int) -> np.ndarray:
+        """Real ray-sphere intersection for one tile (vectorised)."""
+        t = self.tile
+        ty, tx = divmod(tile_idx, self.tiles_per_row)
+        ys = (np.arange(ty * t, (ty + 1) * t) / self.image) * 2 - 1
+        xs = (np.arange(tx * t, (tx + 1) * t) / self.image) * 2 - 1
+        # Rays from origin through z=1 plane: direction (x, y, 1).
+        dirs = np.stack(
+            np.broadcast_arrays(
+                xs[None, :, None], ys[:, None, None], np.float64(1.0)
+            ),
+            axis=-1,
+        ).reshape(-1, 3)
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        centers = spheres[:, 0:3]
+        radii = spheres[:, 3]
+        shade = spheres[:, 4:7].mean(axis=1)
+        # |o + s d - c|^2 = r^2 with o = 0.
+        b = dirs @ centers.T  # (pixels, spheres)
+        c = (centers**2).sum(axis=1) - radii**2
+        disc = b**2 - c[None, :]
+        hit = disc >= 0
+        s = np.where(hit, b - np.sqrt(np.maximum(disc, 0.0)), np.inf)
+        s[s < 0] = np.inf
+        nearest = np.argmin(s, axis=1)
+        dist = s[np.arange(len(dirs)), nearest]
+        intensity = np.where(
+            np.isfinite(dist), shade[nearest] / (1 + 0.1 * dist), 0.0
+        )
+        return intensity.reshape(t, t)
+
+    def program(self, node: DsmNode) -> Generator:
+        t = self.tile
+        yield from node.barrier(0)
+        node.start_measurement()
+
+        # Fetch the (read-only) scene once.
+        sview = yield from node.access(
+            self.scene, 0, self.n_spheres * SPHERE_BYTES, "r"
+        )
+        spheres = sview.view(np.float64).reshape(self.n_spheres, 8).copy()
+
+        rendered = 0
+        while True:
+            # Grab the next tile from the shared work queue.
+            yield from node.lock(WORK_LOCK)
+            cview = yield from node.access(self.counter, 0, 8, "rw")
+            counter = cview.view(np.int64)
+            tile_idx = int(counter[0])
+            counter[0] = tile_idx + 1
+            yield from node.unlock(WORK_LOCK)
+            if tile_idx >= self.n_tiles:
+                break
+
+            pixels = self._render_tile(spheres, tile_idx)
+            yield from node.compute(t * t * self.n_spheres * self.ray_ns // 8)
+            rendered += 1
+
+            # Write the tile into the shared frame, row by row.
+            ty, tx = divmod(tile_idx, self.tiles_per_row)
+            for row in range(t):
+                y = ty * t + row
+                offset = (y * self.image + tx * t) * PIXEL_BYTES
+                fview = yield from node.access(
+                    self.frame, offset, t * PIXEL_BYTES, "rw"
+                )
+                fview.view(np.float64)[:t] = pixels[row]
+        yield from node.barrier(0)
+        return rendered
+
+    def verify(self, runtime: DsmRuntime, result) -> bool:
+        out = gather_region_data(
+            runtime, self.frame, dtype=np.float64, count=self.image**2
+        ).reshape(self.image, self.image)
+        expected = np.empty_like(out)
+        for tile_idx in range(self.n_tiles):
+            ty, tx = divmod(tile_idx, self.tiles_per_row)
+            t = self.tile
+            expected[ty * t : (ty + 1) * t, tx * t : (tx + 1) * t] = (
+                self._render_tile(self.spheres, tile_idx)
+            )
+        return bool(np.allclose(out, expected))

@@ -1,0 +1,11 @@
+"""Comparison baselines and ablation variants."""
+
+from .byte_striping import ByteStripingResult, run_byte_striping
+from .gobackn import GoBackNConnection, install_go_back_n
+
+__all__ = [
+    "run_byte_striping",
+    "ByteStripingResult",
+    "GoBackNConnection",
+    "install_go_back_n",
+]

@@ -1,0 +1,33 @@
+"""Benchmark harness: cluster builders, micro-benchmarks, runners, reports."""
+
+from .cluster import CONFIG_NAMES, Cluster, ClusterConfig, make_cluster
+from .micro import MicroResult, run_micro, run_one_way, run_ping_pong, run_two_way
+from .report import Table, band_str, check_band, fmt
+from .runner import (
+    DEFAULT_SIZES,
+    MICRO_BENCHMARKS,
+    app_run,
+    app_speedup_curve,
+    micro_sweep,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "make_cluster",
+    "CONFIG_NAMES",
+    "MicroResult",
+    "run_micro",
+    "run_ping_pong",
+    "run_one_way",
+    "run_two_way",
+    "micro_sweep",
+    "app_run",
+    "app_speedup_curve",
+    "DEFAULT_SIZES",
+    "MICRO_BENCHMARKS",
+    "Table",
+    "fmt",
+    "check_band",
+    "band_str",
+]

@@ -1,0 +1,312 @@
+"""Cluster construction for the paper's experimental setups (§3).
+
+Four configurations are modelled, exactly as named in the paper:
+
+* ``1L-1G``  — 16 nodes, one Broadcom Tigon-3 1-GbE NIC each, one switch.
+* ``1L-10G`` — 4 nodes, one Myricom 10-GbE NIC each, one switch.
+* ``2L-1G``  — 16 nodes, two 1-GbE NICs each, two switches (one per rail);
+  MultiEdge delivers all frames in order (buffering at the receiver).
+* ``2Lu-1G`` — like 2L-1G but frames may be delivered out of order when no
+  ordering restriction (fence) applies.
+
+A :class:`Cluster` owns the simulator, all nodes/stacks, one switch per
+rail, and a connection cache, so micro-benchmarks and the DSM runtime can
+ask for node pairs without re-wiring anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
+
+from ..core import ConnectionHandle, MultiEdgeStack, ProtocolParams, establish
+from ..ethernet import (
+    LinkParams,
+    NicParams,
+    Switch,
+    SwitchParams,
+    connect_nic_to_switch,
+)
+from ..host import HostParams, Node, myri10g_params, tigon3_params
+from ..sim import RngRegistry, Simulator
+
+__all__ = ["ClusterConfig", "Cluster", "CONFIG_NAMES", "make_cluster"]
+
+
+@dataclass
+class ClusterConfig:
+    """Everything needed to stand up one experimental setup.
+
+    ``leaf_switches > 1`` builds the multi-switch topology the paper's §6
+    names as future work: nodes are spread over that many leaf switches
+    per rail, each leaf connected to one spine switch by a single uplink
+    (``uplink_speed_bps``, default the node link speed — i.e. the fabric
+    is oversubscribed ``nodes_per_leaf : 1`` for cross-leaf traffic).
+    """
+
+    name: str
+    nodes: int
+    rails: int
+    nic_factory: Callable[[], NicParams]
+    link: LinkParams
+    switch: SwitchParams
+    host: HostParams = field(default_factory=HostParams)
+    protocol: ProtocolParams = field(default_factory=ProtocolParams)
+    seed: int = 0
+    leaf_switches: int = 1
+    uplink_speed_bps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("a cluster needs at least 1 node")
+        if self.rails < 1:
+            raise ValueError("rails must be >= 1")
+        if self.leaf_switches < 1:
+            raise ValueError("leaf_switches must be >= 1")
+        if self.leaf_switches > 1 and self.nodes < self.leaf_switches:
+            raise ValueError("need at least one node per leaf switch")
+
+
+def _config_1l_1g(nodes: int = 16) -> ClusterConfig:
+    return ClusterConfig(
+        name="1L-1G",
+        nodes=nodes,
+        rails=1,
+        nic_factory=tigon3_params,
+        link=LinkParams(speed_bps=1e9, propagation_ns=500),
+        switch=SwitchParams(ports=max(nodes, 2), forwarding_latency_ns=1_000,
+                            output_queue_frames=160),
+        protocol=ProtocolParams(in_order_delivery=False),
+    )
+
+
+def _config_1l_10g(nodes: int = 4) -> ClusterConfig:
+    return ClusterConfig(
+        name="1L-10G",
+        nodes=nodes,
+        rails=1,
+        nic_factory=myri10g_params,
+        link=LinkParams(speed_bps=10e9, propagation_ns=500),
+        switch=SwitchParams(ports=max(nodes, 2), forwarding_latency_ns=800,
+                            output_queue_frames=256),
+        protocol=ProtocolParams(in_order_delivery=False),
+    )
+
+
+def _config_2l_1g(nodes: int = 16) -> ClusterConfig:
+    cfg = _config_1l_1g(nodes)
+    return replace(
+        cfg,
+        name="2L-1G",
+        rails=2,
+        protocol=ProtocolParams(in_order_delivery=True),
+    )
+
+
+def _config_2lu_1g(nodes: int = 16) -> ClusterConfig:
+    cfg = _config_1l_1g(nodes)
+    return replace(
+        cfg,
+        name="2Lu-1G",
+        rails=2,
+        protocol=ProtocolParams(in_order_delivery=False),
+    )
+
+
+_CONFIG_FACTORIES = {
+    "1L-1G": _config_1l_1g,
+    "1L-10G": _config_1l_10g,
+    "2L-1G": _config_2l_1g,
+    "2Lu-1G": _config_2lu_1g,
+}
+
+CONFIG_NAMES = tuple(_CONFIG_FACTORIES)
+
+
+def make_cluster(
+    config: str,
+    nodes: Optional[int] = None,
+    seed: int = 0,
+    **overrides,
+) -> "Cluster":
+    """Build a cluster by configuration name, optionally resized/reseeded."""
+    try:
+        factory = _CONFIG_FACTORIES[config]
+    except KeyError:
+        raise ValueError(
+            f"unknown configuration {config!r}; choose from {CONFIG_NAMES}"
+        ) from None
+    cfg = factory(nodes) if nodes is not None else factory()
+    if overrides:
+        cfg = replace(cfg, **overrides)
+    cfg = replace(cfg, seed=seed)
+    return Cluster(cfg)
+
+
+class Cluster:
+    """A wired cluster: nodes, switches, and cached connections."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.rng = RngRegistry(config.seed)
+
+        self.stacks: list[MultiEdgeStack] = []
+        nodes = []
+        for node_id in range(config.nodes):
+            node = Node(
+                self.sim,
+                node_id,
+                host_params=config.host,
+                nic_params=[config.nic_factory() for _ in range(config.rails)],
+                rng=self.rng,
+            )
+            nodes.append(node)
+            self.stacks.append(MultiEdgeStack(node, config.protocol))
+
+        self.switches: list[Switch] = []  # flat per-rail switches
+        self.spines: list[Switch] = []  # per-rail spine (multi-leaf only)
+        self.leaves: list[list[Switch]] = []  # per-rail leaf switches
+        if config.leaf_switches <= 1:
+            self._wire_flat(nodes)
+        else:
+            self._wire_leaf_spine(nodes)
+
+        self._connections: dict[tuple[int, int], tuple[ConnectionHandle, ConnectionHandle]] = {}
+
+    def _wire_flat(self, nodes) -> None:
+        config = self.config
+        self.switches = [
+            Switch(self.sim, config.switch, name=f"switch{rail}")
+            for rail in range(config.rails)
+        ]
+        for node in nodes:
+            for rail in range(config.rails):
+                connect_nic_to_switch(
+                    self.sim,
+                    node.nics[rail],
+                    self.switches[rail],
+                    port_index=node.node_id,
+                    link_params=config.link,
+                    rng=self.rng,
+                )
+
+    def _wire_leaf_spine(self, nodes) -> None:
+        """Two-level fabric: leaves hold nodes, one spine joins leaves."""
+        from ..ethernet.link import Cable
+
+        config = self.config
+        n_leaves = config.leaf_switches
+        per_leaf = (config.nodes + n_leaves - 1) // n_leaves
+        uplink_speed = config.uplink_speed_bps or config.link.speed_bps
+        uplink_params = LinkParams(
+            speed_bps=uplink_speed,
+            propagation_ns=config.link.propagation_ns,
+            bit_error_rate=config.link.bit_error_rate,
+        )
+        for rail in range(config.rails):
+            leaf_cfg = SwitchParams(
+                ports=per_leaf + 1,
+                forwarding_latency_ns=config.switch.forwarding_latency_ns,
+                output_queue_frames=config.switch.output_queue_frames,
+            )
+            spine_cfg = SwitchParams(
+                ports=max(2, n_leaves),
+                forwarding_latency_ns=config.switch.forwarding_latency_ns,
+                output_queue_frames=config.switch.output_queue_frames,
+            )
+            spine = Switch(self.sim, spine_cfg, name=f"spine{rail}")
+            leaves = [
+                Switch(self.sim, leaf_cfg, name=f"leaf{rail}.{l}")
+                for l in range(n_leaves)
+            ]
+            for l, leaf in enumerate(leaves):
+                # Uplink: last leaf port <-> spine port l.
+                up_port = leaf.port(per_leaf)
+                spine_port = spine.port(l)
+                cable = Cable(
+                    self.sim, up_port, spine_port, uplink_params, self.rng,
+                    name=f"uplink{rail}.{l}",
+                )
+                up_port.attach_link(cable.link_from(up_port), uplink_speed)
+                spine_port.attach_link(
+                    cable.link_from(spine_port), uplink_speed
+                )
+            for node in nodes:
+                leaf_index = node.node_id // per_leaf
+                local_port = node.node_id % per_leaf
+                connect_nic_to_switch(
+                    self.sim,
+                    node.nics[rail],
+                    leaves[leaf_index],
+                    port_index=local_port,
+                    link_params=config.link,
+                    rng=self.rng,
+                )
+                # Teach the fabric where every MAC lives so measurements
+                # don't start with a flood storm.
+                mac = node.nics[rail].mac
+                spine.learn(mac, leaf_index)
+                for other_index, other_leaf in enumerate(leaves):
+                    if other_index != leaf_index:
+                        other_leaf.learn(mac, per_leaf)  # via the uplink
+            self.spines.append(spine)
+            self.leaves.append(leaves)
+            self.switches.append(spine)  # stats: count spine in switches
+
+    @property
+    def all_switches(self) -> list[Switch]:
+        out = list(self.spines)
+        for rail_leaves in self.leaves:
+            out.extend(rail_leaves)
+        if not out:
+            out = list(self.switches)
+        return out
+
+    @property
+    def nodes(self) -> list[Node]:
+        return [s.node for s in self.stacks]
+
+    def connect(self, i: int, j: int) -> tuple[ConnectionHandle, ConnectionHandle]:
+        """Connection between nodes ``i`` and ``j`` (cached, symmetric).
+
+        Returns ``(endpoint_at_i, endpoint_at_j)``.
+        """
+        if i == j:
+            raise ValueError("cannot connect a node to itself")
+        key = (min(i, j), max(i, j))
+        if key not in self._connections:
+            a, b = establish(
+                self.stacks[key[0]], self.stacks[key[1]], self.config.protocol
+            )
+            self._connections[key] = (a, b)
+        a, b = self._connections[key]
+        return (a, b) if i < j else (b, a)
+
+    def connect_all_pairs(self) -> None:
+        """Pre-establish every pairwise connection (DSM runs need this)."""
+        n = self.config.nodes
+        for i in range(n):
+            for j in range(i + 1, n):
+                self.connect(i, j)
+
+    # -- cluster-wide statistics -----------------------------------------
+
+    def total_frames_dropped(self) -> int:
+        """Frames lost anywhere: switch queues, NIC rings, CRC, outages."""
+        dropped = sum(sw.dropped_total for sw in self.all_switches)
+        for node in self.nodes:
+            for nic in node.nics:
+                dropped += nic.counters.rx_dropped_ring_full
+                dropped += nic.counters.rx_dropped_crc
+        return dropped
+
+    def total_irqs(self) -> int:
+        return sum(
+            nic.counters.irqs_raised for node in self.nodes for nic in node.nics
+        )
+
+    def total_data_frames(self) -> int:
+        return sum(
+            s.protocol.total_stats().data_frames_sent for s in self.stacks
+        )

@@ -1,0 +1,115 @@
+"""The paper's reported results, transcribed for paper-vs-measured tables.
+
+Values come from the text of §4 (exact numbers where the paper states
+them) and from reading Figures 2–6 (approximate bands where it does not).
+Bands are expressed as ``(low, high)`` tuples.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FIG2_MAX_THROUGHPUT_MBPS",
+    "FIG2_MIN_LATENCY_US",
+    "FIG2_HOST_OVERHEAD_US",
+    "FIG2_MAX_CPU_PCT",
+    "MICRO_NET_STATS",
+    "FIG3_SPEEDUP_BANDS",
+    "FIG3_NET_STATS",
+    "FIG4_SPEEDUP_BANDS",
+    "FIG5_NET_STATS",
+    "APP_ORDER",
+    "LINK_NOMINAL_MBPS",
+]
+
+APP_ORDER = [
+    "barnes",
+    "fft",
+    "lu",
+    "radix",
+    "raytrace",
+    "water-nsq",
+    "water-spatial",
+    "water-spatial-fl",
+]
+
+LINK_NOMINAL_MBPS = {"1L-1G": 125.0, "2L-1G": 250.0, "2Lu-1G": 250.0, "1L-10G": 1250.0}
+
+# Figure 2(b): maximum throughput in MBytes/s per configuration/benchmark.
+FIG2_MAX_THROUGHPUT_MBPS = {
+    ("1L-1G", "ping-pong"): 120.0,
+    ("1L-1G", "one-way"): 120.0,
+    ("1L-1G", "two-way"): 240.0,
+    ("2L-1G", "ping-pong"): 240.0,
+    ("2L-1G", "one-way"): 240.0,
+    ("2L-1G", "two-way"): 480.0,
+    ("1L-10G", "ping-pong"): 710.0,
+    ("1L-10G", "one-way"): 1100.0,
+    ("1L-10G", "two-way"): 1500.0,
+}
+
+# Figure 2(a): "minimum latency is about 30 us" (1L-10G ping-pong).
+FIG2_MIN_LATENCY_US = {"1L-10G": 30.0}
+
+# "minimum host overhead is about 2 us" (one-way / two-way initiation).
+FIG2_HOST_OVERHEAD_US = 2.0
+
+# Figure 2(c): maximum CPU utilization out of 200 % (two CPUs per node).
+FIG2_MAX_CPU_PCT = {
+    ("1L-1G", "ping-pong"): 35.0,
+    ("1L-1G", "one-way"): 30.0,
+    ("1L-1G", "two-way"): 140.0,
+    ("1L-10G", "ping-pong"): 75.0,
+    ("1L-10G", "one-way"): 95.0,
+    ("1L-10G", "two-way"): 170.0,
+}
+
+# §4 micro-benchmark network statistics.
+MICRO_NET_STATS = {
+    "out_of_order_1l": (0.0, 0.02),  # "almost no out-of-order delivery"
+    "out_of_order_2l": (0.10, 0.50),  # "at most 45-50 %"
+    "extra_frames_max": 0.055,  # "at most 5.5 %"
+    "dropped_share_of_extra": 0.20,  # "about 20 % of the extra traffic"
+}
+
+# Figure 3(a): speedups at 16 nodes over a single 1-GbE link.
+FIG3_SPEEDUP_BANDS = {
+    "barnes": (12.0, 15.0),
+    "raytrace": (11.0, 15.0),
+    "water-nsq": (12.0, 15.0),
+    "lu": (5.0, 9.0),
+    "water-spatial": (5.0, 9.5),
+    "water-spatial-fl": (5.0, 9.5),
+    "fft": (0.5, 4.0),
+    "radix": (0.5, 4.0),
+}
+
+# Figure 3(c,d,e): network-level statistics for the 1L-1G application runs.
+FIG3_NET_STATS = {
+    "protocol_cpu_max": 0.11,  # "does not exceed 11 %"
+    "protocol_cpu_typical": 0.04,  # "for most applications ... up to 4 %"
+    "interrupt_fraction": (0.10, 0.40),  # "10-40 % of the frames"
+    "extra_traffic_max": 0.15,  # "at most 15 % of the application traffic"
+    "out_of_order_max": 0.02,  # "almost always close to zero"
+}
+
+# Figure 4: speedups at 4 nodes over a single 10-GbE link.
+FIG4_SPEEDUP_BANDS = {
+    "barnes": (2.8, 4.2),
+    "raytrace": (2.8, 4.2),
+    "water-nsq": (2.8, 4.2),
+    "lu": (2.0, 4.2),
+    "water-spatial": (2.0, 4.2),
+    "water-spatial-fl": (2.0, 4.2),
+    "fft": (0.3, 2.5),
+    "radix": (0.3, 2.5),
+}
+
+# Figure 5(b-e): two-rail (in-order) application network statistics.
+FIG5_NET_STATS = {
+    "protocol_cpu_max": 0.12,
+    "out_of_order": (0.10, 0.55),  # "between 10-50 % ... not in order"
+    "mean_reorder_distance": (1.0, 12.0),  # "re-ordering every 2-10 frames"
+    "extra_traffic_max_high": 0.10,  # raytrace, water-nsq
+    "extra_traffic_max_rest": 0.04,
+    "interrupt_fraction": (0.05, 0.40),  # "10-35 % of frames"
+}

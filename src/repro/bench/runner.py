@@ -1,0 +1,80 @@
+"""Experiment runners shared by the benchmark files.
+
+Each function runs a complete experiment (sweep or application set) and
+returns structured results.  Results are cached per-process keyed on the
+experiment parameters, so the three Figure-2 benchmarks (latency,
+throughput, CPU) share one sweep, and pytest-benchmark's timing hooks can
+re-enter without re-simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional, Sequence
+
+from typing import TYPE_CHECKING
+
+from .cluster import make_cluster
+from .micro import MicroResult, run_micro
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from ..apps import AppResult
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "micro_sweep",
+    "app_run",
+    "app_speedup_curve",
+    "MICRO_BENCHMARKS",
+]
+
+MICRO_BENCHMARKS = ("ping-pong", "one-way", "two-way")
+
+DEFAULT_SIZES = (64, 256, 1024, 4096, 16384, 65536, 262144, 1048576)
+
+
+@lru_cache(maxsize=None)
+def micro_sweep(
+    config: str,
+    benchmark: str,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    seed: int = 0,
+) -> tuple[MicroResult, ...]:
+    """One micro-benchmark across transfer sizes on a fresh cluster each."""
+    results = []
+    for size in sizes:
+        cluster = make_cluster(config, nodes=2, seed=seed)
+        iterations = 10 if size >= 262144 else None
+        results.append(
+            run_micro(benchmark, cluster, size, iterations=iterations)
+        )
+    return tuple(results)
+
+
+@lru_cache(maxsize=None)
+def app_run(
+    app_name: str,
+    config: str = "1L-1G",
+    nodes: int = 16,
+    seed: int = 0,
+) -> "AppResult":
+    """One application run (cached: Figures 3/5/6 share 1-node baselines)."""
+    from ..apps import APP_CLASSES, run_app
+
+    app = APP_CLASSES[app_name]()
+    return run_app(app, config=config, nodes=nodes, seed=seed)
+
+
+def app_speedup_curve(
+    app_name: str,
+    config: str = "1L-1G",
+    node_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    seed: int = 0,
+) -> dict[int, float]:
+    """Speedups versus the 1-node run, per node count."""
+    base = app_run(app_name, config, 1, seed)
+    return {
+        n: app_run(app_name, config, n, seed).speedup_vs(base)
+        for n in node_counts
+    }

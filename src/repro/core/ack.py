@@ -1,0 +1,78 @@
+"""Acknowledgement policy (paper §2.4).
+
+MultiEdge minimises explicit acknowledgement traffic three ways:
+
+* **piggy-backing** — every outgoing sequenced frame carries the current
+  cumulative ack, and doing so counts as having acknowledged;
+* **delayed acks** — an explicit ACK is deferred until ``ack_every_frames``
+  data frames have arrived unacknowledged, or until ``ack_delay_ns`` passes
+  (whichever first);
+* **NACK scheduling** — a sequence gap does not trigger an immediate NACK
+  (with multiple links, gaps are usually just striping reorder and fill in
+  microseconds); instead a NACK timer is armed, and fires only if the gap
+  persists for ``nack_delay_ns``.
+
+The policy object is pure decision logic; the connection owns the timers
+and the actual frame transmission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AckPolicyParams", "AckPolicy"]
+
+
+@dataclass
+class AckPolicyParams:
+    """Tunables for the acknowledgement policy."""
+
+    ack_every_frames: int = 32  # explicit ack after this many unacked frames
+    ack_delay_ns: int = 400_000  # ... or this much time
+    nack_delay_ns: int = 400_000  # gap must persist this long to NACK
+    renack_interval_ns: int = 600_000  # per-seq NACK repetition floor
+    nack_max_entries: int = 64  # missing seqs per NACK frame
+
+    def __post_init__(self) -> None:
+        if self.ack_every_frames < 1:
+            raise ValueError("ack_every_frames must be >= 1")
+        if self.ack_delay_ns < 0 or self.nack_delay_ns < 0:
+            raise ValueError("delays must be >= 0")
+
+
+class AckPolicy:
+    """Decides when an explicit acknowledgement is owed."""
+
+    def __init__(self, params: AckPolicyParams | None = None) -> None:
+        self.params = params or AckPolicyParams()
+        self._unacked_frames = 0
+        self._last_acked_value = 0
+
+    @property
+    def frames_pending_ack(self) -> int:
+        return self._unacked_frames
+
+    def on_data_frame(self) -> bool:
+        """Register a received data frame; True if an explicit ack is due now."""
+        self._unacked_frames += 1
+        return self._unacked_frames >= self.params.ack_every_frames
+
+    def needs_delayed_ack(self, current_cum_ack: int) -> bool:
+        """Whether the delayed-ack timer, on firing, should emit an ack."""
+        return (
+            self._unacked_frames > 0 or current_cum_ack != self._last_acked_value
+        )
+
+    def on_ack_emitted(self, cum_ack: int, piggybacked: bool) -> None:
+        """Reset state after ack information left this node.
+
+        Both explicit acks and piggy-backed acks count (paper: piggy-backing
+        reduces the number of explicit acknowledgements).
+        """
+        self._unacked_frames = 0
+        self._last_acked_value = cum_ack
+
+    def on_duplicate(self) -> bool:
+        """Duplicates mean the peer is retransmitting: re-ack immediately so
+        it can advance (its ack may have been lost)."""
+        return True

@@ -1,0 +1,748 @@
+"""Connection state machine: the heart of the MultiEdge protocol.
+
+One :class:`Connection` object lives at each endpoint of a point-to-point
+channel.  It owns:
+
+**Send side**
+  * operation submission: RDMA writes fragment into frame descriptors; RDMA
+    reads become a single READ_REQ frame,
+  * the sliding :class:`~repro.core.window.SendWindow`,
+  * the *pump*: the CPU-charged loop that moves frame descriptors into NIC
+    TX rings, choosing a rail per frame via the striping policy, assigning
+    sequence numbers in actual transmission order, and piggy-backing the
+    current cumulative ack on every frame,
+  * forward-fence enforcement (later operations are withheld until the
+    fenced operation is fully acknowledged),
+  * NACK-driven selective retransmission and the coarse timeout.
+
+**Receive side**
+  * duplicate filtering and out-of-order accounting
+    (:class:`~repro.core.window.ReceiveTracker`),
+  * delivery ordering / backward fences
+    (:class:`~repro.core.ordering.OrderingManager`),
+  * applying payloads into the node's virtual memory (the paper's
+    copy-to-user step, charged to the protocol CPU),
+  * servicing remote reads (READ_REQ spawns a READ_RESP send operation),
+  * the delayed-ack and NACK timers,
+  * completion notifications delivered to the user-level library.
+
+Everything that costs CPU is expressed as a generator to be driven from a
+simulation process (the application's syscall context or the kernel
+protocol thread), so the CPU-utilization figures fall out of the model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Generator, Optional
+
+from ..ethernet import Frame, FrameType, OpFlags, max_payload_per_frame
+from ..host.cpu import Cpu
+from ..sim import Event, Simulator, Store, Timer
+from .ack import AckPolicy, AckPolicyParams
+from .messages import (
+    SCATTER_RECORD_HEADER,
+    decode_scatter_records,
+    encode_scatter_records,
+    make_ack_frame,
+    make_data_frame,
+    make_nack_frame,
+    make_read_req_frame,
+)
+from .ordering import FenceDelivery, InOrderDelivery, RxOpState
+from .retransmit import RetransmitParams, RetransmitTimer
+from .stats import ConnectionStats
+from .striping import make_striping_policy
+from .window import ReceiveTracker, SendWindow
+
+__all__ = ["ProtocolParams", "Operation", "Notification", "Connection"]
+
+
+@dataclass
+class ProtocolParams:
+    """Compile-time protocol configuration (paper: fixed window size etc.)."""
+
+    window_frames: int = 256
+    ack: AckPolicyParams = field(default_factory=AckPolicyParams)
+    retransmit: RetransmitParams = field(default_factory=RetransmitParams)
+    # 2L-1G mode: buffer out-of-order frames, apply strictly in seq order.
+    in_order_delivery: bool = False
+    striping: str = "round_robin"
+    # Frames whose CPU cost is charged per pump batch.
+    pump_batch: int = 8
+    # Cost of reclaiming a batch of TX descriptors.
+    tx_complete_ns: int = 400
+
+    def __post_init__(self) -> None:
+        if self.window_frames < 1:
+            raise ValueError("window_frames must be >= 1")
+        if self.pump_batch < 1:
+            raise ValueError("pump_batch must be >= 1")
+
+
+class Operation:
+    """Sender-side record of one RDMA operation."""
+
+    WRITE = "write"
+    READ = "read"
+    READ_RESP = "read_resp"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        op_id: int,
+        op_seq: int,
+        kind: str,
+        flags: int,
+        local_address: int,
+        remote_address: int,
+        length: int,
+    ) -> None:
+        self.op_id = op_id
+        self.op_seq = op_seq
+        self.kind = kind
+        self.flags = flags
+        self.local_address = local_address
+        self.remote_address = remote_address
+        self.length = length
+        self.frames_total = 0
+        self.frames_acked = 0
+        self.bytes_received = 0  # reads: response bytes applied locally
+        self.submitted_at = sim.now
+        self.completed_at: Optional[int] = None
+        self.done = Event(sim)
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def forward_fenced(self) -> bool:
+        return bool(self.flags & OpFlags.FENCE_FORWARD)
+
+    def __repr__(self) -> str:
+        state = "done" if self.completed else "pending"
+        return f"Op({self.kind} id={self.op_id} len={self.length} {state})"
+
+
+@dataclass
+class Notification:
+    """Completion notification delivered at the target (paper §2.2)."""
+
+    op_id: int
+    src_node: int
+    address: int
+    length: int
+    delivered_at: int
+
+
+@dataclass
+class _FrameDesc:
+    """A not-yet-transmitted fragment of an operation."""
+
+    op: Operation
+    payload: Optional[bytes]
+    remote_address: int
+    is_read_req: bool = False
+    read_dest_address: int = 0  # READ_REQ: requester's local buffer
+
+
+class Connection:
+    """One endpoint of a MultiEdge connection."""
+
+    def __init__(
+        self,
+        protocol: "Any",  # MultiEdgeProtocol; typed loosely to avoid a cycle
+        conn_id: int,
+        peer_node_id: int,
+        peer_macs: list[int],
+        params: Optional[ProtocolParams] = None,
+    ) -> None:
+        self.protocol = protocol
+        self.node = protocol.node
+        self.sim: Simulator = protocol.node.sim
+        self.conn_id = conn_id
+        self.peer_node_id = peer_node_id
+        self.peer_macs = list(peer_macs)
+        self.params = params or ProtocolParams()
+        rails = min(len(self.peer_macs), len(self.node.nics))
+        self.nics = self.node.nics[:rails]
+        self.stats = ConnectionStats()
+        # Set by graceful teardown (core.handshake); a closed connection
+        # rejects new operations and ignores stray data frames.
+        self.closed = False
+        self.frames_after_close = 0
+
+        # ---- send state ----
+        self.window = SendWindow(self.params.window_frames)
+        self.unsent: Deque[_FrameDesc] = deque()
+        self._retransmit_q: Deque[int] = deque()  # seqs to retransmit
+        self._frame_op: dict[int, Operation] = {}  # seq -> op
+        self.striping = make_striping_policy(self.params.striping, self.nics)
+        self._next_op_seq = 0
+        self._forward_fences: Deque[Operation] = deque()
+        self._pending_reads: dict[int, Operation] = {}  # op_id -> read op
+        self.retransmit_timer = RetransmitTimer(
+            self.sim,
+            self.params.retransmit,
+            on_timeout=self._on_coarse_timeout,
+        )
+
+        # ---- receive state ----
+        self.tracker = ReceiveTracker()
+        self.ordering = (
+            InOrderDelivery() if self.params.in_order_delivery else FenceDelivery()
+        )
+        self.ack_policy = AckPolicy(self.params.ack)
+        self._delayed_ack_timer: Optional[Timer] = None
+        self._nack_timer: Optional[Timer] = None
+        # Sequences that were already missing when the NACK timer was armed;
+        # only gaps that *persist* across the whole delay are NACKed, so
+        # transient striping reorder never triggers spurious retransmits.
+        self._nack_snapshot: set[int] = set()
+        self._nacked_at: dict[int, int] = {}
+        self.notifications: Store = Store(self.sim)
+
+    # ------------------------------------------------------------------
+    # Operation submission (runs in the caller's CPU context)
+    # ------------------------------------------------------------------
+
+    def submit_write(
+        self,
+        local_address: int,
+        remote_address: int,
+        length: int,
+        flags: int = 0,
+    ) -> Operation:
+        """Fragment an RDMA write into frame descriptors and queue them.
+
+        Pure bookkeeping — the caller charges CPU and then drives
+        :meth:`pump`.  The data is copied out of user memory here (the
+        paper's user→kernel copy; cost charged by the API layer).
+        """
+        if length <= 0:
+            raise ValueError("RDMA operation length must be positive")
+        self._check_open()
+        op = Operation(
+            self.sim,
+            op_id=self.protocol.allocate_op_id(),
+            op_seq=self._next_op_seq,
+            kind=Operation.WRITE,
+            flags=flags,
+            local_address=local_address,
+            remote_address=remote_address,
+            length=length,
+        )
+        self._next_op_seq += 1
+        data = self.node.memory.read(local_address, length)
+        mtu = max_payload_per_frame()
+        offset = 0
+        while offset < length:
+            chunk = data[offset : offset + mtu]
+            self.unsent.append(
+                _FrameDesc(
+                    op=op,
+                    payload=chunk,
+                    remote_address=remote_address + offset,
+                )
+            )
+            op.frames_total += 1
+            offset += len(chunk)
+        if op.forward_fenced:
+            self._forward_fences.append(op)
+        self.stats.ops_submitted += 1
+        return op
+
+    def submit_scatter(
+        self,
+        segments: list[tuple[int, bytes]],
+        flags: int = 0,
+    ) -> Operation:
+        """Queue a scatter write: many small (address, data) segments in
+        one operation.
+
+        This is the wire format of a software-DSM *diff*: rather than one
+        operation per changed byte-run, every run of a flush rides in one
+        operation whose frames pack ``u64 addr + u32 len + data`` records.
+        Records never split across frames.
+        """
+        if not segments:
+            raise ValueError("scatter operation needs at least one segment")
+        self._check_open()
+        mtu = max_payload_per_frame()
+        op = Operation(
+            self.sim,
+            op_id=self.protocol.allocate_op_id(),
+            op_seq=self._next_op_seq,
+            kind=Operation.WRITE,
+            flags=flags | OpFlags.SCATTER,
+            local_address=0,
+            remote_address=segments[0][0],
+            length=0,
+        )
+        self._next_op_seq += 1
+        frame_segs: list[tuple[int, bytes]] = []
+        frame_bytes = 0
+
+        def emit() -> None:
+            nonlocal frame_segs, frame_bytes
+            payload = encode_scatter_records(frame_segs)
+            self.unsent.append(
+                _FrameDesc(op=op, payload=payload, remote_address=segments[0][0])
+            )
+            op.frames_total += 1
+            op.length += len(payload)
+            frame_segs, frame_bytes = [], 0
+
+        for addr, data in segments:
+            offset = 0
+            while offset < len(data):
+                chunk = data[offset : offset + (mtu - SCATTER_RECORD_HEADER)]
+                need = SCATTER_RECORD_HEADER + len(chunk)
+                if frame_bytes + need > mtu and frame_segs:
+                    emit()
+                frame_segs.append((addr + offset, chunk))
+                frame_bytes += need
+                offset += len(chunk)
+        if frame_segs:
+            emit()
+        if op.forward_fenced:
+            self._forward_fences.append(op)
+        self.stats.ops_submitted += 1
+        return op
+
+    def submit_read(
+        self,
+        local_address: int,
+        remote_address: int,
+        length: int,
+        flags: int = 0,
+    ) -> Operation:
+        """Queue an RDMA read: one READ_REQ frame; completion when all
+        response bytes have been applied locally."""
+        if length <= 0:
+            raise ValueError("RDMA operation length must be positive")
+        self._check_open()
+        op = Operation(
+            self.sim,
+            op_id=self.protocol.allocate_op_id(),
+            op_seq=self._next_op_seq,
+            kind=Operation.READ,
+            flags=flags,
+            local_address=local_address,
+            remote_address=remote_address,
+            length=length,
+        )
+        self._next_op_seq += 1
+        op.frames_total = 1
+        self.unsent.append(
+            _FrameDesc(
+                op=op,
+                payload=None,
+                remote_address=remote_address,
+                is_read_req=True,
+                read_dest_address=local_address,
+            )
+        )
+        self._pending_reads[op.op_id] = op
+        if op.forward_fenced:
+            self._forward_fences.append(op)
+        self.stats.ops_submitted += 1
+        return op
+
+    def _submit_read_response(self, rx_op: RxOpState, req_frame: Frame) -> None:
+        """Responder side: turn an applied READ_REQ into a data send."""
+        length = req_frame.header.op_length
+        source = req_frame.header.remote_address
+        dest = req_frame.control  # requester's local buffer address
+        op = Operation(
+            self.sim,
+            op_id=req_frame.header.op_id,  # keep the requester's id
+            op_seq=self._next_op_seq,
+            kind=Operation.READ_RESP,
+            flags=0,
+            local_address=source,
+            remote_address=int(dest),
+            length=length,
+        )
+        self._next_op_seq += 1
+        data = self.node.memory.read(source, length)
+        mtu = max_payload_per_frame()
+        offset = 0
+        while offset < length:
+            chunk = data[offset : offset + mtu]
+            self.unsent.append(
+                _FrameDesc(op=op, payload=chunk, remote_address=op.remote_address + offset)
+            )
+            op.frames_total += 1
+            offset += len(chunk)
+
+    # ------------------------------------------------------------------
+    # The pump: move descriptors into NIC rings (CPU-charged)
+    # ------------------------------------------------------------------
+
+    def has_send_work(self) -> bool:
+        return bool(self._retransmit_q) or (
+            bool(self.unsent) and self.window.can_send and not self._fence_blocked()
+        )
+
+    def _fence_blocked(self) -> bool:
+        if not self._forward_fences or not self.unsent:
+            return False
+        return self.unsent[0].op.op_seq > self._forward_fences[0].op_seq
+
+    def pump(self, cpu: Cpu, tag: str = "protocol.send") -> Generator[Any, Any, None]:
+        """Transmit as much as the window, fences, and TX rings allow."""
+        per_frame = self.node.params.per_frame_send_ns
+        while True:
+            n = self._sendable_now()
+            if n == 0:
+                return
+            batch = min(n, self.params.pump_batch)
+            yield from cpu.run(batch * per_frame, tag)
+            # Transmit atomically (no yields) — recheck state after the wait.
+            sent = 0
+            while sent < batch:
+                if not self._send_one():
+                    return
+                sent += 1
+
+    def _sendable_now(self) -> int:
+        n = len(self._retransmit_q)
+        if self.unsent and not self._fence_blocked():
+            n += min(len(self.unsent), self.window.available)
+        return n
+
+    def _send_one(self) -> bool:
+        """Push one frame to a NIC.  False when nothing can go right now."""
+        # Retransmissions first: they unblock the peer.
+        while self._retransmit_q:
+            seq = self._retransmit_q[0]
+            rec = self.window.inflight.get(seq)
+            if rec is None:  # acked in the meantime
+                self._retransmit_q.popleft()
+                continue
+            rail = self.striping.next_rail(rec.frame.wire_bytes)
+            if rail is None:
+                return False
+            self._retransmit_q.popleft()
+            rec.frame.dst_mac = self.peer_macs[rail]
+            rec.frame.src_mac = self.nics[rail].mac
+            rec.frame.header.ack = self.tracker.cum_ack
+            rec.last_sent_at = self.sim.now
+            self.nics[rail].transmit(rec.frame)
+            self.stats.retransmitted_frames += 1
+            self.retransmit_timer.arm()
+            return True
+        if not self.unsent or not self.window.can_send or self._fence_blocked():
+            return False
+        next_bytes = (
+            len(self.unsent[0].payload) if self.unsent[0].payload is not None else 64
+        )
+        rail = self.striping.next_rail(next_bytes)
+        if rail is None:
+            return False
+        desc = self.unsent.popleft()
+        seq = self.window.allocate_seq()
+        cum_ack = self.tracker.cum_ack
+        if desc.is_read_req:
+            frame = make_read_req_frame(
+                src_mac=self.nics[rail].mac,
+                dst_mac=self.peer_macs[rail],
+                connection_id=self.conn_id,
+                seq=seq,
+                ack=cum_ack,
+                op_id=desc.op.op_id,
+                op_seq=desc.op.op_seq,
+                op_flags=desc.op.flags,
+                remote_address=desc.remote_address,
+                op_length=desc.op.length,
+            )
+            frame.control = desc.read_dest_address
+            frame.header.payload_length = 8  # dest address rides in payload
+        else:
+            frame = make_data_frame(
+                src_mac=self.nics[rail].mac,
+                dst_mac=self.peer_macs[rail],
+                connection_id=self.conn_id,
+                seq=seq,
+                ack=cum_ack,
+                op_id=desc.op.op_id,
+                op_seq=desc.op.op_seq,
+                op_flags=desc.op.flags,
+                remote_address=desc.remote_address,
+                op_length=desc.op.length,
+                payload=desc.payload,
+                read_response=desc.op.kind == Operation.READ_RESP,
+            )
+        self.window.register(frame, desc.op.op_id, self.sim.now)
+        self._frame_op[seq] = desc.op
+        self.nics[rail].transmit(frame)
+        self.stats.data_frames_sent += 1
+        self.stats.data_bytes_sent += frame.header.payload_length
+        self.stats.piggybacked_acks += 1
+        self.ack_policy.on_ack_emitted(cum_ack, piggybacked=True)
+        self._cancel_delayed_ack()
+        self.retransmit_timer.arm()
+        return True
+
+    # ------------------------------------------------------------------
+    # Receive path (runs on the protocol kernel thread)
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise RuntimeError(
+                f"connection {self.conn_id} is closed; no new operations"
+            )
+
+    def handle_rx_frame(self, frame: Frame, cpu: Cpu) -> Generator[Any, Any, None]:
+        h = frame.header
+        if self.closed and h.frame_type in (
+            FrameType.DATA, FrameType.READ_REQ, FrameType.READ_RESP
+        ):
+            self.frames_after_close += 1
+            return
+        params = self.node.params
+        yield from cpu.run(params.per_frame_recv_ns, "protocol.recv")
+
+        if h.frame_type == FrameType.ACK:
+            self.stats.explicit_acks_received += 1
+            self._process_ack_value(h.ack)
+        elif h.frame_type == FrameType.NACK:
+            self.stats.nacks_received += 1
+            self._process_ack_value(h.ack)
+            self._process_nack(frame.control or [])
+        else:
+            # Sequenced frame: piggy-backed ack first, then delivery.
+            self._process_ack_value(h.ack)
+            yield from self._handle_sequenced(frame, cpu)
+
+        # Acks may have opened the window; new work may be queued.
+        yield from self.pump(cpu)
+
+    def _handle_sequenced(self, frame: Frame, cpu: Cpu) -> Generator[Any, Any, None]:
+        h = frame.header
+        expected_before = self.tracker.expected
+        is_new, in_order = self.tracker.on_frame(h.seq)
+        if not is_new:
+            self.stats.duplicate_frames += 1
+            # The peer is retransmitting: our ack state probably got lost.
+            self._send_explicit_ack()
+            return
+        self.stats.data_frames_received += 1
+        self.stats.data_bytes_received += h.payload_length
+        if not in_order:
+            self.stats.out_of_order_frames += 1
+            self.stats.record_reorder(abs(h.seq - expected_before))
+
+        # Gap management: arm/cancel the NACK timer.
+        if self.tracker.has_gap():
+            self._arm_nack_timer()
+        else:
+            self._cancel_nack_timer()
+
+        apply_now, completed = self.ordering.on_frame(frame)
+        if not apply_now:
+            self.stats.record_buffered(self.ordering.buffered)
+        for f in apply_now:
+            yield from self._apply_frame(f, cpu)
+        for rx_op in completed:
+            self._on_rx_op_complete(rx_op)
+
+        if self.ack_policy.on_data_frame():
+            self._send_explicit_ack()
+        else:
+            self._arm_delayed_ack()
+
+    def _apply_frame(self, frame: Frame, cpu: Cpu) -> Generator[Any, Any, None]:
+        h = frame.header
+        if h.frame_type == FrameType.READ_REQ:
+            # Perform the read: snapshot memory into a response operation.
+            rx_op = self.ordering.ops[h.op_seq]
+            cost = self.node.params.memcpy_ns(h.op_length)
+            yield from cpu.run(cost, "protocol.recv")
+            self._submit_read_response(rx_op, frame)
+            return
+        if frame.payload is not None and h.payload_length > 0:
+            cost = self.node.params.memcpy_ns(h.payload_length)
+            yield from cpu.run(cost, "protocol.recv")
+            if h.flags & OpFlags.SCATTER:
+                for addr, data in decode_scatter_records(frame.payload):
+                    self.node.memory.write(addr, data)
+            else:
+                self.node.memory.write(h.remote_address, frame.payload)
+        if h.frame_type == FrameType.READ_RESP:
+            op = self._pending_reads.get(h.op_id)
+            if op is not None:
+                op.bytes_received += h.payload_length
+                if op.bytes_received >= op.length:
+                    del self._pending_reads[h.op_id]
+                    self._complete_local_op(op)
+
+    def _on_rx_op_complete(self, rx_op: RxOpState) -> None:
+        rx_op.src_node = self.peer_node_id
+        if rx_op.wants_notification() and not rx_op.is_read_request:
+            self.notifications.put(
+                Notification(
+                    op_id=rx_op.op_id,
+                    src_node=self.peer_node_id,
+                    address=rx_op.base_address,
+                    length=rx_op.length,
+                    delivered_at=self.sim.now,
+                )
+            )
+            self.stats.notifications_delivered += 1
+
+    # ------------------------------------------------------------------
+    # Ack / NACK machinery
+    # ------------------------------------------------------------------
+
+    def _process_ack_value(self, cum_ack: int) -> None:
+        freed = self.window.on_ack(cum_ack)
+        if not freed:
+            return
+        self.retransmit_timer.on_progress()
+        if self.window.inflight:
+            self.retransmit_timer.arm()
+        for rec in freed:
+            seq = rec.frame.header.seq
+            op = self._frame_op.pop(seq, None)
+            if op is None:
+                continue
+            op.frames_acked += 1
+            if op.frames_acked >= op.frames_total and not op.completed:
+                if op.kind == Operation.READ:
+                    # Reads complete when response data lands, not on ack.
+                    continue
+                self._complete_local_op(op)
+
+    def _complete_local_op(self, op: Operation) -> None:
+        op.completed_at = self.sim.now
+        self.stats.ops_completed += 1
+        if self._forward_fences and self._forward_fences[0] is op:
+            self._forward_fences.popleft()
+        elif op in self._forward_fences:
+            self._forward_fences.remove(op)
+        op.done.trigger(op)
+
+    def _process_nack(self, missing: list[int]) -> None:
+        queued = set(self._retransmit_q)
+        holdoff = self.params.retransmit.nack_holdoff_ns
+        now = self.sim.now
+        for seq in missing:
+            rec = self.window.inflight.get(seq)
+            if rec is None or seq in queued:
+                continue
+            # Recently (re)transmitted frames are most likely still queued
+            # in a busy rail, not lost: retransmitting them would only add
+            # duplicates on an already-congested path.
+            if now - rec.last_sent_at < holdoff:
+                continue
+            rec.retransmits += 1
+            self._retransmit_q.append(seq)
+            self.stats.nack_retransmits += 1
+
+    def _send_explicit_ack(self) -> None:
+        rail = self.striping.next_rail(84)
+        if rail is None:
+            return  # rings full; the delayed-ack timer will try again
+        cum = self.tracker.cum_ack
+        frame = make_ack_frame(
+            self.nics[rail].mac, self.peer_macs[rail], self.conn_id, cum
+        )
+        self.nics[rail].transmit(frame)
+        self.stats.explicit_acks_sent += 1
+        self.ack_policy.on_ack_emitted(cum, piggybacked=False)
+        self._cancel_delayed_ack()
+
+    def _send_nack(self) -> None:
+        still_missing = set(self.tracker.missing(self.params.ack.nack_max_entries))
+        now = self.sim.now
+        renack = self.params.ack.renack_interval_ns
+        missing = sorted(
+            seq
+            for seq in (still_missing & self._nack_snapshot)
+            if now - self._nacked_at.get(seq, -(1 << 60)) >= renack
+        )
+        if not missing:
+            return
+        rail = self.striping.next_rail(84)
+        if rail is None:
+            return
+        frame = make_nack_frame(
+            self.nics[rail].mac,
+            self.peer_macs[rail],
+            self.conn_id,
+            self.tracker.cum_ack,
+            missing,
+        )
+        self.nics[rail].transmit(frame)
+        self.stats.nacks_sent += 1
+        for seq in missing:
+            self._nacked_at[seq] = now
+        expected = self.tracker.expected
+        if len(self._nacked_at) > 4 * self.params.ack.nack_max_entries:
+            self._nacked_at = {
+                s: t for s, t in self._nacked_at.items() if s >= expected
+            }
+
+    # ------------------------------------------------------------------
+    # Timers (callbacks spawn small CPU-charged processes)
+    # ------------------------------------------------------------------
+
+    def _arm_delayed_ack(self) -> None:
+        if self._delayed_ack_timer is None or not self._delayed_ack_timer.active:
+            self._delayed_ack_timer = self.sim.timer(
+                self.params.ack.ack_delay_ns, self._delayed_ack_fired
+            )
+
+    def _cancel_delayed_ack(self) -> None:
+        if self._delayed_ack_timer is not None:
+            self._delayed_ack_timer.cancel()
+            self._delayed_ack_timer = None
+
+    def _delayed_ack_fired(self) -> None:
+        self._delayed_ack_timer = None
+        if self.ack_policy.needs_delayed_ack(self.tracker.cum_ack):
+            self.sim.process(self._timer_work(self._send_explicit_ack))
+
+    def _arm_nack_timer(self) -> None:
+        if self._nack_timer is None or not self._nack_timer.active:
+            self._nack_snapshot = set(
+                self.tracker.missing(self.params.ack.nack_max_entries)
+            )
+            self._nack_timer = self.sim.timer(
+                self.params.ack.nack_delay_ns, self._nack_fired
+            )
+
+    def _cancel_nack_timer(self) -> None:
+        if self._nack_timer is not None:
+            self._nack_timer.cancel()
+            self._nack_timer = None
+
+    def _nack_fired(self) -> None:
+        self._nack_timer = None
+        if self.tracker.has_gap():
+            self.sim.process(self._timer_work(self._send_nack))
+            self._arm_nack_timer()  # keep nagging until the gap closes
+
+    def _on_coarse_timeout(self) -> None:
+        rec = self.window.last_unacked()
+        if rec is None:
+            return
+        self.stats.timeout_retransmits += 1
+        if rec.frame.header.seq not in self._retransmit_q:
+            self._retransmit_q.append(rec.frame.header.seq)
+        self.sim.process(self._timer_pump())
+        self.retransmit_timer.arm()
+
+    def _timer_work(self, action) -> Generator[Any, Any, None]:
+        """Run a small control-frame action on the protocol CPU."""
+        cpu = self.node.protocol_cpu
+        yield from cpu.run(self.node.params.per_frame_send_ns, "protocol.send")
+        action()
+
+    def _timer_pump(self) -> Generator[Any, Any, None]:
+        yield from self.pump(self.node.protocol_cpu)

@@ -1,0 +1,175 @@
+"""Frame construction helpers.
+
+Thin factory layer between the protocol state machines and the Ethernet
+substrate: every frame the protocol emits is built here, so header
+conventions live in exactly one place.
+
+Conventions:
+
+* only DATA / READ_REQ / READ_RESP frames consume sequence numbers and are
+  flow-controlled; ACK / NACK / SYN / SYN_ACK / FIN are unsequenced control
+  frames,
+* every sequenced frame piggy-backs the sender's current cumulative ack in
+  its ``ack`` field (paper §2.4: "all data frames carry positive
+  acknowledgement information"),
+* a NACK carries the list of missing sequence numbers in ``control`` and
+  accounts for their wire size via ``payload_length``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Sequence
+
+from ..ethernet import Frame, FrameType, MultiEdgeHeader
+
+__all__ = [
+    "SCATTER_RECORD_HEADER",
+    "encode_scatter_records",
+    "decode_scatter_records",
+    "make_data_frame",
+    "make_read_req_frame",
+    "make_ack_frame",
+    "make_nack_frame",
+    "make_syn_frame",
+    "make_syn_ack_frame",
+    "SEQUENCED_TYPES",
+]
+
+# Frame kinds that consume sequence numbers and are covered by the window.
+SEQUENCED_TYPES = frozenset(
+    {FrameType.DATA, FrameType.READ_REQ, FrameType.READ_RESP}
+)
+
+# Bytes per missing-sequence entry in a NACK payload.
+NACK_ENTRY_BYTES = 4
+
+# Scatter-write record framing: u64 address + u32 length, then data.
+SCATTER_RECORD_HEADER = 12
+_SCATTER_HDR = struct.Struct("!QI")
+
+
+def encode_scatter_records(segments: "Sequence[tuple[int, bytes]]") -> bytes:
+    """Pack (remote_address, data) segments into wire bytes."""
+    out = bytearray()
+    for addr, data in segments:
+        out += _SCATTER_HDR.pack(addr, len(data))
+        out += data
+    return bytes(out)
+
+
+def decode_scatter_records(payload: bytes) -> list[tuple[int, bytes]]:
+    """Unpack scatter records from one frame's payload."""
+    records = []
+    off = 0
+    while off < len(payload):
+        addr, length = _SCATTER_HDR.unpack_from(payload, off)
+        off += SCATTER_RECORD_HEADER
+        records.append((addr, payload[off : off + length]))
+        off += length
+    return records
+
+
+def make_data_frame(
+    src_mac: int,
+    dst_mac: int,
+    connection_id: int,
+    seq: int,
+    ack: int,
+    op_id: int,
+    op_seq: int,
+    op_flags: int,
+    remote_address: int,
+    op_length: int,
+    payload: bytes,
+    read_response: bool = False,
+) -> Frame:
+    """A payload-carrying frame of an RDMA write (or read response)."""
+    header = MultiEdgeHeader(
+        frame_type=FrameType.READ_RESP if read_response else FrameType.DATA,
+        flags=op_flags,
+        connection_id=connection_id,
+        seq=seq,
+        ack=ack,
+        op_id=op_id,
+        op_seq=op_seq,
+        remote_address=remote_address,
+        op_length=op_length,
+        payload_length=len(payload),
+    )
+    return Frame(src_mac=src_mac, dst_mac=dst_mac, header=header, payload=payload)
+
+
+def make_read_req_frame(
+    src_mac: int,
+    dst_mac: int,
+    connection_id: int,
+    seq: int,
+    ack: int,
+    op_id: int,
+    op_seq: int,
+    op_flags: int,
+    remote_address: int,
+    op_length: int,
+) -> Frame:
+    """A remote-read request: asks the peer to send ``op_length`` bytes
+    starting at ``remote_address`` back as READ_RESP frames."""
+    header = MultiEdgeHeader(
+        frame_type=FrameType.READ_REQ,
+        flags=op_flags,
+        connection_id=connection_id,
+        seq=seq,
+        ack=ack,
+        op_id=op_id,
+        op_seq=op_seq,
+        remote_address=remote_address,
+        op_length=op_length,
+        payload_length=0,
+    )
+    return Frame(src_mac=src_mac, dst_mac=dst_mac, header=header)
+
+
+def make_ack_frame(
+    src_mac: int, dst_mac: int, connection_id: int, ack: int
+) -> Frame:
+    """Explicit positive acknowledgement up to (not including) ``ack``."""
+    header = MultiEdgeHeader(
+        frame_type=FrameType.ACK, connection_id=connection_id, ack=ack
+    )
+    return Frame(src_mac=src_mac, dst_mac=dst_mac, header=header)
+
+
+def make_nack_frame(
+    src_mac: int,
+    dst_mac: int,
+    connection_id: int,
+    ack: int,
+    missing: Sequence[int],
+) -> Frame:
+    """Negative acknowledgement: cumulative ack plus missing sequences."""
+    missing = list(missing)
+    header = MultiEdgeHeader(
+        frame_type=FrameType.NACK,
+        connection_id=connection_id,
+        ack=ack,
+        payload_length=len(missing) * NACK_ENTRY_BYTES,
+    )
+    return Frame(src_mac=src_mac, dst_mac=dst_mac, header=header, control=missing)
+
+
+def make_syn_frame(
+    src_mac: int, dst_mac: int, connection_id: int, node_id: int
+) -> Frame:
+    header = MultiEdgeHeader(
+        frame_type=FrameType.SYN, connection_id=connection_id, op_id=node_id
+    )
+    return Frame(src_mac=src_mac, dst_mac=dst_mac, header=header)
+
+
+def make_syn_ack_frame(
+    src_mac: int, dst_mac: int, connection_id: int, node_id: int
+) -> Frame:
+    header = MultiEdgeHeader(
+        frame_type=FrameType.SYN_ACK, connection_id=connection_id, op_id=node_id
+    )
+    return Frame(src_mac=src_mac, dst_mac=dst_mac, header=header)

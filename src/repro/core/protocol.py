@@ -1,0 +1,76 @@
+"""Per-node protocol layer: the kernel driver client.
+
+:class:`MultiEdgeProtocol` is the kernel-level MultiEdge layer of one node
+(paper Figure 1, middle box).  It owns every connection terminating at the
+node, dispatches received frames to them, reacts to TX-ring completions by
+re-pumping stalled connections, and provides the op-id namespace.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..ethernet import Frame, Nic
+from ..host import Node
+from .connection import Connection, ProtocolParams
+from .stats import ConnectionStats, merge_stats
+
+__all__ = ["MultiEdgeProtocol"]
+
+
+class MultiEdgeProtocol:
+    """The MultiEdge kernel protocol layer of one node."""
+
+    def __init__(self, node: Node, params: Optional[ProtocolParams] = None) -> None:
+        self.node = node
+        self.params = params or ProtocolParams()
+        self.connections: dict[int, Connection] = {}
+        self._next_op_id = 1
+        self.unknown_connection_frames = 0
+        node.kernel.attach_client(self)
+
+    # -- connection management -------------------------------------------
+
+    def create_connection(
+        self,
+        conn_id: int,
+        peer_node_id: int,
+        peer_macs: list[int],
+        params: Optional[ProtocolParams] = None,
+    ) -> Connection:
+        """Instantiate the local endpoint of a connection."""
+        if conn_id in self.connections:
+            raise ValueError(f"connection id {conn_id} already exists")
+        conn = Connection(
+            self, conn_id, peer_node_id, peer_macs, params or self.params
+        )
+        self.connections[conn_id] = conn
+        return conn
+
+    def allocate_op_id(self) -> int:
+        op_id = self._next_op_id
+        self._next_op_id += 1
+        return op_id
+
+    # -- DriverClient interface (called from the kernel thread) -----------
+
+    def handle_frame(self, frame: Frame, cpu) -> Generator[Any, Any, None]:
+        conn = self.connections.get(frame.header.connection_id)
+        if conn is None:
+            self.unknown_connection_frames += 1
+            return
+        yield from conn.handle_rx_frame(frame, cpu)
+
+    def handle_tx_completions(
+        self, nic: Nic, count: int, cpu
+    ) -> Generator[Any, Any, None]:
+        yield from cpu.run(self.params.tx_complete_ns, "protocol.send")
+        # Freed descriptors may unblock stalled connections.
+        for conn in self.connections.values():
+            if conn.has_send_work():
+                yield from conn.pump(cpu)
+
+    # -- aggregate statistics ----------------------------------------------
+
+    def total_stats(self) -> ConnectionStats:
+        return merge_stats([c.stats for c in self.connections.values()])

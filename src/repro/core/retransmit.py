@@ -1,0 +1,94 @@
+"""Retransmission policy (paper §2.4).
+
+Two recovery mechanisms:
+
+* **NACK-driven**: the receiver reports persistent sequence gaps; the sender
+  retransmits exactly the missing frames (selective repeat).
+* **Coarse timeout**: if no positive-ack progress happens for
+  ``coarse_timeout_ns`` while frames are in flight, the sender retransmits
+  the *last transmitted* frame — enough to provoke the receiver into
+  re-sending its cumulative ack (covering the lost-ack case) or a NACK
+  (covering lost data), exactly as described in the paper's corner-case
+  handling.  Repeated timeouts back off exponentially up to a cap.
+
+The :class:`RetransmitTimer` is policy + timer management; the connection
+supplies the actual send hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..sim import Simulator, Timer
+
+__all__ = ["RetransmitParams", "RetransmitTimer"]
+
+
+@dataclass
+class RetransmitParams:
+    coarse_timeout_ns: int = 3_000_000  # 3 ms
+    nack_holdoff_ns: int = 500_000  # ignore NACKs for recently-sent frames
+    backoff_factor: int = 2
+    max_timeout_ns: int = 48_000_000
+    max_retries: int = 20  # after this many silent timeouts, declare dead
+
+    def __post_init__(self) -> None:
+        if self.coarse_timeout_ns <= 0:
+            raise ValueError("coarse_timeout_ns must be positive")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+
+
+class RetransmitTimer:
+    """Coarse-grain retransmission timer for one connection direction."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: RetransmitParams,
+        on_timeout: Callable[[], None],
+        on_dead: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.params = params
+        self.on_timeout = on_timeout
+        self.on_dead = on_dead
+        self._timer: Optional[Timer] = None
+        self._current_timeout = params.coarse_timeout_ns
+        self._consecutive = 0
+        self.timeouts_fired = 0
+
+    @property
+    def armed(self) -> bool:
+        return self._timer is not None and self._timer.active
+
+    def arm(self) -> None:
+        """Start (or restart) the timer if not already running."""
+        if not self.armed:
+            self._timer = self.sim.timer(self._current_timeout, self._fire)
+
+    def on_progress(self) -> None:
+        """Positive ack progress: reset backoff and restart the clock."""
+        self._consecutive = 0
+        self._current_timeout = self.params.coarse_timeout_ns
+        self.cancel()
+
+    def cancel(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _fire(self) -> None:
+        self._timer = None
+        self.timeouts_fired += 1
+        self._consecutive += 1
+        if self._consecutive > self.params.max_retries:
+            if self.on_dead is not None:
+                self.on_dead()
+            return
+        self._current_timeout = min(
+            self._current_timeout * self.params.backoff_factor,
+            self.params.max_timeout_ns,
+        )
+        self.on_timeout()

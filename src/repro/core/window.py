@@ -1,0 +1,161 @@
+"""Sliding-window flow control (paper §2.4).
+
+The window operates on an Ethernet-frame basis with a fixed size chosen at
+construction ("the size of the window is set at compile time").  Two state
+machines live here:
+
+* :class:`SendWindow` — tracks in-flight (sent, unacknowledged) frames,
+  admits new transmissions while fewer than ``size`` frames are in flight,
+  frees state on cumulative acks, and hands back frames for NACK- or
+  timeout-driven retransmission.
+* :class:`ReceiveTracker` — tracks the next expected sequence number and the
+  set of out-of-order arrivals beyond it, yielding the cumulative ack value,
+  duplicate detection, gap lists for NACKs, and the out-of-order statistics
+  the paper analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ethernet import Frame
+
+__all__ = ["SendWindow", "ReceiveTracker", "InflightFrame"]
+
+DEFAULT_WINDOW_FRAMES = 256
+
+
+@dataclass
+class InflightFrame:
+    """Book-keeping for one unacknowledged frame."""
+
+    frame: Frame
+    op_id: int
+    first_sent_at: int
+    last_sent_at: int = 0
+    retransmits: int = 0
+
+
+class SendWindow:
+    """Sender half of the sliding window."""
+
+    def __init__(self, size: int = DEFAULT_WINDOW_FRAMES) -> None:
+        if size < 1:
+            raise ValueError("window size must be >= 1")
+        self.size = size
+        self.next_seq = 0
+        # seq -> InflightFrame; dict preserves insertion (= seq) order.
+        self.inflight: dict[int, InflightFrame] = {}
+
+    @property
+    def in_flight_count(self) -> int:
+        return len(self.inflight)
+
+    @property
+    def available(self) -> int:
+        """How many new frames may enter the network right now."""
+        return self.size - len(self.inflight)
+
+    @property
+    def can_send(self) -> bool:
+        return len(self.inflight) < self.size
+
+    def allocate_seq(self) -> int:
+        """Claim the next sequence number (caller must then register)."""
+        seq = self.next_seq
+        self.next_seq += 1
+        return seq
+
+    def register(self, frame: Frame, op_id: int, now: int) -> None:
+        """Record a sequenced frame as in flight."""
+        if not self.can_send:
+            raise RuntimeError("window overflow: register() with a full window")
+        self.inflight[frame.header.seq] = InflightFrame(
+            frame=frame, op_id=op_id, first_sent_at=now, last_sent_at=now
+        )
+
+    def on_ack(self, cum_ack: int) -> list[InflightFrame]:
+        """Free every in-flight frame with ``seq < cum_ack``.
+
+        Returns the freed records (the connection completes ops from them).
+        Stale acks free nothing.
+        """
+        freed = [rec for seq, rec in self.inflight.items() if seq < cum_ack]
+        for rec in freed:
+            del self.inflight[rec.frame.header.seq]
+        return freed
+
+    def get_for_retransmit(self, seq: int) -> Optional[InflightFrame]:
+        """Look up an in-flight frame for retransmission (None if acked)."""
+        rec = self.inflight.get(seq)
+        if rec is not None:
+            rec.retransmits += 1
+        return rec
+
+    def last_unacked(self) -> Optional[InflightFrame]:
+        """The most recently sent unacknowledged frame (coarse timeout path).
+
+        The paper retransmits "the last transmitted Ethernet frame" when the
+        coarse timer fires, to provoke the receiver into (re)acknowledging.
+        """
+        if not self.inflight:
+            return None
+        last_seq = max(self.inflight)
+        rec = self.inflight[last_seq]
+        rec.retransmits += 1
+        return rec
+
+    def oldest_unacked(self) -> Optional[InflightFrame]:
+        if not self.inflight:
+            return None
+        return self.inflight[min(self.inflight)]
+
+
+class ReceiveTracker:
+    """Receiver half: cumulative ack state plus out-of-order bookkeeping."""
+
+    def __init__(self) -> None:
+        self.expected = 0  # next in-order sequence number
+        self._beyond: set[int] = set()  # received seqs > expected
+
+    @property
+    def cum_ack(self) -> int:
+        """Cumulative ack value: every seq < cum_ack has been received."""
+        return self.expected
+
+    @property
+    def pending_beyond(self) -> int:
+        return len(self._beyond)
+
+    def on_frame(self, seq: int) -> tuple[bool, bool]:
+        """Record arrival of sequenced frame ``seq``.
+
+        Returns ``(is_new, in_order)``:
+        ``is_new`` False means duplicate (already received);
+        ``in_order`` True means the frame had ``seq == expected`` on arrival.
+        """
+        if seq < self.expected or seq in self._beyond:
+            return False, False
+        if seq == self.expected:
+            self.expected += 1
+            # Absorb any previously buffered successors.
+            while self.expected in self._beyond:
+                self._beyond.remove(self.expected)
+                self.expected += 1
+            return True, True
+        self._beyond.add(seq)
+        return True, False
+
+    def missing(self, limit: int = 64) -> list[int]:
+        """Sequence numbers in the current gap window, oldest first."""
+        if not self._beyond:
+            return []
+        top = max(self._beyond)
+        gaps = [
+            s for s in range(self.expected, top) if s not in self._beyond
+        ]
+        return gaps[:limit]
+
+    def has_gap(self) -> bool:
+        return bool(self._beyond)

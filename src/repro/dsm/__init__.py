@@ -1,0 +1,27 @@
+"""GeNIMA-style software distributed shared memory over MultiEdge."""
+
+from .messages import MSG_SLOT_BYTES, Message, MsgType, decode_notices, encode_notices
+from .region import PAGE_SIZE, HomePolicy, PageState, PageTable, SharedRegion
+from .runtime import DsmNode, DsmRunResult, DsmRuntime
+from .stats import Breakdown, DsmNodeStats
+from .sync import BarrierManagerState, LockManagerState
+
+__all__ = [
+    "DsmRuntime",
+    "DsmNode",
+    "DsmRunResult",
+    "SharedRegion",
+    "PageTable",
+    "PageState",
+    "HomePolicy",
+    "PAGE_SIZE",
+    "Message",
+    "MsgType",
+    "MSG_SLOT_BYTES",
+    "encode_notices",
+    "decode_notices",
+    "DsmNodeStats",
+    "Breakdown",
+    "LockManagerState",
+    "BarrierManagerState",
+]

@@ -1,0 +1,109 @@
+"""Lock and barrier manager state machines.
+
+Synchronization is centralized per object: lock ``k`` is managed by node
+``k % N``; barrier ``b`` by node ``b % N``.  Managers are pure state
+machines — the DSM node drives them from its message dispatcher and sends
+whatever grants/releases they emit.  Write notices accumulate with the
+manager and propagate to acquirers (locks) or to everyone (barriers),
+implementing release-consistent invalidation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+__all__ = ["LockManagerState", "BarrierManagerState"]
+
+Notice = tuple[int, int]  # (region_id, page_index)
+
+
+@dataclass
+class LockManagerState:
+    """Manager-side state of one lock."""
+
+    lock_id: int
+    holder: Optional[int] = None
+    waiting: Deque[int] = field(default_factory=deque)
+    # Notices each node must apply before it may next hold the lock.
+    pending_for: dict[int, list[Notice]] = field(default_factory=dict)
+    # Accumulates chunked notice uploads from the current releaser.
+    partial: list[Notice] = field(default_factory=list)
+
+    def request(self, node: int) -> Optional[int]:
+        """Node asks for the lock; returns the node to grant to (or None)."""
+        if self.holder is None:
+            self.holder = node
+            return node
+        self.waiting.append(node)
+        return None
+
+    def release(self, node: int, notices: list[Notice], n_nodes: int) -> Optional[int]:
+        """Holder releases with its write notices; returns next grantee."""
+        if self.holder != node:
+            raise RuntimeError(
+                f"lock {self.lock_id}: release by {node} but holder is {self.holder}"
+            )
+        all_notices = self.partial + notices
+        self.partial = []
+        if all_notices:
+            for other in range(n_nodes):
+                if other != node:
+                    self.pending_for.setdefault(other, []).extend(all_notices)
+        self.holder = None
+        if self.waiting:
+            self.holder = self.waiting.popleft()
+            return self.holder
+        return None
+
+    def add_partial(self, notices: list[Notice]) -> None:
+        self.partial.extend(notices)
+
+    def take_pending(self, node: int) -> list[Notice]:
+        """Notices to ship with a grant to ``node`` (cleared afterwards)."""
+        return self.pending_for.pop(node, [])
+
+
+@dataclass
+class BarrierManagerState:
+    """Manager-side state of one barrier."""
+
+    barrier_id: int
+    epoch: int = 0
+    arrived: set[int] = field(default_factory=set)
+    notices_from: dict[int, list[Notice]] = field(default_factory=dict)
+    partial: dict[int, list[Notice]] = field(default_factory=dict)
+
+    def add_partial(self, node: int, notices: list[Notice]) -> None:
+        self.partial.setdefault(node, []).extend(notices)
+
+    def arrive(
+        self, node: int, notices: list[Notice], n_nodes: int
+    ) -> Optional[dict[int, list[Notice]]]:
+        """Final arrival chunk from ``node``.
+
+        When the last node arrives, returns ``{node: notices_to_apply}``
+        (everyone else's write notices) and advances the epoch; otherwise
+        returns None.
+        """
+        if node in self.arrived:
+            raise RuntimeError(
+                f"barrier {self.barrier_id}: node {node} arrived twice in "
+                f"epoch {self.epoch}"
+            )
+        self.arrived.add(node)
+        self.notices_from[node] = self.partial.pop(node, []) + notices
+        if len(self.arrived) < n_nodes:
+            return None
+        releases: dict[int, list[Notice]] = {}
+        for target in self.arrived:
+            merged: list[Notice] = []
+            for src, src_notices in self.notices_from.items():
+                if src != target:
+                    merged.extend(src_notices)
+            releases[target] = merged
+        self.arrived = set()
+        self.notices_from = {}
+        self.epoch += 1
+        return releases

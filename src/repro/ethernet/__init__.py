@@ -1,0 +1,53 @@
+"""Ethernet substrate: frames, links, NICs, and switches."""
+
+from .frame import (
+    ETH_CRC_BYTES,
+    ETH_HEADER_BYTES,
+    ETH_IFG_BYTES,
+    ETH_MIN_PAYLOAD,
+    ETH_MTU,
+    ETH_OVERHEAD_BYTES,
+    ETH_PREAMBLE_BYTES,
+    MULTIEDGE_ETHERTYPE,
+    MULTIEDGE_HEADER_BYTES,
+    Frame,
+    FrameType,
+    MultiEdgeHeader,
+    OpFlags,
+    max_payload_per_frame,
+    wire_time_ns,
+)
+from .link import Cable, Link, LinkParams
+from .nic import Nic, NicCounters, NicParams
+from .switch import Switch, SwitchParams, SwitchPort
+from .topology import connect_back_to_back, connect_nic_to_switch, mac_address
+
+__all__ = [
+    "Frame",
+    "FrameType",
+    "MultiEdgeHeader",
+    "OpFlags",
+    "max_payload_per_frame",
+    "wire_time_ns",
+    "Link",
+    "Cable",
+    "LinkParams",
+    "Nic",
+    "NicParams",
+    "NicCounters",
+    "Switch",
+    "SwitchParams",
+    "SwitchPort",
+    "connect_nic_to_switch",
+    "connect_back_to_back",
+    "mac_address",
+    "ETH_MTU",
+    "ETH_MIN_PAYLOAD",
+    "ETH_HEADER_BYTES",
+    "ETH_CRC_BYTES",
+    "ETH_PREAMBLE_BYTES",
+    "ETH_IFG_BYTES",
+    "ETH_OVERHEAD_BYTES",
+    "MULTIEDGE_HEADER_BYTES",
+    "MULTIEDGE_ETHERTYPE",
+]

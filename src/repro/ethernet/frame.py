@@ -1,0 +1,225 @@
+"""Ethernet frame model.
+
+Frames carry a real 14-byte Ethernet header plus a typed MultiEdge payload
+header.  The simulator passes :class:`Frame` objects around (cheap), but the
+headers have byte-exact ``encode``/``decode`` methods so the wire format is
+concrete and testable — the protocol header layout below is what a kernel
+implementation would put after the Ethernet header.
+
+Wire-time accounting includes the parts of the Ethernet physical layer that
+consume link time but carry no payload: preamble + SFD (8 B), frame check
+sequence (4 B), and the inter-frame gap (12 B).  The paper's testbed switches
+do not support jumbo frames, so the MTU is the classic 1500 bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Optional
+
+__all__ = [
+    "ETH_HEADER_BYTES",
+    "ETH_CRC_BYTES",
+    "ETH_PREAMBLE_BYTES",
+    "ETH_IFG_BYTES",
+    "ETH_MTU",
+    "ETH_MIN_PAYLOAD",
+    "ETH_OVERHEAD_BYTES",
+    "MULTIEDGE_ETHERTYPE",
+    "MULTIEDGE_HEADER_BYTES",
+    "FrameType",
+    "OpFlags",
+    "MultiEdgeHeader",
+    "Frame",
+    "wire_time_ns",
+    "max_payload_per_frame",
+]
+
+ETH_HEADER_BYTES = 14
+ETH_CRC_BYTES = 4
+ETH_PREAMBLE_BYTES = 8
+ETH_IFG_BYTES = 12
+ETH_MTU = 1500  # no jumbo frames (switch firmware limitation in the paper)
+ETH_MIN_PAYLOAD = 46
+# Per-frame wire bytes that are pure overhead (never payload).
+ETH_OVERHEAD_BYTES = (
+    ETH_HEADER_BYTES + ETH_CRC_BYTES + ETH_PREAMBLE_BYTES + ETH_IFG_BYTES
+)
+
+# Experimental ethertype range; MultiEdge frames are raw Ethernet.
+MULTIEDGE_ETHERTYPE = 0x88B5
+
+
+class FrameType(IntEnum):
+    """MultiEdge frame kinds."""
+
+    DATA = 0  # RDMA write payload / RDMA read response payload
+    ACK = 1  # explicit positive acknowledgement
+    NACK = 2  # negative acknowledgement listing missing sequences
+    READ_REQ = 3  # remote read request
+    SYN = 4  # connection setup request
+    SYN_ACK = 5  # connection setup acknowledgement
+    FIN = 6  # connection teardown
+    READ_RESP = 7  # remote read response payload (sequenced like DATA)
+
+
+class OpFlags(IntEnum):
+    """Bit-field flags for RDMA operations (paper §2.2, §2.5)."""
+
+    NONE = 0
+    NOTIFY = 1 << 0  # deliver a notification at the target on completion
+    FENCE_BACKWARD = 1 << 1  # perform only after all previously issued ops
+    FENCE_FORWARD = 1 << 2  # subsequent ops wait until this one is performed
+    SCATTER = 1 << 3  # payload is a list of (address, length, data) records
+
+
+# MultiEdge protocol header, directly after the Ethernet header:
+#   u8  type            frame kind (FrameType)
+#   u8  flags           OpFlags for the carried operation
+#   u16 connection_id
+#   u32 seq             frame sequence number (per connection, per direction)
+#   u32 ack             piggy-backed cumulative acknowledgement
+#   u32 op_id           operation this frame belongs to
+#   u32 op_seq          operation issue sequence (fence ordering)
+#   u64 remote_address  target virtual address for this frame's payload
+#   u32 op_length       total operation length in bytes
+#   u16 payload_length  payload bytes in this frame
+#   u16 _pad
+_HEADER_STRUCT = struct.Struct("!BBHIIIIQIHH")
+MULTIEDGE_HEADER_BYTES = _HEADER_STRUCT.size  # 36 bytes
+
+
+@dataclass
+class MultiEdgeHeader:
+    """Typed view of the MultiEdge wire header."""
+
+    frame_type: FrameType = FrameType.DATA
+    flags: int = 0
+    connection_id: int = 0
+    seq: int = 0
+    ack: int = 0
+    op_id: int = 0
+    op_seq: int = 0
+    remote_address: int = 0
+    op_length: int = 0
+    payload_length: int = 0
+
+    def encode(self) -> bytes:
+        """Serialise to the 32-byte wire representation."""
+        return _HEADER_STRUCT.pack(
+            int(self.frame_type),
+            self.flags,
+            self.connection_id,
+            self.seq,
+            self.ack,
+            self.op_id,
+            self.op_seq,
+            self.remote_address,
+            self.op_length,
+            self.payload_length,
+            0,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "MultiEdgeHeader":
+        """Parse the 32-byte wire representation."""
+        (
+            frame_type,
+            flags,
+            connection_id,
+            seq,
+            ack,
+            op_id,
+            op_seq,
+            remote_address,
+            op_length,
+            payload_length,
+            _pad,
+        ) = _HEADER_STRUCT.unpack(data[:MULTIEDGE_HEADER_BYTES])
+        return cls(
+            frame_type=FrameType(frame_type),
+            flags=flags,
+            connection_id=connection_id,
+            seq=seq,
+            ack=ack,
+            op_id=op_id,
+            op_seq=op_seq,
+            remote_address=remote_address,
+            op_length=op_length,
+            payload_length=payload_length,
+        )
+
+
+def max_payload_per_frame() -> int:
+    """Data bytes a single frame can carry under the 1500-byte MTU."""
+    return ETH_MTU - MULTIEDGE_HEADER_BYTES
+
+
+_frame_counter = 0
+
+
+@dataclass
+class Frame:
+    """A frame in flight.
+
+    ``payload`` optionally carries the real bytes being moved (RDMA data);
+    control frames carry ``None`` and a synthetic ``payload_length`` through
+    the header.  ``uid`` identifies the physical frame instance (a
+    retransmission is a new Frame with the same header ``seq``).
+    """
+
+    src_mac: int
+    dst_mac: int
+    header: MultiEdgeHeader
+    payload: Optional[bytes] = None
+    corrupted: bool = False
+    uid: int = field(default=0)
+    # Extra control payload (e.g. NACK missing-sequence list); accounted in
+    # wire size via header.payload_length, kept typed for the simulator.
+    control: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        global _frame_counter
+        _frame_counter += 1
+        self.uid = _frame_counter
+        if self.payload is not None:
+            if len(self.payload) != self.header.payload_length:
+                raise ValueError(
+                    f"payload length {len(self.payload)} != header "
+                    f"payload_length {self.header.payload_length}"
+                )
+        if self.header.payload_length > max_payload_per_frame():
+            raise ValueError(
+                f"payload {self.header.payload_length} exceeds MTU budget "
+                f"{max_payload_per_frame()}"
+            )
+
+    @property
+    def mac_payload_bytes(self) -> int:
+        """Bytes between Ethernet header and CRC (padded to the minimum)."""
+        return max(
+            MULTIEDGE_HEADER_BYTES + self.header.payload_length, ETH_MIN_PAYLOAD
+        )
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total link-time bytes: payload + all physical-layer overhead."""
+        return self.mac_payload_bytes + ETH_OVERHEAD_BYTES
+
+    @property
+    def is_data(self) -> bool:
+        return self.header.frame_type == FrameType.DATA
+
+    def __repr__(self) -> str:  # compact, for traces
+        h = self.header
+        return (
+            f"Frame({h.frame_type.name} conn={h.connection_id} seq={h.seq} "
+            f"ack={h.ack} op={h.op_id} len={h.payload_length})"
+        )
+
+
+def wire_time_ns(wire_bytes: int, speed_bps: float) -> int:
+    """Serialisation time of ``wire_bytes`` on a ``speed_bps`` link."""
+    return int(round(wire_bytes * 8 * 1e9 / speed_bps))

@@ -1,0 +1,152 @@
+"""Physical link model.
+
+A :class:`Link` is one *direction* of a cable.  The transmitting device owns
+serialisation timing (it holds the line while clocking a frame out); the link
+models what the cable itself contributes:
+
+* propagation delay,
+* bit errors (per-bit error rate; a corrupted frame is delivered with its
+  ``corrupted`` flag set so the receiving NIC can drop it on CRC check),
+* transient failures (scheduled outage windows during which frames are lost),
+* strict FIFO delivery (Ethernet links never reorder).
+
+:class:`Cable` bundles the two directions and attaches them to two devices.
+Devices implement the tiny :class:`LinkEndpoint` protocol: an ``on_frame``
+callback and a ``mac`` address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from ..sim import RngRegistry, Simulator
+from .frame import Frame
+
+__all__ = ["LinkParams", "Link", "Cable", "LinkEndpoint"]
+
+
+class LinkEndpoint(Protocol):
+    """Anything a link can deliver frames to (a NIC or a switch port)."""
+
+    mac: int
+
+    def on_frame(self, frame: Frame) -> None:
+        """Called when a frame's last bit arrives."""
+
+
+@dataclass
+class LinkParams:
+    """Cable characteristics."""
+
+    speed_bps: float = 1e9
+    propagation_ns: int = 500  # a few hundred ns of cable + PHY
+    bit_error_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.speed_bps <= 0:
+            raise ValueError("speed_bps must be positive")
+        if self.propagation_ns < 0:
+            raise ValueError("propagation_ns must be >= 0")
+        if not 0.0 <= self.bit_error_rate < 1.0:
+            raise ValueError("bit_error_rate must be in [0, 1)")
+
+
+class Link:
+    """One direction of a cable.
+
+    ``deliver(frame)`` is called by the transmitting device at the moment the
+    frame's last bit leaves the device; the link schedules ``on_frame`` at the
+    receiver after the propagation delay, enforcing FIFO arrival.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: LinkParams,
+        rng: Optional[RngRegistry] = None,
+        name: str = "link",
+    ) -> None:
+        self.sim = sim
+        self.params = params
+        self.rng = rng or RngRegistry(0)
+        self.name = name
+        self.receiver: Optional[LinkEndpoint] = None
+        self._last_arrival = 0
+        self._failed_until = -1
+        # Counters.
+        self.frames_delivered = 0
+        self.frames_corrupted = 0
+        self.frames_lost_outage = 0
+        self.bytes_delivered = 0
+
+    def attach_receiver(self, endpoint: LinkEndpoint) -> None:
+        self.receiver = endpoint
+
+    def fail_for(self, duration_ns: int) -> None:
+        """Start a transient outage: frames sent before ``now + duration`` die."""
+        self._failed_until = max(self._failed_until, self.sim.now + duration_ns)
+
+    @property
+    def failed(self) -> bool:
+        return self.sim.now < self._failed_until
+
+    def deliver(self, frame: Frame) -> None:
+        """Accept a fully serialised frame and deliver it after propagation."""
+        if self.receiver is None:
+            raise RuntimeError(f"{self.name}: no receiver attached")
+        if self.sim.now < self._failed_until:
+            self.frames_lost_outage += 1
+            return
+        if self.params.bit_error_rate > 0.0:
+            p_corrupt = 1.0 - (1.0 - self.params.bit_error_rate) ** (
+                frame.wire_bytes * 8
+            )
+            if self.rng.bernoulli(f"{self.name}.ber", p_corrupt):
+                frame.corrupted = True
+                self.frames_corrupted += 1
+        arrival = self.sim.now + self.params.propagation_ns
+        # FIFO: a link can never reorder.  (Guards against misuse where a
+        # device forgets serialisation ordering.)
+        arrival = max(arrival, self._last_arrival)
+        self._last_arrival = arrival
+        self.frames_delivered += 1
+        self.bytes_delivered += frame.wire_bytes
+        self.sim.at(arrival, self.receiver.on_frame, frame)
+
+
+class Cable:
+    """A full-duplex cable between two endpoints.
+
+    After construction, ``cable.link_from(a)`` is the direction whose
+    transmitter is ``a``.  Devices normally keep the reference handed to them
+    by the topology builder instead of calling this.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: LinkEndpoint,
+        b: LinkEndpoint,
+        params: LinkParams,
+        rng: Optional[RngRegistry] = None,
+        name: str = "cable",
+    ) -> None:
+        self.a = a
+        self.b = b
+        self.ab = Link(sim, params, rng, name=f"{name}.ab")
+        self.ba = Link(sim, params, rng, name=f"{name}.ba")
+        self.ab.attach_receiver(b)
+        self.ba.attach_receiver(a)
+
+    def link_from(self, endpoint: LinkEndpoint) -> Link:
+        if endpoint is self.a:
+            return self.ab
+        if endpoint is self.b:
+            return self.ba
+        raise ValueError("endpoint is not attached to this cable")
+
+    def fail_for(self, duration_ns: int) -> None:
+        """Fail both directions (transient cable outage)."""
+        self.ab.fail_for(duration_ns)
+        self.ba.fail_for(duration_ns)

@@ -1,0 +1,245 @@
+"""Network interface controller model.
+
+The NIC sits between the host protocol layer and a link.  It models the
+behaviour that shapes the paper's results:
+
+* bounded TX/RX descriptor rings (back-pressure and overflow drops),
+* per-frame DMA latency,
+* hardware interrupt coalescing (an interrupt fires after
+  ``coalesce_frames`` arrivals or ``coalesce_timeout_ns``, whichever first),
+* a host-controlled interrupt-enable flag, used by the MultiEdge polling
+  scheme (paper §2.6),
+* optionally *unmaskable* send-completion interrupts — the paper reports the
+  Myricom 10-GbE NIC "does not allow us to disable the interrupts on the
+  send path", which is part of why one-way tops out at ~88 % of line rate,
+* a small uniform TX scheduling jitter, which is what makes two independent
+  1-GbE rails deliver 45–50 % of frames out of order under round-robin
+  striping.
+
+The protocol layer talks to the NIC through :meth:`transmit`, :meth:`poll`,
+and the ``interrupts_enabled`` flag; the NIC calls the driver's ``on_irq``
+when an interrupt fires.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+
+from ..sim import RngRegistry, Simulator, Timer
+from .frame import Frame, wire_time_ns
+from .link import Link
+
+__all__ = ["NicParams", "Nic", "NicCounters"]
+
+
+@dataclass
+class NicParams:
+    """Hardware characteristics of a NIC."""
+
+    speed_bps: float = 1e9
+    tx_ring_frames: int = 256
+    rx_ring_frames: int = 256
+    dma_ns: int = 600  # per-frame DMA engine latency
+    tx_jitter_ns: int = 800  # uniform [0, jitter) scheduling noise per frame
+    coalesce_frames: int = 8  # RX interrupt after this many frames ...
+    coalesce_timeout_ns: int = 5_000  # ... or this much time, whichever first
+    tx_completion_batch: int = 8  # completions per send-side interrupt
+    unmaskable_tx_irq: bool = False  # Myricom 10-GbE behaviour
+
+    def __post_init__(self) -> None:
+        if self.speed_bps <= 0:
+            raise ValueError("speed_bps must be positive")
+        if self.tx_ring_frames < 1 or self.rx_ring_frames < 1:
+            raise ValueError("ring sizes must be >= 1")
+        if self.coalesce_frames < 1:
+            raise ValueError("coalesce_frames must be >= 1")
+
+
+@dataclass
+class NicCounters:
+    """Observable NIC statistics."""
+
+    tx_frames: int = 0
+    tx_bytes: int = 0
+    rx_frames: int = 0
+    rx_dropped_ring_full: int = 0
+    rx_dropped_crc: int = 0
+    irqs_raised: int = 0
+    tx_irqs_raised: int = 0
+
+
+class Nic:
+    """A simulated Ethernet NIC attached to one link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: NicParams,
+        mac: int,
+        rng: Optional[RngRegistry] = None,
+        name: str = "nic",
+    ) -> None:
+        self.sim = sim
+        self.params = params
+        self.mac = mac
+        self.rng = rng or RngRegistry(0)
+        self.name = name
+        self.counters = NicCounters()
+
+        self.tx_link: Optional[Link] = None
+        # Driver hooks: on_irq runs in "hardware interrupt" context.
+        self.on_irq: Optional[Callable[["Nic"], None]] = None
+
+        self.interrupts_enabled = True
+
+        self._tx_ring_used = 0
+        self._line_free_at = 0
+
+        # Host-visible pending events.
+        self._rx_pending: Deque[Frame] = deque()
+        self._tx_completions = 0
+
+        # RX coalescing state.
+        self._rx_since_irq = 0
+        self._coalesce_timer: Optional[Timer] = None
+        # TX completion interrupt state.
+        self._tx_since_irq = 0
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach_link(self, link: Link) -> None:
+        """Set the outgoing link (the incoming one calls :meth:`on_frame`)."""
+        self.tx_link = link
+
+    # -- transmit path ---------------------------------------------------
+
+    @property
+    def tx_ring_free(self) -> int:
+        return self.params.tx_ring_frames - self._tx_ring_used
+
+    def transmit(self, frame: Frame) -> bool:
+        """Queue a frame for transmission; False if the TX ring is full.
+
+        The TX path pipelines DMA with serialisation: per-frame DMA latency
+        (plus scheduling jitter) delays a frame only while the line is idle
+        (pipeline fill); under back-to-back load the line runs at full rate.
+        """
+        if self._tx_ring_used >= self.params.tx_ring_frames:
+            return False
+        # A (re)transmission is a fresh physical frame: any corruption that
+        # hit a previous copy on the wire does not persist.
+        frame.corrupted = False
+        self._tx_ring_used += 1
+        ready_at = self.sim.now + self.params.dma_ns
+        if self.params.tx_jitter_ns > 0:
+            ready_at += self.rng.uniform_int(
+                f"{self.name}.txjitter", 0, self.params.tx_jitter_ns
+            )
+        begin = max(ready_at, self._line_free_at)
+        tx_time = wire_time_ns(frame.wire_bytes, self.params.speed_bps)
+        self._line_free_at = begin + tx_time
+        self.sim.at(self._line_free_at, self._tx_done, frame)
+        return True
+
+    def _tx_done(self, frame: Frame) -> None:
+        if self.tx_link is None:
+            raise RuntimeError(f"{self.name}: transmit with no link attached")
+        self.tx_link.deliver(frame)
+        self._tx_ring_used -= 1
+        self.counters.tx_frames += 1
+        self.counters.tx_bytes += frame.wire_bytes
+        self._tx_completions += 1
+        self._tx_since_irq += 1
+        if self._tx_since_irq >= self.params.tx_completion_batch:
+            self._tx_since_irq = 0
+            if self.params.unmaskable_tx_irq:
+                # Fires regardless of the interrupt-enable flag.
+                self._raise_irq(tx=True)
+            elif self.interrupts_enabled:
+                self._raise_irq(tx=True)
+        # TX queue drained with completions still unharvested: raise the
+        # queue-empty interrupt so the host reclaims descriptors promptly.
+        if (
+            self._tx_ring_used == 0
+            and self._tx_completions > 0
+            and self._tx_since_irq > 0
+            and (self.interrupts_enabled or self.params.unmaskable_tx_irq)
+        ):
+            self._tx_since_irq = 0
+            self._raise_irq(tx=True)
+
+    # -- receive path ----------------------------------------------------
+
+    def on_frame(self, frame: Frame) -> None:
+        """Link delivery callback: last bit of ``frame`` has arrived."""
+        if frame.corrupted:
+            self.counters.rx_dropped_crc += 1
+            return
+        if len(self._rx_pending) >= self.params.rx_ring_frames:
+            self.counters.rx_dropped_ring_full += 1
+            return
+        # DMA the frame into host memory, then make it host-visible.
+        self.sim.schedule(self.params.dma_ns, self._rx_visible, frame)
+
+    def _rx_visible(self, frame: Frame) -> None:
+        self._rx_pending.append(frame)
+        self.counters.rx_frames += 1
+        self._rx_since_irq += 1
+        if not self.interrupts_enabled:
+            return
+        if self._rx_since_irq >= self.params.coalesce_frames:
+            self._fire_rx_irq()
+        elif self._coalesce_timer is None or not self._coalesce_timer.active:
+            self._coalesce_timer = self.sim.timer(
+                self.params.coalesce_timeout_ns, self._coalesce_expired
+            )
+
+    def _coalesce_expired(self) -> None:
+        if self._rx_since_irq > 0 and self.interrupts_enabled:
+            self._fire_rx_irq()
+
+    def _fire_rx_irq(self) -> None:
+        self._rx_since_irq = 0
+        if self._coalesce_timer is not None:
+            self._coalesce_timer.cancel()
+            self._coalesce_timer = None
+        self._raise_irq(tx=False)
+
+    def _raise_irq(self, tx: bool) -> None:
+        self.counters.irqs_raised += 1
+        if tx:
+            self.counters.tx_irqs_raised += 1
+        if self.on_irq is not None:
+            self.on_irq(self)
+
+    # -- host interface ---------------------------------------------------
+
+    def disable_interrupts(self) -> None:
+        self.interrupts_enabled = False
+
+    def enable_interrupts(self) -> None:
+        """Re-enable interrupts; pending events re-arm coalescing."""
+        self.interrupts_enabled = True
+        if self._rx_since_irq >= self.params.coalesce_frames or (
+            self._rx_since_irq > 0 and self._rx_pending
+        ):
+            # Events arrived while polling was active but before the host
+            # went idle; fire promptly rather than waiting a full timeout.
+            self._fire_rx_irq()
+
+    def poll(self, max_frames: Optional[int] = None) -> tuple[list[Frame], int]:
+        """Harvest pending RX frames and TX completions (host polling)."""
+        n = len(self._rx_pending) if max_frames is None else min(
+            max_frames, len(self._rx_pending)
+        )
+        frames = [self._rx_pending.popleft() for _ in range(n)]
+        completions = self._tx_completions
+        self._tx_completions = 0
+        if not self._rx_pending:
+            self._rx_since_irq = 0
+        return frames, completions
+
+    def has_pending(self) -> bool:
+        return bool(self._rx_pending) or self._tx_completions > 0

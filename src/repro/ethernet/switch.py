@@ -1,0 +1,184 @@
+"""Store-and-forward Ethernet switch model.
+
+The paper's testbed uses D-Link DGS-1024T (1 GbE) and HP ProCurve 6400cl
+(10 GbE) switches — plain learning switches with finite output buffers.  The
+model captures what matters for an *edge-based* protocol study:
+
+* store-and-forward: a frame is forwarded only after full reception,
+* a forwarding-decision latency,
+* MAC learning with flooding for unknown destinations,
+* finite per-output-port queues: congestion (e.g. many-to-one traffic from
+  DSM barriers) overflows them and silently drops frames, which the
+  MultiEdge edge protocol must detect and retransmit,
+* per-port output serialisation at port speed.
+
+The switch core provides *no* ordering, flow control, or reliability — that
+is the whole point of the edge-based design under study.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from ..sim import Simulator
+from .frame import Frame, wire_time_ns
+from .link import Link
+
+__all__ = ["SwitchParams", "Switch", "SwitchPort"]
+
+BROADCAST_MAC = 0xFFFFFFFFFFFF
+
+
+@dataclass
+class SwitchParams:
+    """Switch fabric characteristics.
+
+    ``lossless=True`` models core-assisted flow control (the paper's §6
+    "hybrid approaches that include support from the core"): instead of
+    dropping on output-queue overflow, the fabric backpressures — excess
+    frames wait in an overflow stage (approximating Ethernet PAUSE /
+    credit-based link-level flow control without modelling the PAUSE
+    frames themselves).  The edge protocol then never sees congestion
+    drops; the cost is unbounded fabric buffering and head-of-line
+    queueing, which the statistics expose.
+    """
+
+    ports: int = 24
+    forwarding_latency_ns: int = 1_000
+    output_queue_frames: int = 128
+    lossless: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ports < 2:
+            raise ValueError("a switch needs at least 2 ports")
+        if self.output_queue_frames < 1:
+            raise ValueError("output_queue_frames must be >= 1")
+
+
+class SwitchPort:
+    """One switch port; implements the link-endpoint protocol."""
+
+    # Ports have no MAC of their own; they are transparent.
+    mac = -1
+
+    def __init__(self, switch: "Switch", index: int) -> None:
+        self.switch = switch
+        self.index = index
+        self.tx_link: Optional[Link] = None
+        self.speed_bps: float = 1e9
+        self._queue: Deque[Frame] = deque()
+        self._paused: Deque[Frame] = deque()  # lossless overflow stage
+        self._tx_running = False
+        self.dropped_queue_full = 0
+        self.paused_frames = 0
+        self.peak_queue_depth = 0
+        self.tx_frames = 0
+
+    def attach_link(self, link: Link, speed_bps: float) -> None:
+        self.tx_link = link
+        self.speed_bps = speed_bps
+
+    def on_frame(self, frame: Frame) -> None:
+        self.switch._ingress(self.index, frame)
+
+    # -- egress ----------------------------------------------------------
+
+    def enqueue(self, frame: Frame) -> bool:
+        if len(self._queue) >= self.switch.params.output_queue_frames:
+            if self.switch.params.lossless:
+                # Core-assisted flow control: hold instead of dropping.
+                self._paused.append(frame)
+                self.paused_frames += 1
+                self._note_depth()
+                return True
+            self.dropped_queue_full += 1
+            self.switch.dropped_total += 1
+            return False
+        self._queue.append(frame)
+        self._note_depth()
+        if not self._tx_running:
+            self._tx_running = True
+            self.switch.sim.schedule(0, self._tx_step)
+        return True
+
+    def _note_depth(self) -> None:
+        depth = len(self._queue) + len(self._paused)
+        if depth > self.peak_queue_depth:
+            self.peak_queue_depth = depth
+
+    def _tx_step(self) -> None:
+        if not self._queue:
+            self._tx_running = False
+            return
+        frame = self._queue.popleft()
+        tx_time = wire_time_ns(frame.wire_bytes, self.speed_bps)
+        self.switch.sim.schedule(tx_time, self._tx_done, frame)
+
+    def _tx_done(self, frame: Frame) -> None:
+        if self.tx_link is None:
+            raise RuntimeError(
+                f"switch {self.switch.name} port {self.index}: no link attached"
+            )
+        self.tx_link.deliver(frame)
+        self.tx_frames += 1
+        # Lossless mode: admit a paused frame into the freed slot.
+        if self._paused and (
+            len(self._queue) < self.switch.params.output_queue_frames
+        ):
+            self._queue.append(self._paused.popleft())
+        self._tx_step()
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue) + len(self._paused)
+
+
+class Switch:
+    """A learning, store-and-forward switch."""
+
+    def __init__(
+        self, sim: Simulator, params: SwitchParams, name: str = "switch"
+    ) -> None:
+        self.sim = sim
+        self.params = params
+        self.name = name
+        self.ports = [SwitchPort(self, i) for i in range(params.ports)]
+        self._mac_table: dict[int, int] = {}
+        self.forwarded = 0
+        self.flooded = 0
+        self.dropped_total = 0
+
+    def port(self, index: int) -> SwitchPort:
+        return self.ports[index]
+
+    def learn(self, mac: int, port_index: int) -> None:
+        """Pre-populate the MAC table (topology builders use this)."""
+        self._mac_table[mac] = port_index
+
+    def _ingress(self, port_index: int, frame: Frame) -> None:
+        # Learn the source, then forward after the decision latency.
+        self._mac_table[frame.src_mac] = port_index
+        self.sim.schedule(
+            self.params.forwarding_latency_ns, self._forward, port_index, frame
+        )
+
+    def _forward(self, in_port: int, frame: Frame) -> None:
+        dst_port = self._mac_table.get(frame.dst_mac)
+        if dst_port is not None and frame.dst_mac != BROADCAST_MAC:
+            if dst_port != in_port:
+                self.forwarded += 1
+                self.ports[dst_port].enqueue(frame)
+            # Frames "to" the ingress port are dropped silently, as real
+            # switches do for hairpin traffic without reflection enabled.
+            return
+        # Unknown destination (or broadcast): flood.
+        self.flooded += 1
+        for port in self.ports:
+            if port.index != in_port and port.tx_link is not None:
+                port.enqueue(frame)
+
+    @property
+    def total_queue_depth(self) -> int:
+        return sum(p.queue_depth for p in self.ports)

@@ -1,0 +1,63 @@
+"""Topology wiring helpers.
+
+Connects NICs to switch ports (or NICs back-to-back) with full-duplex
+cables, assigns MAC addresses, and pre-populates switch MAC tables so that
+experiments do not start with a flood storm.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import RngRegistry, Simulator
+from .link import Cable, LinkParams
+from .nic import Nic
+from .switch import Switch, SwitchPort
+
+__all__ = ["connect_nic_to_switch", "connect_back_to_back", "mac_address"]
+
+
+def mac_address(node_id: int, nic_index: int) -> int:
+    """Deterministic, locally administered MAC for (node, rail)."""
+    # 0x02 prefix = locally administered unicast.
+    return (0x02 << 40) | (nic_index << 16) | node_id
+
+
+def connect_nic_to_switch(
+    sim: Simulator,
+    nic: Nic,
+    switch: Switch,
+    port_index: int,
+    link_params: Optional[LinkParams] = None,
+    rng: Optional[RngRegistry] = None,
+) -> Cable:
+    """Cable a NIC to a switch port and teach the switch the NIC's MAC."""
+    params = link_params or LinkParams(speed_bps=nic.params.speed_bps)
+    port: SwitchPort = switch.port(port_index)
+    cable = Cable(
+        sim,
+        nic,
+        port,
+        params,
+        rng,
+        name=f"{nic.name}<->{switch.name}.p{port_index}",
+    )
+    nic.attach_link(cable.link_from(nic))
+    port.attach_link(cable.link_from(port), params.speed_bps)
+    switch.learn(nic.mac, port_index)
+    return cable
+
+
+def connect_back_to_back(
+    sim: Simulator,
+    nic_a: Nic,
+    nic_b: Nic,
+    link_params: Optional[LinkParams] = None,
+    rng: Optional[RngRegistry] = None,
+) -> Cable:
+    """Directly cable two NICs (no switch), as in a two-node testbed."""
+    params = link_params or LinkParams(speed_bps=nic_a.params.speed_bps)
+    cable = Cable(sim, nic_a, nic_b, params, rng, name=f"{nic_a.name}<->{nic_b.name}")
+    nic_a.attach_link(cable.link_from(nic_a))
+    nic_b.attach_link(cable.link_from(nic_b))
+    return cable

@@ -1,0 +1,20 @@
+"""Host model: CPUs, memory, kernel, and node assembly."""
+
+from .cpu import Cpu, CpuAccounting
+from .kernel import DriverClient, Kernel
+from .memory import MemoryFault, VirtualMemory
+from .node import Node
+from .params import HostParams, myri10g_params, tigon3_params
+
+__all__ = [
+    "Cpu",
+    "CpuAccounting",
+    "Kernel",
+    "DriverClient",
+    "VirtualMemory",
+    "MemoryFault",
+    "Node",
+    "HostParams",
+    "tigon3_params",
+    "myri10g_params",
+]

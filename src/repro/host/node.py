@@ -1,0 +1,102 @@
+"""Node assembly: CPUs + memory + NICs + kernel.
+
+A :class:`Node` is one cluster machine.  The paper's nodes have two CPUs and
+run the application on one while dedicating the other to protocol
+processing; the node exposes :attr:`app_cpu` and leaves the last CPU to the
+kernel's protocol thread.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..ethernet import Nic, NicParams, mac_address
+from ..sim import RngRegistry, Simulator
+from .cpu import Cpu, CpuAccounting
+from .kernel import Kernel
+from .memory import VirtualMemory
+from .params import HostParams
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One simulated cluster node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        host_params: Optional[HostParams] = None,
+        nic_params: Optional[Sequence[NicParams]] = None,
+        rng: Optional[RngRegistry] = None,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.params = host_params or HostParams()
+        self.rng = rng or RngRegistry(0)
+        self.name = name or f"node{node_id}"
+
+        self.accounting = CpuAccounting()
+        self.cpus = [
+            Cpu(sim, i, self.accounting, name=f"{self.name}.cpu{i}")
+            for i in range(self.params.cpus)
+        ]
+        self.memory = VirtualMemory()
+
+        nic_param_list = list(nic_params or [NicParams()])
+        self.nics = [
+            Nic(
+                sim,
+                p,
+                mac=mac_address(node_id, rail),
+                rng=self.rng,
+                name=f"{self.name}.nic{rail}",
+            )
+            for rail, p in enumerate(nic_param_list)
+        ]
+        self.kernel = Kernel(
+            sim, self.params, self.cpus, self.nics, name=f"{self.name}.kernel"
+        )
+
+    @property
+    def app_cpu(self) -> Cpu:
+        """The CPU the application thread runs on."""
+        return self.cpus[0]
+
+    @property
+    def protocol_cpu(self) -> Cpu:
+        """The CPU dedicated to protocol processing."""
+        return self.cpus[-1]
+
+    # -- accounting helpers ----------------------------------------------
+
+    def protocol_cpu_time(self, since_epoch: bool = True) -> int:
+        """Nanoseconds of CPU spent in the communication protocol.
+
+        By default counts from the last :meth:`reset_accounting` (the
+        start of the measured interval).
+        """
+        acc = self.accounting
+        return acc.total("protocol", since_epoch) + acc.total(
+            "interrupt", since_epoch
+        )
+
+    def cpu_utilization(self, elapsed: int) -> float:
+        """Summed busy fraction over all CPUs (0..cpus), as the paper plots
+        utilization out of 200 % for two CPUs."""
+        if elapsed <= 0:
+            return 0.0
+        return sum(cpu.utilization(elapsed) for cpu in self.cpus)
+
+    def protocol_utilization(self, elapsed: int) -> float:
+        """Protocol share of total CPU, summed over CPUs (0..cpus)."""
+        if elapsed <= 0:
+            return 0.0
+        return self.protocol_cpu_time() / elapsed
+
+    def reset_accounting(self) -> None:
+        for cpu in self.cpus:
+            cpu.reset_accounting()
+        self.accounting.mark_epoch()

@@ -1,0 +1,18 @@
+"""MPI-style message passing over MultiEdge (second application domain)."""
+
+from .collectives import allreduce, alltoall, barrier, bcast, gather, reduce
+from .endpoint import ANY_SOURCE, ANY_TAG, MpEndpoint, MpMessage, MpWorld
+
+__all__ = [
+    "MpWorld",
+    "MpEndpoint",
+    "MpMessage",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "alltoall",
+]

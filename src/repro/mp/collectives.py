@@ -1,0 +1,158 @@
+"""Collective operations on top of point-to-point message passing.
+
+Standard log-depth algorithms, so collective latency scales the way MPI
+libraries of the paper's era did over GbE:
+
+* :func:`barrier` — dissemination barrier, ⌈log2 P⌉ rounds of pairwise
+  exchange (contrast with the DSM's centralized manager barrier),
+* :func:`bcast` / :func:`reduce` — binomial trees,
+* :func:`allreduce` — reduce to rank 0 then broadcast,
+* :func:`gather` — linear to the root,
+* :func:`alltoall` — P-1 rounds of pairwise exchange (rank ^ round).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+import numpy as np
+
+from .endpoint import MpEndpoint
+
+__all__ = ["barrier", "bcast", "reduce", "allreduce", "gather", "alltoall"]
+
+_BARRIER_TAG = 1 << 20
+_BCAST_TAG = 1 << 21
+_REDUCE_TAG = 1 << 22
+_GATHER_TAG = 1 << 23
+_ALLTOALL_TAG = 1 << 24
+
+
+def barrier(ep: MpEndpoint, tag_round: int = 0) -> Generator[Any, Any, None]:
+    """Dissemination barrier: ⌈log2 P⌉ pairwise rounds."""
+    size, rank = ep.size, ep.rank
+    if size == 1:
+        return
+    round_no = 0
+    distance = 1
+    while distance < size:
+        dest = (rank + distance) % size
+        src = (rank - distance) % size
+        tag = _BARRIER_TAG + (tag_round << 8) + round_no
+        yield from ep.send(dest, b"b", tag=tag)
+        yield from ep.recv(source=src, tag=tag)
+        distance *= 2
+        round_no += 1
+
+
+def bcast(
+    ep: MpEndpoint, data: Optional[bytes], root: int = 0
+) -> Generator[Any, Any, bytes]:
+    """Binomial-tree broadcast; returns the payload on every rank."""
+    size = ep.size
+    if size == 1:
+        return data or b""
+    rel = (ep.rank - root) % size
+    # Receive from parent (unless root).
+    if rel != 0:
+        parent_rel = rel & (rel - 1)  # clear lowest set bit
+        parent = (parent_rel + root) % size
+        msg = yield from ep.recv(source=parent, tag=_BCAST_TAG)
+        data = msg.data
+    assert data is not None
+    # Forward to children.
+    mask = 1
+    while mask < size:
+        if rel & (mask - 1) == 0 and rel | mask != rel and rel + mask < size:
+            child = ((rel | mask) + root) % size
+            yield from ep.send(child, data, tag=_BCAST_TAG)
+        mask <<= 1
+    return data
+
+
+def reduce(
+    ep: MpEndpoint,
+    value: np.ndarray,
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+    root: int = 0,
+) -> Generator[Any, Any, Optional[np.ndarray]]:
+    """Binomial-tree reduction of equal-shape numpy arrays."""
+    size = ep.size
+    acc = np.array(value, copy=True)
+    if size == 1:
+        return acc
+    rel = (ep.rank - root) % size
+    mask = 1
+    while mask < size:
+        if rel & mask:
+            parent = ((rel & ~mask) + root) % size
+            yield from ep.send(parent, acc.tobytes(), tag=_REDUCE_TAG + mask)
+            return None
+        child_rel = rel | mask
+        if child_rel < size:
+            child = (child_rel + root) % size
+            msg = yield from ep.recv(source=child, tag=_REDUCE_TAG + mask)
+            acc = op(acc, np.frombuffer(msg.data, dtype=acc.dtype).reshape(acc.shape))
+        mask <<= 1
+    return acc
+
+
+def allreduce(
+    ep: MpEndpoint,
+    value: np.ndarray,
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+) -> Generator[Any, Any, np.ndarray]:
+    """Reduce to rank 0, then broadcast the result."""
+    reduced = yield from reduce(ep, value, op, root=0)
+    payload = reduced.tobytes() if ep.rank == 0 else None
+    out = yield from bcast(ep, payload, root=0)
+    template = np.asarray(value)
+    return np.frombuffer(out, dtype=template.dtype).reshape(template.shape).copy()
+
+
+def gather(
+    ep: MpEndpoint, data: bytes, root: int = 0
+) -> Generator[Any, Any, Optional[list[bytes]]]:
+    """Linear gather of per-rank byte strings to the root."""
+    if ep.rank == root:
+        out: list[Optional[bytes]] = [None] * ep.size
+        out[root] = data
+        for _ in range(ep.size - 1):
+            msg = yield from ep.recv(tag=_GATHER_TAG)
+            out[msg.source] = msg.data
+        return out  # type: ignore[return-value]
+    yield from ep.send(root, data, tag=_GATHER_TAG)
+    return None
+
+
+def alltoall(
+    ep: MpEndpoint, chunks: list[bytes]
+) -> Generator[Any, Any, list[bytes]]:
+    """Personalised all-to-all: ``chunks[d]`` goes to rank d."""
+    size, rank = ep.size, ep.rank
+    if len(chunks) != size:
+        raise ValueError(f"need {size} chunks, got {len(chunks)}")
+    out: list[Optional[bytes]] = [None] * size
+    out[rank] = chunks[rank]
+    # Pairwise exchange: round r pairs rank with rank ^ r (works for any
+    # size when restricted to valid partners each round).
+    for r in range(1, _next_pow2(size)):
+        partner = rank ^ r
+        if partner >= size:
+            continue
+        tag = _ALLTOALL_TAG + r
+        if rank < partner:
+            yield from ep.send(partner, chunks[partner], tag=tag)
+            msg = yield from ep.recv(source=partner, tag=tag)
+        else:
+            msg = yield from ep.recv(source=partner, tag=tag)
+            yield from ep.send(partner, chunks[partner], tag=tag)
+        out[partner] = msg.data
+    return out  # type: ignore[return-value]
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p

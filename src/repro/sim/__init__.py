@@ -1,0 +1,38 @@
+"""Discrete-event simulation substrate for the MultiEdge reproduction."""
+
+from .core import (
+    MS,
+    NS,
+    SEC,
+    US,
+    Event,
+    Process,
+    SimulationError,
+    Simulator,
+    Timer,
+    all_of,
+    any_of,
+)
+from .resources import Gate, Resource, Store
+from .rng import RngRegistry
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Process",
+    "Timer",
+    "SimulationError",
+    "Resource",
+    "Store",
+    "Gate",
+    "RngRegistry",
+    "Tracer",
+    "TraceRecord",
+    "all_of",
+    "any_of",
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+]

@@ -1,0 +1,340 @@
+"""Discrete-event simulation core.
+
+This module implements a small, fast discrete-event engine in the style of
+SimPy, specialised for the needs of the MultiEdge reproduction:
+
+* integer nanosecond clock (no floating-point time drift),
+* generator-based *processes* that ``yield`` timeouts, events, or other
+  processes,
+* cancellable :class:`Timer` objects (used for retransmission and
+  delayed-acknowledgement timers),
+* deterministic FIFO ordering for simultaneous events (events scheduled at
+  the same timestamp fire in scheduling order).
+
+The engine is deliberately minimal: the hot loop is a ``heapq`` pop plus a
+callback invocation, which keeps per-event overhead around a microsecond of
+wall time so that multi-million-event experiments finish in seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Process",
+    "Timer",
+    "SimulationError",
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+]
+
+# Time unit constants.  The simulator clock counts integer nanoseconds.
+NS = 1
+US = 1_000
+MS = 1_000_000
+SEC = 1_000_000_000
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event starts *untriggered*.  Calling :meth:`trigger` (or its alias
+    :meth:`succeed`) records a value and resumes every waiting process at the
+    current simulation time.  Triggering twice is an error; waiting on an
+    already-triggered event resumes the waiter immediately (same timestamp).
+    """
+
+    __slots__ = ("_sim", "_waiters", "triggered", "value")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self._waiters: list[Callable[[Any], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def trigger(self, value: Any = None) -> None:
+        """Trigger the event, waking all waiters at the current time."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            self._sim.schedule(0, resume, value)
+
+    # Alias used by code that reads more naturally with success semantics.
+    succeed = trigger
+
+    def add_callback(self, resume: Callable[[Any], None]) -> None:
+        """Register ``resume(value)`` to run when the event triggers."""
+        if self.triggered:
+            self._sim.schedule(0, resume, self.value)
+        else:
+            self._waiters.append(resume)
+
+
+class Timer:
+    """A cancellable one-shot timer.
+
+    ``Timer(sim, delay, callback)`` arms the timer; :meth:`cancel` disarms it
+    if it has not fired yet.  Cancellation is O(1): the heap entry is flagged
+    dead and skipped when popped.
+    """
+
+    __slots__ = ("_sim", "_callback", "_args", "deadline", "_fired", "_cancelled")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        delay: int,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"timer delay must be >= 0, got {delay}")
+        self._sim = sim
+        self._callback = callback
+        self._args = args
+        self.deadline = sim.now + int(delay)
+        self._fired = False
+        self._cancelled = False
+        sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self._fired = True
+        self._callback(*self._args)
+
+    def cancel(self) -> None:
+        """Disarm the timer.  Cancelling a fired or cancelled timer is a no-op."""
+        self._cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is armed and has neither fired nor been cancelled."""
+        return not self._fired and not self._cancelled
+
+
+class Process:
+    """A simulation process wrapping a Python generator.
+
+    The generator may ``yield``:
+
+    * an ``int`` — sleep for that many nanoseconds,
+    * an :class:`Event` — wait until it triggers; the trigger value becomes
+      the result of the ``yield`` expression,
+    * another :class:`Process` — wait for it to finish; its return value
+      becomes the result of the ``yield`` expression.
+
+    When the generator returns, the process's :attr:`done` event triggers
+    with the generator's return value.
+    """
+
+    __slots__ = ("_sim", "_gen", "done", "name", "_finished")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        gen: Generator[Any, Any, Any],
+        name: str = "",
+    ) -> None:
+        self._sim = sim
+        self._gen = gen
+        self.done = Event(sim)
+        self.name = name or getattr(gen, "__name__", "process")
+        self._finished = False
+        sim.schedule(0, self._resume, None)
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def result(self) -> Any:
+        if not self._finished:
+            raise SimulationError(f"process {self.name!r} has not finished")
+        return self.done.value
+
+    def _resume(self, value: Any) -> None:
+        try:
+            target = self._gen.send(value)
+        except StopIteration as stop:
+            self._finished = True
+            self.done.trigger(stop.value)
+            return
+        except Exception as exc:  # surface with process context
+            raise SimulationError(
+                f"process {self.name!r} raised {type(exc).__name__}: {exc}"
+            ) from exc
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, int):
+            self._sim.schedule(target, self._resume, None)
+        elif isinstance(target, Event):
+            target.add_callback(self._resume)
+        elif isinstance(target, Process):
+            target.done.add_callback(self._resume)
+        elif isinstance(target, float):
+            # Accept floats from arithmetic but keep the clock integral.
+            self._sim.schedule(int(round(target)), self._resume, None)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported {type(target).__name__}"
+            )
+
+
+class Simulator:
+    """The event loop: a clock plus a priority queue of callbacks.
+
+    Events scheduled for the same timestamp run in the order they were
+    scheduled, which makes simulations fully deterministic.
+    """
+
+    __slots__ = ("now", "_queue", "_seq", "_events_processed")
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list[tuple[int, int, Callable[..., None], tuple]] = []
+        self._seq = 0
+        self._events_processed = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: int, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` nanoseconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + int(delay), self._seq, callback, args))
+
+    def at(self, time: int, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute simulation time ``time``."""
+        self.schedule(time - self.now, callback, *args)
+
+    def event(self) -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self)
+
+    def timer(self, delay: int, callback: Callable[..., None], *args: Any) -> Timer:
+        """Arm a cancellable :class:`Timer`."""
+        return Timer(self, delay, callback, *args)
+
+    def process(self, gen: Generator[Any, Any, Any], name: str = "") -> Process:
+        """Start a new :class:`Process` from a generator."""
+        return Process(self, gen, name)
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the queue drains or the clock passes ``until``.
+
+        Returns the number of events processed during this call.
+        """
+        queue = self._queue
+        processed = 0
+        while queue:
+            time, _seq, callback, args = queue[0]
+            if until is not None and time > until:
+                self.now = until
+                break
+            heapq.heappop(queue)
+            self.now = time
+            callback(*args)
+            processed += 1
+        else:
+            if until is not None:
+                self.now = max(self.now, until)
+        self._events_processed += processed
+        return processed
+
+    def run_until_done(self, process: Process, limit: Optional[int] = None) -> Any:
+        """Run until ``process`` finishes and return its result.
+
+        ``limit`` bounds the simulated time; exceeding it raises
+        :class:`SimulationError` (used by tests to catch livelock).
+        """
+        while not process.finished:
+            if not self._queue:
+                raise SimulationError(
+                    f"deadlock: process {process.name!r} is waiting but "
+                    "the event queue is empty"
+                )
+            if limit is not None and self._queue[0][0] > limit:
+                raise SimulationError(
+                    f"time limit {limit} exceeded waiting for {process.name!r}"
+                )
+            time, _seq, callback, args = heapq.heappop(self._queue)
+            self.now = time
+            callback(*args)
+            self._events_processed += 1
+        return process.result
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed since construction."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently queued (including cancelled timers)."""
+        return len(self._queue)
+
+
+def all_of(sim: Simulator, events: Iterable[Event]) -> Event:
+    """Return an event that triggers once every event in ``events`` has.
+
+    The combined event's value is the list of individual values in input
+    order.
+    """
+    events = list(events)
+    combined = Event(sim)
+    if not events:
+        combined.trigger([])
+        return combined
+    remaining = len(events)
+    values: list[Any] = [None] * len(events)
+
+    def make_callback(index: int) -> Callable[[Any], None]:
+        def on_trigger(value: Any) -> None:
+            nonlocal remaining
+            values[index] = value
+            remaining -= 1
+            if remaining == 0:
+                combined.trigger(values)
+
+        return on_trigger
+
+    for i, ev in enumerate(events):
+        ev.add_callback(make_callback(i))
+    return combined
+
+
+def any_of(sim: Simulator, events: Iterable[Event]) -> Event:
+    """Return an event that triggers when the first of ``events`` does.
+
+    Its value is ``(index, value)`` of the first event to fire.  Later
+    triggers are ignored.
+    """
+    combined = Event(sim)
+
+    def make_callback(index: int) -> Callable[[Any], None]:
+        def on_trigger(value: Any) -> None:
+            if not combined.triggered:
+                combined.trigger((index, value))
+
+        return on_trigger
+
+    for i, ev in enumerate(events):
+        ev.add_callback(make_callback(i))
+    return combined

@@ -1,0 +1,198 @@
+"""Shared-resource primitives built on the event core.
+
+Two primitives cover everything the MultiEdge stack needs:
+
+* :class:`Resource` — a counted resource with FIFO queuing; CPUs are modelled
+  as capacity-1 resources, and busy-time accounting lives here so that CPU
+  utilization figures (paper Figure 2c, 3c) fall out for free.
+* :class:`Store` — an unbounded (or bounded) FIFO of items with blocking
+  ``get``; NIC rings and kernel work queues are Stores.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from .core import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Store", "Gate"]
+
+
+class Resource:
+    """A counted resource with FIFO hand-off.
+
+    Usage from a process::
+
+        yield cpu.acquire()
+        ... hold the resource ...
+        cpu.release()
+
+    :meth:`acquire` returns an :class:`Event` that triggers when a unit is
+    granted.  Units are granted strictly in request order.
+    """
+
+    __slots__ = ("_sim", "capacity", "in_use", "_waiters", "busy_time", "_busy_since")
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+        # Accumulated unit-nanoseconds of busy time (integral of in_use dt).
+        self.busy_time = 0
+        self._busy_since = sim.now
+
+    def _account(self) -> None:
+        now = self._sim.now
+        self.busy_time += self.in_use * (now - self._busy_since)
+        self._busy_since = now
+
+    def acquire(self) -> Event:
+        """Request one unit; the returned event triggers when granted."""
+        ev = Event(self._sim)
+        if self.in_use < self.capacity and not self._waiters:
+            self._account()
+            self.in_use += 1
+            ev.trigger(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Return one unit, handing it to the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError("release() without matching acquire()")
+        if self._waiters:
+            # Hand the unit over directly: in_use stays constant.
+            ev = self._waiters.popleft()
+            ev.trigger(self)
+        else:
+            self._account()
+            self.in_use -= 1
+
+    def utilization(self, elapsed: Optional[int] = None) -> float:
+        """Mean busy fraction (0..capacity) since construction.
+
+        ``elapsed`` overrides the denominator, which is useful when the
+        resource was created before the measured interval began.
+        """
+        self._account()
+        total = elapsed if elapsed is not None else self._sim.now
+        if total <= 0:
+            return 0.0
+        return self.busy_time / total
+
+    def reset_accounting(self) -> None:
+        """Zero the busy-time integral (start of a measured interval)."""
+        self.busy_time = 0
+        self._busy_since = self._sim.now
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+
+class Store:
+    """FIFO store of items with blocking ``get`` and optional capacity.
+
+    ``put`` is non-blocking; when the store is bounded and full, ``put``
+    returns ``False`` and drops the item (matching finite NIC/switch queues,
+    where the caller decides whether a drop is an error).  ``get`` returns an
+    :class:`Event` that triggers with the next item.
+    """
+
+    __slots__ = ("_sim", "capacity", "_items", "_getters", "drops", "puts")
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self._sim = sim
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.drops = 0
+        self.puts = 0
+
+    def put(self, item: Any) -> bool:
+        """Append ``item``; returns False (and counts a drop) if full."""
+        if self._getters:
+            self.puts += 1
+            self._getters.popleft().trigger(item)
+            return True
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self.drops += 1
+            return False
+        self.puts += 1
+        self._items.append(item)
+        return True
+
+    def get(self) -> Event:
+        """Return an event that triggers with the next item (FIFO)."""
+        ev = Event(self._sim)
+        if self._items:
+            ev.trigger(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting_getters(self) -> int:
+        return len(self._getters)
+
+
+class Gate:
+    """A level-triggered signal: processes wait until the gate is open.
+
+    Unlike :class:`~repro.sim.core.Event` (one-shot), a Gate can open and
+    close repeatedly.  Used for "work available" signalling between interrupt
+    handlers and the protocol kernel thread.
+    """
+
+    __slots__ = ("_sim", "_open", "_waiters")
+
+    def __init__(self, sim: Simulator, open: bool = False) -> None:
+        self._sim = sim
+        self._open = open
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    def open(self) -> None:
+        """Open the gate, releasing all current waiters."""
+        self._open = True
+        while self._waiters:
+            self._waiters.popleft().trigger(None)
+
+    def close(self) -> None:
+        """Close the gate; subsequent waits block until reopened."""
+        self._open = False
+
+    def wait(self) -> Event:
+        """Return an event that triggers as soon as the gate is open."""
+        ev = Event(self._sim)
+        if self._open:
+            ev.trigger(None)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+
+def hold(resource: Resource, duration: int) -> Generator[Any, Any, None]:
+    """Convenience process body: acquire, hold for ``duration``, release."""
+    yield resource.acquire()
+    yield duration
+    resource.release()

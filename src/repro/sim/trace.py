@@ -1,0 +1,60 @@
+"""Lightweight event tracing.
+
+A :class:`Tracer` records ``(time, category, payload)`` tuples.  Tracing is
+opt-in per category so the hot path costs a dictionary lookup and a branch
+when disabled.  Benchmarks run with tracing off; debugging and some tests
+run with it on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, NamedTuple
+
+from .core import Simulator
+
+__all__ = ["Tracer", "TraceRecord"]
+
+
+class TraceRecord(NamedTuple):
+    time: int
+    category: str
+    payload: Any
+
+
+class Tracer:
+    """Selective trace recorder.
+
+    ``enable("frame.tx")`` turns on a category; :meth:`record` is a no-op for
+    disabled categories.  ``enable_all()`` is available for debugging.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._enabled: set[str] = set()
+        self._all = False
+        self.records: list[TraceRecord] = []
+
+    def enable(self, *categories: str) -> None:
+        self._enabled.update(categories)
+
+    def disable(self, *categories: str) -> None:
+        self._enabled.difference_update(categories)
+
+    def enable_all(self) -> None:
+        self._all = True
+
+    def is_enabled(self, category: str) -> bool:
+        return self._all or category in self._enabled
+
+    def record(self, category: str, payload: Any = None) -> None:
+        if self._all or category in self._enabled:
+            self.records.append(TraceRecord(self._sim.now, category, payload))
+
+    def by_category(self, category: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def categories(self) -> Iterable[str]:
+        return sorted({r.category for r in self.records})

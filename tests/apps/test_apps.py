@@ -1,0 +1,130 @@
+"""Application correctness tests (small problem sizes, few nodes)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    APP_CLASSES,
+    BarnesApp,
+    FftApp,
+    LuApp,
+    RadixApp,
+    RaytraceApp,
+    WaterNsqApp,
+    WaterSpatialApp,
+    WaterSpatialFlApp,
+    run_app,
+)
+
+SMALL = {
+    "barnes": dict(n_particles=256, iterations=1, grid=4),
+    "fft": dict(m=32),
+    "lu": dict(n=64, block=16),
+    "radix": dict(n_keys=1 << 12),
+    "raytrace": dict(image=32, tile=16, n_spheres=8),
+    "water-nsq": dict(n_molecules=128, iterations=1),
+    "water-spatial": dict(n_molecules=256, iterations=1, grid=4),
+    "water-spatial-fl": dict(n_molecules=256, iterations=1, grid=4),
+}
+
+
+@pytest.mark.parametrize("name", sorted(APP_CLASSES))
+def test_app_verifies_on_two_nodes(name):
+    result = run_app(APP_CLASSES[name](**SMALL[name]), nodes=2)
+    assert result.verified, name
+    assert result.elapsed_ns > 0
+
+
+@pytest.mark.parametrize("name", sorted(APP_CLASSES))
+def test_app_verifies_on_four_nodes(name):
+    result = run_app(APP_CLASSES[name](**SMALL[name]), nodes=4)
+    assert result.verified, name
+
+
+@pytest.mark.parametrize("name", ["fft", "radix", "lu"])
+def test_numeric_apps_on_single_node(name):
+    result = run_app(APP_CLASSES[name](**SMALL[name]), nodes=1)
+    assert result.verified, name
+
+
+def test_fft_matches_numpy_exactly_per_node_counts():
+    for nodes in (1, 2, 4):
+        result = run_app(FftApp(m=32), nodes=nodes)
+        assert result.verified, f"{nodes} nodes"
+
+
+def test_fft_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        FftApp(m=100)
+
+
+def test_radix_sorts_adversarial_keys():
+    app = RadixApp(n_keys=1 << 12, seed=99)
+    result = run_app(app, nodes=4)
+    assert result.verified
+
+
+def test_radix_rejects_bad_key_bits():
+    with pytest.raises(ValueError):
+        RadixApp(key_bits=12)
+
+
+def test_lu_factorization_reconstructs():
+    result = run_app(LuApp(n=64, block=16), nodes=4)
+    assert result.verified
+
+
+def test_lu_rejects_mismatched_block():
+    with pytest.raises(ValueError):
+        LuApp(n=100, block=32)
+
+
+def test_raytrace_image_matches_sequential_render():
+    result = run_app(RaytraceApp(image=32, tile=16, n_spheres=8), nodes=2)
+    assert result.verified
+
+
+def test_raytrace_rejects_bad_tile():
+    with pytest.raises(ValueError):
+        RaytraceApp(image=100, tile=32)
+
+
+def test_app_runs_are_deterministic():
+    a = run_app(FftApp(m=32), nodes=4, seed=7)
+    b = run_app(FftApp(m=32), nodes=4, seed=7)
+    assert a.elapsed_ns == b.elapsed_ns
+    assert a.dsm.network.data_frames_sent == b.dsm.network.data_frames_sent
+
+
+def test_different_seed_changes_timing_noise():
+    a = run_app(FftApp(m=32), nodes=4, seed=1)
+    b = run_app(FftApp(m=32), nodes=4, seed=2)
+    # Same workload, different link jitter: timing differs slightly.
+    assert a.elapsed_ns != b.elapsed_ns
+
+
+def test_speedup_computation():
+    r1 = run_app(WaterNsqApp(n_molecules=256, iterations=1), nodes=1)
+    r4 = run_app(WaterNsqApp(n_molecules=256, iterations=1), nodes=4)
+    s = r4.speedup_vs(r1)
+    assert 0.1 < s < 4.5
+
+
+def test_breakdown_fractions_roughly_sum_to_one():
+    result = run_app(BarnesApp(**SMALL["barnes"]), nodes=4)
+    b = result.mean_breakdown
+    total = b.compute + b.data_wait + b.sync + b.dsm_overhead + b.other
+    assert total == pytest.approx(1.0, abs=0.01)
+
+
+def test_apps_generate_network_traffic_on_multiple_nodes():
+    result = run_app(FftApp(m=32), nodes=4)
+    assert result.dsm.network.data_frames_sent > 0
+    assert result.dsm.network.data_bytes_sent > 0
+
+
+def test_workload_registry_covers_all_apps():
+    from repro.apps import SCALED, TABLE1
+
+    assert len(TABLE1) == 8
+    assert {w.app for w in SCALED} == set(APP_CLASSES)

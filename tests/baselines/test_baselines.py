@@ -1,0 +1,105 @@
+"""Tests for the byte-striping and go-back-N baselines."""
+
+import pytest
+
+from repro.baselines import install_go_back_n, run_byte_striping
+from repro.bench.cluster import make_cluster
+from repro.bench.micro import run_one_way
+from repro.ethernet import LinkParams
+
+
+class TestByteStriping:
+    def test_single_rail_close_to_line_rate(self):
+        cluster = make_cluster("1L-1G", nodes=2)
+        r = run_byte_striping(cluster, total_bytes=1_000_000)
+        assert 100 < r.throughput_mbps < 125
+        assert r.rails == 1
+
+    def test_two_rails_scale_but_below_2x(self):
+        one = run_byte_striping(
+            make_cluster("1L-1G", nodes=2), total_bytes=1_000_000
+        )
+        two = run_byte_striping(
+            make_cluster("2L-1G", nodes=2), total_bytes=1_000_000
+        )
+        assert two.rails == 2
+        # Faster than one rail, but the per-slice overhead and rail
+        # lock-step keep it below a perfect 2x.
+        assert two.throughput_mbps > 1.5 * one.throughput_mbps
+        assert two.throughput_mbps < 1.99 * one.throughput_mbps
+
+    def test_frame_count_scales_with_rails(self):
+        two = run_byte_striping(
+            make_cluster("2L-1G", nodes=2), total_bytes=200_000
+        )
+        one = run_byte_striping(
+            make_cluster("1L-1G", nodes=2), total_bytes=200_000
+        )
+        assert two.frames_sent == 2 * one.frames_sent
+
+    def test_custom_unit_size(self):
+        r = run_byte_striping(
+            make_cluster("2L-1G", nodes=2),
+            total_bytes=100_000,
+            unit_bytes=512,
+        )
+        assert r.unit_bytes == 512
+        assert r.throughput_mbps > 0
+
+
+class TestGoBackN:
+    def test_lossless_behaviour_similar_to_selective(self):
+        base = run_one_way(make_cluster("1L-1G", nodes=2), 65536)
+        cluster = make_cluster("1L-1G", nodes=2)
+        for s in cluster.stacks:
+            install_go_back_n(s.protocol)
+        gbn = run_one_way(cluster, 65536)
+        assert gbn.throughput_mbps == pytest.approx(
+            base.throughput_mbps, rel=0.05
+        )
+
+    def test_lossy_link_worse_than_selective(self):
+        link = LinkParams(speed_bps=1e9, bit_error_rate=3e-7)
+        sel = run_one_way(
+            make_cluster("1L-1G", nodes=2, link=link), 262144, iterations=8
+        )
+        cluster = make_cluster("1L-1G", nodes=2, link=link)
+        for s in cluster.stacks:
+            install_go_back_n(s.protocol)
+        gbn = run_one_way(cluster, 262144, iterations=8)
+        assert gbn.throughput_mbps < sel.throughput_mbps
+        assert gbn.extra_frame_fraction > sel.extra_frame_fraction
+
+    def test_install_only_affects_new_connections(self):
+        from repro.baselines import GoBackNConnection
+
+        cluster = make_cluster("1L-1G", nodes=3)
+        pre, _ = cluster.connect(0, 1)
+        for s in cluster.stacks:
+            install_go_back_n(s.protocol)
+        post, _ = cluster.connect(0, 2)
+        assert not isinstance(pre.conn, GoBackNConnection)
+        assert isinstance(post.conn, GoBackNConnection)
+
+    def test_gbn_still_delivers_correct_data(self):
+        cluster = make_cluster(
+            "1L-1G",
+            nodes=2,
+            link=LinkParams(speed_bps=1e9, bit_error_rate=1e-6),
+        )
+        for s in cluster.stacks:
+            install_go_back_n(s.protocol)
+        a, b = cluster.connect(0, 1)
+        size = 100_000
+        src = a.node.memory.alloc(size)
+        dst = b.node.memory.alloc(size)
+        payload = bytes(i % 256 for i in range(size))
+        a.node.memory.write(src, payload)
+
+        def app():
+            h = yield from a.rdma_write(src, dst, size)
+            yield from h.wait()
+
+        proc = cluster.sim.process(app())
+        cluster.sim.run_until_done(proc, limit=30_000_000_000)
+        assert b.node.memory.read(dst, size) == payload

@@ -1,0 +1,147 @@
+"""Tests for the leaf-spine multi-switch topology (paper §6 future work)."""
+
+import pytest
+
+from repro.bench import make_cluster
+from repro.bench.micro import run_one_way
+
+
+def test_leaf_spine_builds():
+    cluster = make_cluster("1L-1G", nodes=8, leaf_switches=2)
+    assert len(cluster.leaves[0]) == 2
+    assert len(cluster.spines) == 1
+    assert cluster.config.leaf_switches == 2
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_cluster("1L-1G", nodes=2, leaf_switches=0)
+    with pytest.raises(ValueError):
+        make_cluster("1L-1G", nodes=2, leaf_switches=4)
+
+
+def test_same_leaf_traffic_avoids_spine():
+    cluster = make_cluster("1L-1G", nodes=8, leaf_switches=2)
+    run_one_way(cluster, 65536)  # nodes 0 and 1: both on leaf 0
+    assert cluster.spines[0].forwarded == 0
+    assert cluster.leaves[0][0].forwarded > 0
+
+
+def test_cross_leaf_traffic_uses_spine():
+    cluster = make_cluster("1L-1G", nodes=8, leaf_switches=2)
+    a, b = cluster.connect(0, 5)
+    size = 65536
+    src = a.node.memory.alloc(size)
+    dst = b.node.memory.alloc(size)
+    payload = bytes(i % 256 for i in range(size))
+    a.node.memory.write(src, payload)
+
+    def app():
+        h = yield from a.rdma_write(src, dst, size)
+        yield from h.wait()
+
+    proc = cluster.sim.process(app())
+    cluster.sim.run_until_done(proc, limit=60_000_000_000)
+    assert b.node.memory.read(dst, size) == payload
+    assert cluster.spines[0].forwarded > 0
+
+
+def test_cross_leaf_latency_higher_than_same_leaf():
+    def small_latency(i, j):
+        cluster = make_cluster("1L-1G", nodes=8, leaf_switches=2)
+        from repro.ethernet import OpFlags
+
+        a, b = cluster.connect(i, j)
+        src = a.node.memory.alloc(64)
+        dst = b.node.memory.alloc(64)
+        arrived = []
+
+        def sender():
+            yield from a.rdma_write(src, dst, 64, flags=OpFlags.NOTIFY)
+
+        def receiver():
+            yield from b.wait_notification()
+            arrived.append(cluster.sim.now)
+
+        cluster.sim.process(sender())
+        proc = cluster.sim.process(receiver())
+        cluster.sim.run_until_done(proc, limit=10_000_000_000)
+        return arrived[0]
+
+    assert small_latency(0, 5) > small_latency(0, 1)
+
+
+def test_oversubscribed_uplink_congests():
+    """Many cross-leaf senders share one uplink: it must bottleneck."""
+    cluster = make_cluster("1L-1G", nodes=8, leaf_switches=2)
+    size = 200_000
+    procs = []
+    # Nodes 0-3 (leaf 0) all send to nodes 4-7 (leaf 1): 4 flows, 1 uplink.
+    for i in range(4):
+        a, b = cluster.connect(i, 4 + i)
+        src = a.node.memory.alloc(size)
+        dst = b.node.memory.alloc(size)
+        a.node.memory.write(src, b"u" * size)
+
+        def app(a=a, src=src, dst=dst):
+            h = yield from a.rdma_write(src, dst, size)
+            yield from h.wait()
+
+        procs.append(cluster.sim.process(app()))
+    t0 = cluster.sim.now
+    for p in procs:
+        cluster.sim.run_until_done(p, limit=120_000_000_000)
+    elapsed = cluster.sim.now - t0
+    aggregate_mbps = 4 * size / (elapsed / 1e9) / 1e6
+    # One 1-GbE uplink caps the aggregate near ~119 MB/s, far below the
+    # 4 * 119 the flat topology would deliver.
+    assert aggregate_mbps < 140
+
+
+def test_fat_uplink_removes_bottleneck():
+    cluster = make_cluster(
+        "1L-1G", nodes=8, leaf_switches=2, uplink_speed_bps=10e9
+    )
+    size = 200_000
+    procs = []
+    for i in range(4):
+        a, b = cluster.connect(i, 4 + i)
+        src = a.node.memory.alloc(size)
+        dst = b.node.memory.alloc(size)
+        a.node.memory.write(src, b"u" * size)
+
+        def app(a=a, src=src, dst=dst):
+            h = yield from a.rdma_write(src, dst, size)
+            yield from h.wait()
+
+        procs.append(cluster.sim.process(app()))
+    t0 = cluster.sim.now
+    for p in procs:
+        cluster.sim.run_until_done(p, limit=120_000_000_000)
+    elapsed = cluster.sim.now - t0
+    aggregate_mbps = 4 * size / (elapsed / 1e9) / 1e6
+    assert aggregate_mbps > 300
+
+
+def test_dsm_app_runs_on_leaf_spine():
+    from repro.apps import FftApp, run_app
+
+    result = run_app(FftApp(m=32), nodes=8, leaf_switches=2)
+    assert result.verified
+
+
+def test_thirtytwo_node_cluster():
+    """Beyond the paper's 16 nodes: a 32-node, 4-leaf fabric works."""
+    cluster = make_cluster("1L-1G", nodes=32, leaf_switches=4)
+    a, b = cluster.connect(0, 31)
+    src = a.node.memory.alloc(4096)
+    dst = b.node.memory.alloc(4096)
+    a.node.memory.write(src, b"x" * 4096)
+
+    def app():
+        h = yield from a.rdma_write(src, dst, 4096)
+        yield from h.wait()
+
+    proc = cluster.sim.process(app())
+    cluster.sim.run_until_done(proc, limit=60_000_000_000)
+    assert b.node.memory.read(dst, 4096) == b"x" * 4096

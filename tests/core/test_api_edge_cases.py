@@ -1,0 +1,123 @@
+"""Edge-case tests for the user-level API layer."""
+
+import pytest
+
+from repro.bench.cluster import make_cluster
+from repro.core import MultiEdgeStack
+from repro.sim import SimulationError
+
+
+def pair():
+    cluster = make_cluster("1L-1G", nodes=2)
+    a, b = cluster.connect(0, 1)
+    return cluster, a, b
+
+
+def test_latency_before_completion_raises():
+    cluster, a, b = pair()
+    src = a.node.memory.alloc(64)
+    dst = b.node.memory.alloc(64)
+    holder = {}
+
+    def app():
+        h = yield from a.rdma_write(src, dst, 64)
+        holder["h"] = h
+
+    proc = cluster.sim.process(app())
+    # Run only the submission, not the round trip.
+    cluster.sim.run(until=cluster.sim.now + 3_000)
+    with pytest.raises(SimulationError):
+        _ = holder["h"].latency_ns
+
+
+def test_wait_on_completed_handle_is_immediate():
+    cluster, a, b = pair()
+    src = a.node.memory.alloc(64)
+    dst = b.node.memory.alloc(64)
+
+    def app():
+        h = yield from a.rdma_write(src, dst, 64)
+        yield from h.wait()
+        t = cluster.sim.now
+        yield from h.wait()  # second wait: already complete
+        return cluster.sim.now - t
+
+    proc = cluster.sim.process(app())
+    delta = cluster.sim.run_until_done(proc, limit=10_000_000_000)
+    assert delta == 0
+
+
+def test_op_ids_unique_across_connections():
+    cluster = make_cluster("1L-1G", nodes=3)
+    a1, _ = cluster.connect(0, 1)
+    a2, _ = cluster.connect(0, 2)
+    ids = []
+
+    def app():
+        for conn in (a1, a2, a1):
+            src = conn.node.memory.alloc(16)
+            dst_node = cluster.stacks[conn.peer_node_id].node
+            dst = dst_node.memory.alloc(16)
+            h = yield from conn.rdma_write(src, dst, 16)
+            ids.append(h.op_id)
+            yield from h.wait()
+
+    proc = cluster.sim.process(app())
+    cluster.sim.run_until_done(proc, limit=30_000_000_000)
+    assert len(set(ids)) == 3
+
+
+def test_duplicate_connection_id_rejected():
+    cluster = make_cluster("1L-1G", nodes=2)
+    stack = cluster.stacks[0]
+    stack.protocol.create_connection(500, 1, [cluster.nodes[1].nics[0].mac])
+    with pytest.raises(ValueError):
+        stack.protocol.create_connection(500, 1, [cluster.nodes[1].nics[0].mac])
+
+
+def test_unknown_connection_frames_counted():
+    from repro.core.messages import make_data_frame
+
+    cluster = make_cluster("1L-1G", nodes=2)
+    a, b = cluster.nodes
+    frame = make_data_frame(
+        a.nics[0].mac, b.nics[0].mac, connection_id=9999, seq=0, ack=0,
+        op_id=1, op_seq=0, op_flags=0, remote_address=0, op_length=4,
+        payload=b"test",
+    )
+    a.nics[0].transmit(frame)
+    cluster.sim.run()
+    assert cluster.stacks[1].protocol.unknown_connection_frames == 1
+
+
+def test_notification_order_is_completion_order():
+    from repro.ethernet import OpFlags
+
+    cluster, a, b = pair()
+    size = 2000
+    src = a.node.memory.alloc(size)
+    dsts = [b.node.memory.alloc(size) for _ in range(5)]
+
+    def sender():
+        for dst in dsts:
+            h = yield from a.rdma_write(src, dst, size, flags=OpFlags.NOTIFY)
+        yield 0
+
+    def receiver():
+        order = []
+        for _ in range(5):
+            note = yield from b.wait_notification()
+            order.append(note.address)
+        return order
+
+    cluster.sim.process(sender())
+    proc = cluster.sim.process(receiver())
+    order = cluster.sim.run_until_done(proc, limit=30_000_000_000)
+    assert order == dsts  # single link: completion follows issue order
+
+
+def test_stack_node_id_property():
+    cluster = make_cluster("1L-1G", nodes=3)
+    for i, stack in enumerate(cluster.stacks):
+        assert isinstance(stack, MultiEdgeStack)
+        assert stack.node_id == i

@@ -1,0 +1,324 @@
+"""End-to-end protocol tests: two full stacks through a switch.
+
+These exercise the whole vertical slice — user API → protocol → kernel →
+NIC → link → switch → link → NIC → kernel → protocol → memory — and check
+both data correctness and protocol behaviour (acks, fences, reads,
+notifications, loss recovery).
+"""
+
+import pytest
+
+from repro.bench.cluster import make_cluster
+from repro.ethernet import OpFlags
+from repro.sim import US
+
+
+def pair(config="1L-1G", **kw):
+    cluster = make_cluster(config, nodes=2, **kw)
+    a, b = cluster.connect(0, 1)
+    return cluster, a, b
+
+
+def run_app(cluster, gen, limit_ms=2000):
+    proc = cluster.sim.process(gen)
+    return cluster.sim.run_until_done(proc, limit=limit_ms * 1_000_000)
+
+
+def test_small_write_lands_bytes():
+    cluster, a, b = pair()
+    src = a.node.memory.alloc(64)
+    dst = b.node.memory.alloc(64)
+    a.node.memory.write(src, b"A" * 64)
+
+    def app():
+        handle = yield from a.rdma_write(src, dst, 64)
+        yield from handle.wait()
+        return handle
+
+    run_app(cluster, app())
+    assert b.node.memory.read(dst, 64) == b"A" * 64
+
+
+def test_multi_frame_write_lands_bytes():
+    cluster, a, b = pair()
+    size = 10_000  # 7 frames
+    src = a.node.memory.alloc(size)
+    dst = b.node.memory.alloc(size)
+    payload = (bytes(range(256)) * 40)[:size]
+    a.node.memory.write(src, payload)
+
+    def app():
+        handle = yield from a.rdma_write(src, dst, size)
+        yield from handle.wait()
+
+    run_app(cluster, app())
+    assert b.node.memory.read(dst, size) == payload
+    assert a.stats.ops_completed == 1
+    assert a.stats.data_frames_sent == 7
+
+
+def test_zero_length_write_rejected():
+    cluster, a, b = pair()
+    src = a.node.memory.alloc(8)
+    dst = b.node.memory.alloc(8)
+
+    def app():
+        yield from a.rdma_write(src, dst, 0)
+
+    with pytest.raises(Exception):
+        run_app(cluster, app())
+
+
+def test_notification_delivered_to_target():
+    cluster, a, b = pair()
+    src = a.node.memory.alloc(128)
+    dst = b.node.memory.alloc(128)
+    got = []
+
+    def sender():
+        yield from a.rdma_write(src, dst, 128, flags=OpFlags.NOTIFY)
+
+    def receiver():
+        note = yield from b.wait_notification()
+        got.append(note)
+
+    cluster.sim.process(sender())
+    proc = cluster.sim.process(receiver())
+    cluster.sim.run_until_done(proc, limit=10_000_000)
+    assert len(got) == 1
+    assert got[0].src_node == 0
+    assert got[0].length == 128
+
+
+def test_no_notification_without_flag():
+    cluster, a, b = pair()
+    src = a.node.memory.alloc(16)
+    dst = b.node.memory.alloc(16)
+
+    def app():
+        h = yield from a.rdma_write(src, dst, 16)
+        yield from h.wait()
+
+    run_app(cluster, app())
+    assert b.poll_notification() is None
+
+
+def test_rdma_read_pulls_remote_bytes():
+    cluster, a, b = pair()
+    local = a.node.memory.alloc(5000)
+    remote = b.node.memory.alloc(5000)
+    payload = b"remote-data!" * 416 + b"zz" * 4
+    b.node.memory.write(remote, payload[:5000])
+
+    def app():
+        handle = yield from a.rdma_read(local, remote, 5000)
+        yield from handle.wait()
+
+    run_app(cluster, app())
+    assert a.node.memory.read(local, 5000) == payload[:5000]
+    assert a.stats.ops_completed == 1
+
+
+def test_op_handle_test_and_latency():
+    cluster, a, b = pair()
+    src = a.node.memory.alloc(64)
+    dst = b.node.memory.alloc(64)
+
+    def app():
+        handle = yield from a.rdma_write(src, dst, 64)
+        assert not handle.test()
+        yield from handle.wait()
+        assert handle.test()
+        return handle.latency_ns
+
+    latency = run_app(cluster, app())
+    # Sanity bounds: a 64-byte 1-GbE round trip of frame + ack takes tens of
+    # microseconds, not milliseconds.
+    assert 10 * US < latency < 1000 * US
+
+
+def test_small_write_latency_10g_about_30us():
+    """Paper Fig 2(a): minimum latency ~30 us on 1L-10G (memory-to-memory,
+    i.e. data applied at the target)."""
+    cluster, a, b = pair("1L-10G")
+    src = a.node.memory.alloc(64)
+    dst = b.node.memory.alloc(64)
+    arrival = []
+
+    def sender():
+        yield from a.rdma_write(src, dst, 64, flags=OpFlags.NOTIFY)
+
+    def receiver():
+        yield from b.wait_notification()
+        arrival.append(cluster.sim.now)
+
+    cluster.sim.process(sender())
+    proc = cluster.sim.process(receiver())
+    cluster.sim.run_until_done(proc, limit=10_000_000)
+    one_way_us = arrival[0] / 1000
+    assert 15 <= one_way_us <= 45
+
+
+def test_back_to_back_writes_all_complete():
+    cluster, a, b = pair()
+    n_ops, size = 20, 3000
+    src = a.node.memory.alloc(size)
+    dst = b.node.memory.alloc(size)
+
+    def app():
+        handles = []
+        for _ in range(n_ops):
+            h = yield from a.rdma_write(src, dst, size)
+            handles.append(h)
+        for h in handles:
+            yield from h.wait()
+
+    run_app(cluster, app())
+    assert a.stats.ops_completed == n_ops
+
+
+def test_bidirectional_traffic():
+    cluster, a, b = pair()
+    size = 4000
+    src_a, dst_a = a.node.memory.alloc(size), a.node.memory.alloc(size)
+    src_b, dst_b = b.node.memory.alloc(size), b.node.memory.alloc(size)
+    a.node.memory.write(src_a, b"a" * size)
+    b.node.memory.write(src_b, b"b" * size)
+
+    def app_a():
+        h = yield from a.rdma_write(src_a, dst_b, size)
+        yield from h.wait()
+
+    def app_b():
+        h = yield from b.rdma_write(src_b, dst_a, size)
+        yield from h.wait()
+
+    pa = cluster.sim.process(app_a())
+    pb = cluster.sim.process(app_b())
+    cluster.sim.run_until_done(pa, limit=10_000_000)
+    cluster.sim.run_until_done(pb, limit=10_000_000)
+    assert b.node.memory.read(dst_b, size) == b"a" * size
+    assert a.node.memory.read(dst_a, size) == b"b" * size
+
+
+def test_forward_fence_orders_sends():
+    """A forward-fenced op must be fully acked before later ops transmit."""
+    cluster, a, b = pair()
+    size = 3000
+    src = a.node.memory.alloc(size)
+    dst = b.node.memory.alloc(size)
+
+    def app():
+        h1 = yield from a.rdma_write(
+            src, dst, size, flags=OpFlags.FENCE_FORWARD
+        )
+        h2 = yield from a.rdma_write(src, dst, size)
+        yield from h2.wait()
+        # By fence semantics, op1 must have completed no later than op2.
+        assert h1.test()
+        return (h1._op.completed_at, h2._op.completed_at)
+
+    t1, t2 = run_app(cluster, app())
+    assert t1 <= t2
+
+
+def test_backward_fence_write_applied_after_predecessors():
+    """Backward-fenced write to the same address must win (applied last)."""
+    cluster, a, b = pair("2Lu-1G")
+    size = 1464 * 3
+    src1 = a.node.memory.alloc(size)
+    src2 = a.node.memory.alloc(size)
+    dst = b.node.memory.alloc(size)
+    a.node.memory.write(src1, b"1" * size)
+    a.node.memory.write(src2, b"2" * size)
+
+    def app():
+        yield from a.rdma_write(src1, dst, size)
+        h2 = yield from a.rdma_write(
+            src2, dst, size, flags=OpFlags.FENCE_BACKWARD | OpFlags.NOTIFY
+        )
+        yield from h2.wait()
+
+    def receiver():
+        yield from b.wait_notification()
+
+    cluster.sim.process(app())
+    proc = cluster.sim.process(receiver())
+    cluster.sim.run_until_done(proc, limit=50_000_000)
+    assert b.node.memory.read(dst, size) == b"2" * size
+
+
+def test_two_rail_configs_deliver_correctly():
+    for config in ("2L-1G", "2Lu-1G"):
+        cluster, a, b = pair(config)
+        size = 50_000
+        src = a.node.memory.alloc(size)
+        dst = b.node.memory.alloc(size)
+        payload = bytes(i % 251 for i in range(size))
+        a.node.memory.write(src, payload)
+
+        def app():
+            h = yield from a.rdma_write(src, dst, size)
+            yield from h.wait()
+
+        run_app(cluster, app())
+        assert b.node.memory.read(dst, size) == payload, config
+        # Both rails actually carried traffic.
+        used = [
+            nic.counters.tx_frames > 0 for nic in a.node.nics
+        ]
+        assert all(used), config
+
+
+def test_loss_recovery_with_bit_errors():
+    """Corrupted frames are dropped at CRC and recovered via NACK/timeout."""
+    from repro.ethernet import LinkParams
+
+    cluster, a, b = pair(link=LinkParams(speed_bps=1e9, bit_error_rate=2e-6))
+    size = 200_000  # ~137 frames; expect a handful of corruptions
+    src = a.node.memory.alloc(size)
+    dst = b.node.memory.alloc(size)
+    payload = bytes(i % 256 for i in range(size))
+    a.node.memory.write(src, payload)
+
+    def app():
+        h = yield from a.rdma_write(src, dst, size)
+        yield from h.wait()
+
+    run_app(cluster, app(), limit_ms=5000)
+    assert b.node.memory.read(dst, size) == payload
+    assert a.stats.retransmitted_frames > 0
+
+
+def test_in_order_mode_never_applies_out_of_order():
+    cluster, a, b = pair("2L-1G")
+    size = 100_000
+    src = a.node.memory.alloc(size)
+    dst = b.node.memory.alloc(size)
+
+    def app():
+        h = yield from a.rdma_write(src, dst, size)
+        yield from h.wait()
+
+    run_app(cluster, app())
+    # Frames arrived out of order (two rails) but were buffered.
+    assert b.stats.out_of_order_frames > 0
+    assert b.stats.buffered_frames > 0
+
+
+def test_duplicate_triggers_immediate_ack():
+    cluster, a, b = pair()
+    src = a.node.memory.alloc(64)
+    dst = b.node.memory.alloc(64)
+
+    def app():
+        h = yield from a.rdma_write(src, dst, 64)
+        yield from h.wait()
+
+    run_app(cluster, app())
+    # Manually replay the delivered frame: the receiver should detect the
+    # duplicate and emit an explicit ack.
+    conn_b = b.conn
+    acks_before = conn_b.stats.explicit_acks_sent
+    dup_is_new, _ = conn_b.tracker.on_frame(0)
+    assert not dup_is_new

@@ -1,0 +1,114 @@
+"""Unit tests for delivery ordering and fence semantics."""
+
+from repro.core import FenceDelivery, InOrderDelivery
+from repro.ethernet import Frame, FrameType, MultiEdgeHeader, OpFlags
+
+
+def frame(seq, op_id=1, op_seq=0, flags=0, length=100, op_length=100,
+          ftype=FrameType.DATA):
+    header = MultiEdgeHeader(
+        frame_type=ftype,
+        flags=flags,
+        seq=seq,
+        op_id=op_id,
+        op_seq=op_seq,
+        op_length=op_length,
+        payload_length=length,
+    )
+    return Frame(src_mac=1, dst_mac=2, header=header,
+                 payload=bytes(length) if ftype == FrameType.DATA else None)
+
+
+class TestInOrderDelivery:
+    def test_in_order_applies_immediately(self):
+        d = InOrderDelivery()
+        apply_now, done = d.on_frame(frame(0))
+        assert [f.header.seq for f in apply_now] == [0]
+        assert len(done) == 1  # single-frame op completes
+
+    def test_out_of_order_buffers_until_gap_fills(self):
+        d = InOrderDelivery()
+        a1, _ = d.on_frame(frame(1, op_length=200))
+        assert a1 == [] and d.buffered == 1
+        a0, done = d.on_frame(frame(0, op_length=200))
+        assert [f.header.seq for f in a0] == [0, 1]
+        assert d.buffered == 0
+        assert len(done) == 1
+
+    def test_long_reorder_chain(self):
+        d = InOrderDelivery()
+        applied = []
+        for seq in [4, 3, 2, 1, 0]:
+            batch, _ = d.on_frame(frame(seq, op_length=500))
+            applied.extend(f.header.seq for f in batch)
+        assert applied == [0, 1, 2, 3, 4]
+
+    def test_multi_op_completion_order(self):
+        d = InOrderDelivery()
+        # op 0: seqs 0-1; op 1: seqs 2-3.  Deliver op 1 frames first.
+        d.on_frame(frame(2, op_id=10, op_seq=1, op_length=200))
+        d.on_frame(frame(3, op_id=10, op_seq=1, op_length=200))
+        assert d.watermark == 0
+        _, done0 = d.on_frame(frame(0, op_id=9, op_seq=0, op_length=200))
+        batch, done1 = d.on_frame(frame(1, op_id=9, op_seq=0, op_length=200))
+        done_ids = [op.op_id for op in done0 + done1]
+        assert done_ids == [9, 10]
+        assert d.watermark == 2
+
+
+class TestFenceDelivery:
+    def test_unfenced_applies_on_arrival(self):
+        d = FenceDelivery()
+        batch, done = d.on_frame(frame(5, op_seq=3))
+        assert [f.header.seq for f in batch] == [5]
+        assert len(done) == 1
+
+    def test_backward_fence_blocks_until_predecessors_done(self):
+        d = FenceDelivery()
+        # Op 1 carries a backward fence; op 0 hasn't arrived yet.
+        fenced = frame(1, op_id=11, op_seq=1, flags=OpFlags.FENCE_BACKWARD)
+        batch, _ = d.on_frame(fenced)
+        assert batch == [] and d.buffered == 1
+        # Op 0 arrives and completes -> fence lifts, both apply.
+        batch, done = d.on_frame(frame(0, op_id=10, op_seq=0))
+        assert [f.header.op_seq for f in batch] == [0, 1]
+        assert [op.op_id for op in done] == [10, 11]
+        assert d.buffered == 0
+
+    def test_backward_fence_with_multiframe_predecessor(self):
+        d = FenceDelivery()
+        fenced = frame(9, op_id=11, op_seq=1, flags=OpFlags.FENCE_BACKWARD)
+        assert d.on_frame(fenced)[0] == []
+        # First half of op 0: fence must still hold.
+        batch, _ = d.on_frame(frame(0, op_id=10, op_seq=0, op_length=200))
+        assert [f.header.op_seq for f in batch] == [0]
+        assert d.buffered == 1
+        # Second half completes op 0 -> fenced frame applies.
+        batch, done = d.on_frame(frame(1, op_id=10, op_seq=0, op_length=200))
+        assert [f.header.op_seq for f in batch] == [0, 1]
+        assert len(done) == 2
+
+    def test_fence_chain(self):
+        d = FenceDelivery()
+        f1 = frame(1, op_id=11, op_seq=1, flags=OpFlags.FENCE_BACKWARD)
+        f2 = frame(2, op_id=12, op_seq=2, flags=OpFlags.FENCE_BACKWARD)
+        assert d.on_frame(f2)[0] == []
+        assert d.on_frame(f1)[0] == []
+        batch, done = d.on_frame(frame(0, op_id=10, op_seq=0))
+        assert [f.header.op_seq for f in batch] == [0, 1, 2]
+        assert [op.op_seq for op in done] == [0, 1, 2]
+
+    def test_unfenced_overtakes_unfinished_earlier_op(self):
+        """Default behaviour: no ordering unless requested (paper §2.5)."""
+        d = FenceDelivery()
+        batch, done = d.on_frame(frame(7, op_id=20, op_seq=5))
+        assert len(batch) == 1 and len(done) == 1
+        assert d.watermark == 0  # earlier ops unseen; that's fine
+
+    def test_read_request_completes_on_apply(self):
+        d = FenceDelivery()
+        req = frame(0, op_id=30, op_seq=0, length=0, op_length=4096,
+                    ftype=FrameType.READ_REQ)
+        batch, done = d.on_frame(req)
+        assert len(batch) == 1
+        assert len(done) == 1 and done[0].is_read_request

@@ -1,0 +1,126 @@
+"""DSM robustness: credit recycling, fences on unordered rails, faults."""
+
+import numpy as np
+import pytest
+
+from repro.bench.cluster import make_cluster
+from repro.dsm import PAGE_SIZE, DsmRuntime
+from repro.dsm.runtime import INBOX_SLOTS
+from repro.ethernet import LinkParams
+
+
+def make_runtime(nodes=4, config="1L-1G", **kw):
+    return DsmRuntime(make_cluster(config, nodes=nodes, **kw))
+
+
+def test_mailbox_credit_recycling():
+    """Far more messages per pair than inbox slots: credits must recycle."""
+    rt = make_runtime(2)
+    rounds = INBOX_SLOTS * 4
+
+    def program(node):
+        for r in range(rounds):
+            yield from node.barrier(0)
+        return node.stats.barriers
+
+    result = rt.run(program)
+    assert result.returns == [rounds, rounds]
+
+
+def test_locks_on_unordered_rails():
+    """Mutual exclusion must hold when data frames reorder freely (2Lu)."""
+    rt = make_runtime(4, config="2Lu-1G")
+    region = rt.alloc_region("ctr", PAGE_SIZE, home="fixed:0")
+    rounds = 6
+
+    def program(node):
+        for _ in range(rounds):
+            yield from node.lock(3)
+            view = yield from node.access(region, 0, 8, "rw")
+            arr = view.view(np.int64)
+            old = int(arr[0])
+            yield from node.compute(2_000)
+            arr[0] = old + 1
+            yield from node.unlock(3)
+        yield from node.barrier(0)
+        view = yield from node.access(region, 0, 8, "r")
+        return int(view.view(np.int64)[0])
+
+    result = rt.run(program)
+    assert result.returns == [4 * rounds] * 4
+
+
+def test_dsm_survives_bit_errors():
+    rt = make_runtime(
+        3, link=LinkParams(speed_bps=1e9, bit_error_rate=1e-7)
+    )
+    region = rt.alloc_region("d", 32 * PAGE_SIZE, home="block")
+
+    def program(node):
+        # Each node writes a stripe, everyone checks everyone's stripe.
+        off = node.rank * 8 * PAGE_SIZE
+        view = yield from node.access(region, off, 8 * PAGE_SIZE, "rw")
+        view[:] = node.rank + 1
+        yield from node.barrier(0)
+        ok = True
+        for peer in range(node.size):
+            v = yield from node.access(
+                region, peer * 8 * PAGE_SIZE, 8 * PAGE_SIZE, "r"
+            )
+            ok = ok and bool((v == peer + 1).all())
+        return ok
+
+    result = rt.run(program, limit_ms=120_000)
+    assert all(result.returns)
+
+
+def test_region_api_validation():
+    rt = make_runtime(2)
+    with pytest.raises(ValueError):
+        rt.alloc_region("bad", 0)
+    with pytest.raises(ValueError):
+        rt.alloc_region("bad", 4096, home="nonsense")
+    region = rt.alloc_region("ok", 4096)
+
+    def program(node):
+        with pytest.raises(ValueError):
+            yield from node.access(region, 0, 8, "badmode")
+        yield 0
+
+    rt.run(program)
+
+
+def test_run_result_interrupt_fraction():
+    rt = make_runtime(2)
+    region = rt.alloc_region("d", 16 * PAGE_SIZE, home="fixed:0")
+
+    def program(node):
+        node.start_measurement()
+        if node.rank == 1:
+            yield from node.access(region, 0, 16 * PAGE_SIZE, "r")
+        yield from node.barrier(0)
+
+    result = rt.run(program)
+    assert result.interrupt_fraction > 0
+
+
+def test_dsm_on_10g_cluster():
+    rt = make_runtime(4, config="1L-10G")
+    region = rt.alloc_region("d", 8 * PAGE_SIZE, home="block")
+
+    def program(node):
+        view = yield from node.access(
+            region, node.rank * 2 * PAGE_SIZE, PAGE_SIZE, "rw"
+        )
+        view[:4] = node.rank + 10
+        yield from node.barrier(0)
+        total = 0
+        for peer in range(node.size):
+            v = yield from node.access(
+                region, peer * 2 * PAGE_SIZE, 4, "r"
+            )
+            total += int(v[0])
+        return total
+
+    result = rt.run(program)
+    assert result.returns == [sum(range(10, 14))] * 4

@@ -1,0 +1,249 @@
+"""Integration tests for the DSM runtime over the simulated cluster."""
+
+import numpy as np
+import pytest
+
+from repro.bench.cluster import make_cluster
+from repro.dsm import PAGE_SIZE, DsmRuntime, PageState
+
+
+def make_runtime(nodes=4, config="1L-1G", **kw):
+    cluster = make_cluster(config, nodes=nodes, **kw)
+    return DsmRuntime(cluster)
+
+
+class TestBarriers:
+    def test_barrier_synchronizes_all_nodes(self):
+        rt = make_runtime(4)
+        after = []
+
+        def program(node):
+            yield from node.compute(1000 * (node.rank + 1))
+            yield from node.barrier(0)
+            after.append((node.rank, node.sim.now))
+
+        rt.run(program)
+        times = [t for _, t in after]
+        # All nodes leave the barrier within a small window (message skew).
+        assert max(times) - min(times) < 300_000
+
+    def test_sequential_barriers(self):
+        rt = make_runtime(3)
+
+        def program(node):
+            for i in range(5):
+                yield from node.barrier(0)
+            return node.stats.barriers
+
+        result = rt.run(program)
+        assert result.returns == [5, 5, 5]
+
+    def test_single_node_barrier_is_local(self):
+        rt = make_runtime(1)
+
+        def program(node):
+            yield from node.barrier(0)
+            yield from node.barrier(0)
+
+        result = rt.run(program)
+        assert result.network.data_frames_sent == 0
+
+
+class TestSharedData:
+    def test_write_then_read_across_nodes(self):
+        rt = make_runtime(2)
+        region = rt.alloc_region("data", 4 * PAGE_SIZE, home="fixed:0")
+
+        def program(node):
+            if node.rank == 0:
+                view = yield from node.access(region, 0, 16, mode="rw")
+                view[:16] = np.frombuffer(b"hello, dsm world", dtype=np.uint8)
+            yield from node.barrier(0)
+            if node.rank == 1:
+                view = yield from node.access(region, 0, 16, mode="r")
+                return bytes(view[:16])
+
+        result = rt.run(program)
+        assert result.returns[1] == b"hello, dsm world"
+
+    def test_remote_write_invalidates_cached_copy(self):
+        rt = make_runtime(2)
+        region = rt.alloc_region("data", PAGE_SIZE, home="fixed:0")
+
+        def program(node):
+            values = []
+            # Both nodes read initial page.
+            view = yield from node.access(region, 0, 8, mode="r")
+            values.append(int(view[0]))
+            yield from node.barrier(0)
+            if node.rank == 0:
+                w = yield from node.access(region, 0, 8, mode="rw")
+                w[0] = 42
+            yield from node.barrier(0)
+            view = yield from node.access(region, 0, 8, mode="r")
+            values.append(int(view[0]))
+            return values
+
+        result = rt.run(program)
+        assert result.returns[0] == [0, 42]
+        assert result.returns[1] == [0, 42]
+        # Node 1 must have invalidated and refetched.
+        assert rt.nodes[1].stats.invalidations_applied >= 1
+        assert rt.nodes[1].stats.page_fetches >= 2
+
+    def test_diff_merge_false_sharing(self):
+        """Two nodes write disjoint halves of the same page; both survive."""
+        rt = make_runtime(3)
+        region = rt.alloc_region("page", PAGE_SIZE, home="fixed:2")
+
+        def program(node):
+            if node.rank == 0:
+                v = yield from node.access(region, 0, 8, mode="rw")
+                v[:8] = 1
+            elif node.rank == 1:
+                v = yield from node.access(region, 2048, 8, mode="rw")
+                v[:8] = 2
+            yield from node.barrier(0)
+            v = yield from node.access(region, 0, PAGE_SIZE, mode="r")
+            return (int(v[0]), int(v[2048]))
+
+        result = rt.run(program)
+        assert result.returns == [(1, 2), (1, 2), (1, 2)]
+
+    def test_block_home_gives_local_pages(self):
+        rt = make_runtime(4)
+        region = rt.alloc_region("blocked", 8 * PAGE_SIZE, home="block")
+
+        def program(node):
+            # Access own block: no fetches needed.
+            own_offset = node.rank * 2 * PAGE_SIZE
+            yield from node.access(region, own_offset, 2 * PAGE_SIZE, mode="rw")
+            return node.stats.page_fetches
+
+        result = rt.run(program)
+        assert result.returns == [0, 0, 0, 0]
+
+    def test_multi_page_fetch(self):
+        rt = make_runtime(2)
+        region = rt.alloc_region("big", 6 * PAGE_SIZE, home="fixed:0")
+
+        def program(node):
+            if node.rank == 1:
+                yield from node.access(region, 0, 6 * PAGE_SIZE, mode="r")
+                return node.stats.page_fetches
+
+        result = rt.run(program)
+        assert result.returns[1] == 6
+
+
+class TestLocks:
+    def test_mutual_exclusion_counter(self):
+        rt = make_runtime(4)
+        region = rt.alloc_region("counter", PAGE_SIZE, home="fixed:0")
+        increments = 5
+
+        def program(node):
+            for _ in range(increments):
+                yield from node.lock(7)
+                view = yield from node.access(region, 0, 8, mode="rw")
+                arr = view.view(np.int64)
+                old = int(arr[0])
+                yield from node.compute(500)
+                arr[0] = old + 1
+                yield from node.unlock(7)
+            yield from node.barrier(0)
+            view = yield from node.access(region, 0, 8, mode="r")
+            return int(view.view(np.int64)[0])
+
+        result = rt.run(program)
+        assert result.returns == [4 * increments] * 4
+
+    def test_lock_manager_on_other_node(self):
+        rt = make_runtime(3)
+        # lock 1 managed by node 1; nodes 0 and 2 contend.
+        order = []
+
+        def program(node):
+            if node.rank != 1:
+                yield from node.lock(1)
+                order.append(node.rank)
+                yield from node.compute(10_000)
+                yield from node.unlock(1)
+            yield from node.barrier(0)
+
+        rt.run(program)
+        assert sorted(order) == [0, 2]
+
+    def test_lock_stats(self):
+        rt = make_runtime(2)
+
+        def program(node):
+            yield from node.lock(0)
+            yield from node.unlock(0)
+            yield from node.barrier(0)
+
+        rt.run(program)
+        assert rt.nodes[0].stats.lock_acquires == 1
+        assert rt.nodes[1].stats.lock_acquires == 1
+
+
+class TestMeasurement:
+    def test_start_measurement_resets_counters(self):
+        rt = make_runtime(2)
+        region = rt.alloc_region("d", 4 * PAGE_SIZE, home="fixed:0")
+
+        def program(node):
+            # Init phase: generate traffic.
+            if node.rank == 1:
+                yield from node.access(region, 0, 4 * PAGE_SIZE, mode="r")
+            yield from node.barrier(0)
+            node.start_measurement()
+            yield from node.compute(50_000)
+            yield from node.barrier(0)
+
+        result = rt.run(program)
+        assert result.elapsed_ns > 0
+        # Fetches from the init phase are excluded from measured stats.
+        assert rt.nodes[1].stats.page_fetches == 0
+
+    def test_breakdown_fractions_sane(self):
+        rt = make_runtime(2)
+        region = rt.alloc_region("d", 16 * PAGE_SIZE, home="fixed:0")
+
+        def program(node):
+            node.start_measurement()
+            yield from node.compute(200_000)
+            if node.rank == 1:
+                yield from node.access(region, 0, 16 * PAGE_SIZE, mode="r")
+            yield from node.barrier(0)
+
+        result = rt.run(program)
+        for b in result.breakdowns:
+            assert 0.0 <= b.compute <= 1.0
+            assert 0.0 <= b.data_wait <= 1.0
+            assert 0.0 <= b.sync <= 1.0
+        # Node 1 waited on data.
+        assert result.breakdowns[1].data_wait > 0.0
+
+
+class TestChunkedNotices:
+    def test_many_dirty_pages_cross_barrier(self):
+        """Write-notice list exceeding one staging chunk still works."""
+        n_pages = 1500  # > NOTICES_PER_CHUNK (1024)
+        rt = make_runtime(2)
+        region = rt.alloc_region("wide", n_pages * PAGE_SIZE, home="fixed:1")
+
+        def program(node):
+            if node.rank == 0:
+                for p in range(0, n_pages, 8):
+                    v = yield from node.access(
+                        region, p * PAGE_SIZE, 8, mode="rw"
+                    )
+                    v[:] = 5
+            yield from node.barrier(0)
+            if node.rank == 1:
+                v = yield from node.access(region, 0, 8, mode="r")
+                return int(v[0])
+
+        result = rt.run(program, limit_ms=60_000)
+        assert result.returns[1] == 5

@@ -1,0 +1,103 @@
+"""Unit tests for frame model and header encoding."""
+
+import pytest
+
+from repro.ethernet import (
+    ETH_MIN_PAYLOAD,
+    ETH_OVERHEAD_BYTES,
+    MULTIEDGE_HEADER_BYTES,
+    Frame,
+    FrameType,
+    MultiEdgeHeader,
+    max_payload_per_frame,
+    wire_time_ns,
+)
+
+
+def make_frame(payload_len=100, **kwargs):
+    header = MultiEdgeHeader(payload_length=payload_len, **kwargs)
+    return Frame(src_mac=1, dst_mac=2, header=header, payload=bytes(payload_len))
+
+
+def test_header_roundtrip():
+    h = MultiEdgeHeader(
+        frame_type=FrameType.DATA,
+        flags=0b101,
+        connection_id=7,
+        seq=123456,
+        ack=99,
+        op_id=42,
+        op_seq=17,
+        remote_address=0xDEADBEEFCAFE,
+        op_length=1 << 20,
+        payload_length=1464,
+    )
+    decoded = MultiEdgeHeader.decode(h.encode())
+    assert decoded == h
+
+
+def test_header_is_36_bytes():
+    assert MULTIEDGE_HEADER_BYTES == 36
+    assert len(MultiEdgeHeader().encode()) == 36
+
+
+def test_header_decode_all_frame_types():
+    for ftype in FrameType:
+        h = MultiEdgeHeader(frame_type=ftype)
+        assert MultiEdgeHeader.decode(h.encode()).frame_type == ftype
+
+
+def test_max_payload_is_mtu_minus_header():
+    assert max_payload_per_frame() == 1500 - 36
+
+
+def test_frame_wire_bytes_includes_all_overhead():
+    f = make_frame(payload_len=1000)
+    assert f.wire_bytes == 1000 + 36 + ETH_OVERHEAD_BYTES
+
+
+def test_small_frame_padded_to_min_payload():
+    f = make_frame(payload_len=0)
+    # 36-byte MultiEdge header < 46-byte minimum, so the MAC payload pads.
+    assert f.mac_payload_bytes == ETH_MIN_PAYLOAD
+    assert f.wire_bytes == ETH_MIN_PAYLOAD + ETH_OVERHEAD_BYTES
+
+
+def test_frame_rejects_oversized_payload():
+    with pytest.raises(ValueError):
+        make_frame(payload_len=max_payload_per_frame() + 1)
+
+
+def test_frame_rejects_payload_length_mismatch():
+    header = MultiEdgeHeader(payload_length=10)
+    with pytest.raises(ValueError):
+        Frame(src_mac=1, dst_mac=2, header=header, payload=bytes(5))
+
+
+def test_frame_uids_are_unique():
+    a, b = make_frame(), make_frame()
+    assert a.uid != b.uid
+
+
+def test_is_data():
+    assert make_frame().is_data
+    ack = Frame(
+        src_mac=1, dst_mac=2, header=MultiEdgeHeader(frame_type=FrameType.ACK)
+    )
+    assert not ack.is_data
+
+
+def test_wire_time_1g_full_frame():
+    f = make_frame(payload_len=max_payload_per_frame())
+    # Full frame: 1500 MAC payload + 38 overhead = 1538 bytes = 12304 ns at 1G.
+    assert f.wire_bytes == 1538
+    assert wire_time_ns(f.wire_bytes, 1e9) == 12304
+
+
+def test_wire_time_10g_is_ten_times_faster():
+    assert wire_time_ns(1538, 10e9) == 1230  # rounds 1230.4
+
+
+def test_repr_is_compact():
+    text = repr(make_frame(payload_len=5, seq=3))
+    assert "DATA" in text and "seq=3" in text

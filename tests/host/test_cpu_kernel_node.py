@@ -1,0 +1,200 @@
+"""Unit tests for CPU accounting, kernel dispatch, and node assembly."""
+
+import pytest
+
+from repro.ethernet import Frame, LinkParams, MultiEdgeHeader, connect_back_to_back
+from repro.host import Cpu, CpuAccounting, HostParams, Node
+from repro.sim import RngRegistry, Simulator
+
+
+def test_cpu_run_charges_tag():
+    sim = Simulator()
+    acc = CpuAccounting()
+    cpu = Cpu(sim, 0, acc)
+
+    def body():
+        yield from cpu.run(1000, "app")
+        yield from cpu.run(500, "protocol.recv")
+
+    proc = sim.process(body())
+    sim.run_until_done(proc)
+    assert acc.by_tag["app"] == 1000
+    assert acc.by_tag["protocol.recv"] == 500
+    assert acc.total("protocol") == 500
+    assert acc.total() == 1500
+
+
+def test_cpu_run_zero_duration_is_noop():
+    sim = Simulator()
+    acc = CpuAccounting()
+    cpu = Cpu(sim, 0, acc)
+
+    def body():
+        yield from cpu.run(0, "app")
+        yield 10
+
+    sim.run_until_done(sim.process(body()))
+    assert acc.total() == 0
+
+
+def test_cpu_serializes_two_processes():
+    sim = Simulator()
+    acc = CpuAccounting()
+    cpu = Cpu(sim, 0, acc)
+    ends = []
+
+    def body(tag):
+        yield from cpu.run(100, tag)
+        ends.append(sim.now)
+
+    sim.process(body("a"))
+    sim.process(body("b"))
+    sim.run()
+    assert ends == [100, 200]
+
+
+def test_accounting_epoch():
+    acc = CpuAccounting()
+    acc.charge("app", 100)
+    acc.mark_epoch()
+    acc.charge("app", 50)
+    acc.charge("dsm", 25)
+    assert acc.since_epoch() == {"app": 50, "dsm": 25}
+
+
+def test_node_has_cpus_nics_memory():
+    sim = Simulator()
+    node = Node(sim, node_id=3)
+    assert len(node.cpus) == 2
+    assert node.app_cpu is node.cpus[0]
+    assert node.protocol_cpu is node.cpus[1]
+    assert len(node.nics) == 1
+    assert node.memory.alloc(10) > 0
+
+
+def test_host_params_validation():
+    with pytest.raises(ValueError):
+        HostParams(cpus=0)
+
+
+def test_memcpy_cost_model():
+    p = HostParams()
+    assert p.memcpy_ns(0) == 0
+    assert p.memcpy_ns(1024) == p.memcpy_base_ns + p.memcpy_ns_per_kb
+    assert p.memcpy_ns(4096) > p.memcpy_ns(1024)
+
+
+class RecordingClient:
+    """Driver client that records frames and charges a fixed CPU cost."""
+
+    def __init__(self, cost=100):
+        self.frames = []
+        self.completions = []
+        self.cost = cost
+
+    def handle_frame(self, frame, cpu):
+        yield from cpu.run(self.cost, "protocol.recv")
+        self.frames.append(frame)
+
+    def handle_tx_completions(self, nic, count, cpu):
+        yield from cpu.run(self.cost, "protocol.send")
+        self.completions.append(count)
+
+
+def make_wired_pair(sim, rng=None):
+    rng = rng or RngRegistry(0)
+    a = Node(sim, 0, rng=rng, name="a")
+    b = Node(sim, 1, rng=rng, name="b")
+    connect_back_to_back(
+        sim, a.nics[0], b.nics[0], LinkParams(propagation_ns=100), rng
+    )
+    return a, b
+
+
+def frame_to(b_node, n=100, seq=0):
+    return Frame(
+        src_mac=0,
+        dst_mac=b_node.nics[0].mac,
+        header=MultiEdgeHeader(payload_length=n, seq=seq),
+        payload=bytes(n),
+    )
+
+
+def test_kernel_delivers_frames_to_client():
+    sim = Simulator()
+    a, b = make_wired_pair(sim)
+    client = RecordingClient()
+    b.kernel.attach_client(client)
+    for seq in range(10):
+        a.nics[0].transmit(frame_to(b, seq=seq))
+    sim.run()
+    assert len(client.frames) == 10
+    assert [f.header.seq for f in client.frames] == list(range(10))
+    # Interrupt and protocol time were charged.
+    assert b.accounting.total("interrupt") > 0
+    assert b.accounting.total("protocol.recv") == 1000
+
+
+def test_kernel_coalesces_interrupts_under_load():
+    sim = Simulator()
+    a, b = make_wired_pair(sim)
+    client = RecordingClient(cost=2000)
+    b.kernel.attach_client(client)
+    n = 64
+    for seq in range(n):
+        a.nics[0].transmit(frame_to(b, seq=seq))
+    sim.run()
+    assert len(client.frames) == n
+    # Far fewer interrupts than frames: polling + masking coalesces.
+    assert b.kernel.irqs_handled < n / 2
+
+
+def test_kernel_tx_completions_reach_sender_client():
+    sim = Simulator()
+    a, b = make_wired_pair(sim)
+    client_a = RecordingClient()
+    a.kernel.attach_client(client_a)
+    b.kernel.attach_client(RecordingClient())
+    for seq in range(5):
+        a.nics[0].transmit(frame_to(b, seq=seq))
+    sim.run()
+    assert sum(client_a.completions) == 5
+
+
+def test_kernel_kick_wakes_kthread_without_irq():
+    sim = Simulator()
+    node = Node(sim, 0, name="solo")
+    client = RecordingClient()
+    node.kernel.attach_client(client)
+    before = node.kernel.kthread_wakeups
+    node.kernel.kick()
+    sim.run()
+    assert node.kernel.kthread_wakeups == before + 1
+
+
+def test_node_protocol_cpu_time_and_utilization():
+    sim = Simulator()
+    a, b = make_wired_pair(sim)
+    b.kernel.attach_client(RecordingClient(cost=1000))
+    a.kernel.attach_client(RecordingClient(cost=0))
+    for seq in range(20):
+        a.nics[0].transmit(frame_to(b, seq=seq))
+    sim.run()
+    elapsed = sim.now
+    assert b.protocol_cpu_time() >= 20_000
+    assert 0.0 < b.protocol_utilization(elapsed) <= 2.0
+    assert 0.0 < b.cpu_utilization(elapsed) <= 2.0
+
+
+def test_interrupts_reenabled_after_drain():
+    sim = Simulator()
+    a, b = make_wired_pair(sim)
+    b.kernel.attach_client(RecordingClient())
+    a.kernel.attach_client(RecordingClient())
+    a.nics[0].transmit(frame_to(b))
+    sim.run()
+    assert b.nics[0].interrupts_enabled
+    # A second frame still gets processed (no lost-wakeup race).
+    a.nics[0].transmit(frame_to(b, seq=1))
+    sim.run()
+    assert b.nics[0].interrupts_enabled

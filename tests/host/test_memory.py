@@ -1,0 +1,100 @@
+"""Unit tests for the virtual memory model."""
+
+import numpy as np
+import pytest
+
+from repro.host import MemoryFault, VirtualMemory
+
+
+def test_alloc_returns_distinct_addresses():
+    vm = VirtualMemory()
+    a = vm.alloc(100)
+    b = vm.alloc(100)
+    assert a != b
+    assert b >= a + 100
+
+
+def test_write_read_roundtrip():
+    vm = VirtualMemory()
+    addr = vm.alloc(64)
+    vm.write(addr, b"hello world")
+    assert vm.read(addr, 11) == b"hello world"
+
+
+def test_write_read_at_offset():
+    vm = VirtualMemory()
+    addr = vm.alloc(1000)
+    vm.write(addr + 500, b"xyz")
+    assert vm.read(addr + 500, 3) == b"xyz"
+    assert vm.read(addr, 3) == b"\x00\x00\x00"
+
+
+def test_alloc_zero_rejected():
+    vm = VirtualMemory()
+    with pytest.raises(ValueError):
+        vm.alloc(0)
+
+
+def test_read_unmapped_faults():
+    vm = VirtualMemory()
+    vm.alloc(10)
+    with pytest.raises(MemoryFault):
+        vm.read(0x10, 4)
+
+
+def test_access_past_end_faults():
+    vm = VirtualMemory()
+    addr = vm.alloc(10)
+    with pytest.raises(MemoryFault):
+        vm.read(addr + 8, 4)
+    with pytest.raises(MemoryFault):
+        vm.write(addr + 8, b"abcd")
+
+
+def test_guard_gap_between_allocations():
+    vm = VirtualMemory()
+    a = vm.alloc(10)
+    vm.alloc(10)
+    # One byte past allocation `a` must fault, not hit the next buffer.
+    with pytest.raises(MemoryFault):
+        vm.read(a + 10, 1)
+
+
+def test_view_is_zero_copy():
+    vm = VirtualMemory()
+    addr = vm.alloc(16)
+    view = vm.view(addr, 16)
+    view[0] = 0xAB
+    assert vm.read(addr, 1) == b"\xab"
+
+
+def test_ndarray_typed_view():
+    vm = VirtualMemory()
+    addr = vm.alloc(8 * 10)
+    arr = vm.ndarray(addr, (10,), np.float64)
+    arr[:] = np.arange(10.0)
+    again = vm.ndarray(addr, (10,), np.float64)
+    assert np.array_equal(again, np.arange(10.0))
+
+
+def test_write_accepts_numpy_array():
+    vm = VirtualMemory()
+    addr = vm.alloc(4)
+    vm.write(addr, np.array([1, 2, 3, 4], dtype=np.uint8))
+    assert vm.read(addr, 4) == b"\x01\x02\x03\x04"
+
+
+def test_allocated_bytes():
+    vm = VirtualMemory()
+    vm.alloc(100)
+    vm.alloc(50)
+    assert vm.allocated_bytes == 150
+
+
+def test_many_allocations_lookup():
+    vm = VirtualMemory()
+    addrs = [vm.alloc(32) for _ in range(200)]
+    for i, addr in enumerate(addrs):
+        vm.write(addr, bytes([i % 256] * 4))
+    for i, addr in enumerate(addrs):
+        assert vm.read(addr, 4) == bytes([i % 256] * 4)

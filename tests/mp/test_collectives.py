@@ -1,0 +1,143 @@
+"""Tests for collective operations at several world sizes."""
+
+import numpy as np
+import pytest
+
+from repro.bench import make_cluster
+from repro.mp import (
+    MpWorld,
+    allreduce,
+    alltoall,
+    barrier,
+    bcast,
+    gather,
+    reduce,
+)
+
+SIZES = [1, 2, 3, 4, 7, 8]
+
+
+def world(nodes):
+    return MpWorld(make_cluster("1L-1G", nodes=nodes))
+
+
+@pytest.mark.parametrize("nodes", SIZES)
+def test_barrier_synchronizes(nodes):
+    w = world(nodes)
+    exits = []
+
+    def program(ep):
+        yield 1000 * (ep.rank + 1)  # staggered arrival
+        yield from barrier(ep)
+        exits.append(ep.sim.now)
+
+    w.run(program)
+    assert max(exits) - min(exits) < 500_000
+
+
+@pytest.mark.parametrize("nodes", SIZES)
+def test_barrier_repeatable(nodes):
+    w = world(nodes)
+
+    def program(ep):
+        for round_no in range(4):
+            yield from barrier(ep, tag_round=round_no)
+        return True
+
+    assert all(w.run(program))
+
+
+@pytest.mark.parametrize("nodes", SIZES)
+@pytest.mark.parametrize("root", [0, 1])
+def test_bcast(nodes, root):
+    if root >= nodes:
+        pytest.skip("root outside world")
+    w = world(nodes)
+    payload = b"broadcast-payload" * 10
+
+    def program(ep):
+        data = payload if ep.rank == root else None
+        out = yield from bcast(ep, data, root=root)
+        return out
+
+    assert w.run(program) == [payload] * nodes
+
+
+@pytest.mark.parametrize("nodes", SIZES)
+def test_reduce_sum(nodes):
+    w = world(nodes)
+
+    def program(ep):
+        value = np.array([float(ep.rank + 1), 2.0])
+        out = yield from reduce(ep, value, np.add, root=0)
+        return None if out is None else out.tolist()
+
+    results = w.run(program)
+    expected = [sum(range(1, nodes + 1)), 2.0 * nodes]
+    assert results[0] == expected
+    assert all(r is None for r in results[1:])
+
+
+@pytest.mark.parametrize("nodes", SIZES)
+def test_allreduce_max(nodes):
+    w = world(nodes)
+
+    def program(ep):
+        value = np.array([float(ep.rank)])
+        out = yield from allreduce(ep, value, np.maximum)
+        return float(out[0])
+
+    assert w.run(program) == [float(nodes - 1)] * nodes
+
+
+@pytest.mark.parametrize("nodes", SIZES)
+def test_gather(nodes):
+    w = world(nodes)
+
+    def program(ep):
+        out = yield from gather(ep, bytes([ep.rank]) * 3, root=0)
+        return out
+
+    results = w.run(program)
+    assert results[0] == [bytes([r]) * 3 for r in range(nodes)]
+
+
+@pytest.mark.parametrize("nodes", SIZES)
+def test_alltoall(nodes):
+    w = world(nodes)
+
+    def program(ep):
+        chunks = [bytes([ep.rank * 16 + d]) for d in range(ep.size)]
+        out = yield from alltoall(ep, chunks)
+        return [c[0] for c in out]
+
+    results = w.run(program)
+    for rank, row in enumerate(results):
+        assert row == [src * 16 + rank for src in range(nodes)]
+
+
+def test_alltoall_wrong_chunks_rejected():
+    w = world(2)
+
+    def program(ep):
+        yield from alltoall(ep, [b"x"])  # needs 2 chunks
+
+    with pytest.raises(Exception):
+        w.run(program)
+
+
+def test_allreduce_matches_numpy_on_matrices():
+    w = world(4)
+
+    def program(ep):
+        rng = np.random.default_rng(ep.rank)
+        value = rng.standard_normal((8, 8))
+        out = yield from allreduce(ep, value, np.add)
+        return out
+
+    results = w.run(program)
+    expected = sum(
+        np.random.default_rng(r).standard_normal((8, 8)) for r in range(4)
+    )
+    for out in results:
+        assert np.allclose(out, expected)

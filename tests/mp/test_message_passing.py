@@ -1,0 +1,184 @@
+"""Tests for the message-passing layer (point-to-point + matching)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import make_cluster
+from repro.mp import ANY_SOURCE, ANY_TAG, MpWorld
+from repro.mp.endpoint import SLOT_BYTES
+
+
+def world(nodes=2, config="1L-1G", **kw):
+    return MpWorld(make_cluster(config, nodes=nodes, **kw))
+
+
+class TestPointToPoint:
+    def test_simple_send_recv(self):
+        w = world()
+
+        def program(ep):
+            if ep.rank == 0:
+                yield from ep.send(1, b"ping", tag=7)
+            else:
+                msg = yield from ep.recv(source=0, tag=7)
+                return msg.data
+
+        assert w.run(program)[1] == b"ping"
+
+    def test_eager_boundary_sizes(self):
+        sizes = [1, 100, SLOT_BYTES - 64, SLOT_BYTES - 32]
+        w = world()
+
+        def program(ep):
+            out = []
+            if ep.rank == 0:
+                for i, s in enumerate(sizes):
+                    yield from ep.send(1, bytes([i]) * s, tag=i)
+            else:
+                for i, s in enumerate(sizes):
+                    msg = yield from ep.recv(source=0, tag=i)
+                    out.append((len(msg.data), msg.data[:1]))
+            return out
+
+        results = w.run(program)[1]
+        assert results == [(s, bytes([i])) for i, s in enumerate(sizes)]
+
+    def test_rendezvous_large_message(self):
+        w = world()
+        size = 500_000
+        payload = bytes(i % 256 for i in range(size))
+
+        def program(ep):
+            if ep.rank == 0:
+                yield from ep.send(1, payload, tag=1)
+            else:
+                msg = yield from ep.recv(source=0, tag=1)
+                return msg.data == payload
+
+        assert w.run(program)[1] is True
+
+    def test_rendezvous_recv_posted_first(self):
+        w = world()
+        size = 200_000
+
+        def program(ep):
+            if ep.rank == 1:
+                msg = yield from ep.recv(source=0, tag=2)
+                return len(msg.data)
+            # Let the receiver block first, then send.
+            yield 2_000_000
+            yield from ep.send(1, b"z" * size, tag=2)
+
+        assert w.run(program)[1] == size
+
+    def test_message_order_preserved_per_tag(self):
+        w = world()
+        n = 40
+
+        def program(ep):
+            if ep.rank == 0:
+                for i in range(n):
+                    yield from ep.send(1, i.to_bytes(4, "big"), tag=3)
+            else:
+                got = []
+                for _ in range(n):
+                    msg = yield from ep.recv(source=0, tag=3)
+                    got.append(int.from_bytes(msg.data, "big"))
+                return got
+
+        assert w.run(program)[1] == list(range(n))
+
+    def test_tag_matching_out_of_order(self):
+        w = world()
+
+        def program(ep):
+            if ep.rank == 0:
+                yield from ep.send(1, b"first", tag=10)
+                yield from ep.send(1, b"second", tag=20)
+            else:
+                # Ask for tag 20 first: tag-10 message must wait unexpected.
+                m20 = yield from ep.recv(source=0, tag=20)
+                m10 = yield from ep.recv(source=0, tag=10)
+                return (m20.data, m10.data)
+
+        assert w.run(program)[1] == (b"second", b"first")
+
+    def test_wildcard_source_and_tag(self):
+        w = world(nodes=3)
+
+        def program(ep):
+            if ep.rank in (0, 1):
+                yield from ep.send(2, bytes([ep.rank]), tag=ep.rank + 50)
+            else:
+                a = yield from ep.recv(source=ANY_SOURCE, tag=ANY_TAG)
+                b = yield from ep.recv(source=ANY_SOURCE, tag=ANY_TAG)
+                return sorted([a.data[0], b.data[0]])
+
+        assert w.run(program)[2] == [0, 1]
+
+    def test_self_send_rejected(self):
+        w = world()
+
+        def program(ep):
+            if ep.rank == 0:
+                yield from ep.send(0, b"x")
+            yield 0
+
+        with pytest.raises(Exception):
+            w.run(program)
+
+    def test_credit_flow_many_messages(self):
+        """More messages than ring slots: credits must recycle slots."""
+        w = world()
+        n = 200
+
+        def program(ep):
+            if ep.rank == 0:
+                for i in range(n):
+                    yield from ep.send(1, i.to_bytes(4, "big"), tag=1)
+            else:
+                total = 0
+                for _ in range(n):
+                    msg = yield from ep.recv(source=0, tag=1)
+                    total += int.from_bytes(msg.data, "big")
+                return total
+
+        assert w.run(program)[1] == sum(range(n))
+
+    def test_bidirectional_exchange(self):
+        w = world()
+
+        def program(ep):
+            peer = 1 - ep.rank
+            yield from ep.send(peer, bytes([ep.rank]) * 1000, tag=4)
+            msg = yield from ep.recv(source=peer, tag=4)
+            return msg.data[0]
+
+        assert w.run(program) == [1, 0]
+
+    def test_stats_counters(self):
+        w = world()
+
+        def program(ep):
+            if ep.rank == 0:
+                yield from ep.send(1, b"x", tag=0)
+            else:
+                yield from ep.recv()
+
+        w.run(program)
+        assert w.endpoints[0].stats_sent == 1
+        assert w.endpoints[1].stats_received == 1
+
+    def test_works_on_two_rails(self):
+        w = world(config="2Lu-1G")
+        size = 300_000
+        payload = bytes(i % 255 for i in range(size))
+
+        def program(ep):
+            if ep.rank == 0:
+                yield from ep.send(1, payload, tag=1)
+            else:
+                msg = yield from ep.recv(source=0, tag=1)
+                return msg.data == payload
+
+        assert w.run(program)[1] is True

@@ -1,0 +1,277 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (
+    Event,
+    SimulationError,
+    Simulator,
+    Timer,
+    all_of,
+    any_of,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(30, seen.append, "c")
+    sim.schedule(10, seen.append, "a")
+    sim.schedule(20, seen.append, "b")
+    sim.run()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_time_events_fifo():
+    sim = Simulator()
+    seen = []
+    for tag in range(10):
+        sim.schedule(5, seen.append, tag)
+    sim.run()
+    assert seen == list(range(10))
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    seen = []
+    sim.schedule(10, seen.append, 1)
+    sim.schedule(100, seen.append, 2)
+    sim.run(until=50)
+    assert seen == [1]
+    assert sim.now == 50
+    sim.run()
+    assert seen == [1, 2]
+    assert sim.now == 100
+
+
+def test_run_until_with_empty_queue_advances_clock():
+    sim = Simulator()
+    sim.run(until=500)
+    assert sim.now == 500
+
+
+def test_at_schedules_absolute():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run()
+    seen = []
+    sim.at(25, seen.append, "x")
+    sim.run()
+    assert sim.now == 25 and seen == ["x"]
+
+
+def test_process_timeout_yield():
+    sim = Simulator()
+    marks = []
+
+    def body():
+        marks.append(sim.now)
+        yield 100
+        marks.append(sim.now)
+        yield 50
+        marks.append(sim.now)
+        return "done"
+
+    proc = sim.process(body())
+    result = sim.run_until_done(proc)
+    assert marks == [0, 100, 150]
+    assert result == "done"
+    assert proc.finished
+
+
+def test_process_waits_on_event():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append((sim.now, value))
+
+    sim.process(waiter())
+    sim.schedule(40, ev.trigger, "payload")
+    sim.run()
+    assert got == [(40, "payload")]
+
+
+def test_process_waits_on_already_triggered_event():
+    sim = Simulator()
+    ev = sim.event()
+    ev.trigger(7)
+
+    def waiter():
+        value = yield ev
+        return value
+
+    proc = sim.process(waiter())
+    assert sim.run_until_done(proc) == 7
+
+
+def test_process_joins_process():
+    sim = Simulator()
+
+    def child():
+        yield 30
+        return 42
+
+    def parent():
+        value = yield sim.process(child())
+        return value + 1
+
+    proc = sim.process(parent())
+    assert sim.run_until_done(proc) == 43
+    assert sim.now == 30
+
+
+def test_event_double_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    ev.trigger()
+    with pytest.raises(SimulationError):
+        ev.trigger()
+
+
+def test_event_wakes_multiple_waiters_in_order():
+    sim = Simulator()
+    ev = sim.event()
+    order = []
+
+    def waiter(tag):
+        yield ev
+        order.append(tag)
+
+    for tag in "abc":
+        sim.process(waiter(tag))
+    sim.schedule(10, ev.trigger)
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_exception_propagates_with_context():
+    sim = Simulator()
+
+    def bad():
+        yield 10
+        raise ValueError("boom")
+
+    sim.process(bad(), name="badproc")
+    with pytest.raises(SimulationError, match="badproc"):
+        sim.run()
+
+
+def test_process_yield_bad_type_raises():
+    sim = Simulator()
+
+    def bad():
+        yield "not a valid target"
+
+    sim.process(bad())
+    with pytest.raises(SimulationError, match="unsupported"):
+        sim.run()
+
+
+def test_process_float_yield_rounds():
+    sim = Simulator()
+
+    def body():
+        yield 10.6
+
+    proc = sim.process(body())
+    sim.run_until_done(proc)
+    assert sim.now == 11
+
+
+def test_timer_fires():
+    sim = Simulator()
+    fired = []
+    Timer(sim, 25, fired.append, "t")
+    sim.run()
+    assert fired == ["t"]
+    assert sim.now == 25
+
+
+def test_timer_cancel_prevents_fire():
+    sim = Simulator()
+    fired = []
+    t = sim.timer(25, fired.append, "t")
+    assert t.active
+    t.cancel()
+    sim.run()
+    assert fired == []
+    assert not t.active
+
+
+def test_timer_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timer(-5, lambda: None)
+
+
+def test_run_until_done_detects_deadlock():
+    sim = Simulator()
+
+    def stuck():
+        yield sim.event()  # never triggered
+
+    proc = sim.process(stuck())
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_done(proc)
+
+
+def test_run_until_done_respects_time_limit():
+    sim = Simulator()
+
+    def slow():
+        yield 10_000
+
+    proc = sim.process(slow())
+    with pytest.raises(SimulationError, match="limit"):
+        sim.run_until_done(proc, limit=100)
+
+
+def test_all_of_collects_values_in_order():
+    sim = Simulator()
+    evs = [sim.event() for _ in range(3)]
+    combined = all_of(sim, evs)
+    sim.schedule(30, evs[2].trigger, "z")
+    sim.schedule(10, evs[0].trigger, "x")
+    sim.schedule(20, evs[1].trigger, "y")
+    sim.run()
+    assert combined.triggered
+    assert combined.value == ["x", "y", "z"]
+
+
+def test_all_of_empty_triggers_immediately():
+    sim = Simulator()
+    combined = all_of(sim, [])
+    assert combined.triggered and combined.value == []
+
+
+def test_any_of_first_wins():
+    sim = Simulator()
+    evs = [sim.event() for _ in range(3)]
+    combined = any_of(sim, evs)
+    sim.schedule(20, evs[1].trigger, "mid")
+    sim.schedule(30, evs[0].trigger, "late")
+    sim.run()
+    assert combined.value == (1, "mid")
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for _ in range(5):
+        sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.events_processed == 5

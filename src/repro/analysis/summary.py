@@ -41,6 +41,18 @@ class ClusterSummary:
     crc_drops: int
     # Host layer.
     protocol_cpu_fraction_mean: float
+    # Event-loop behaviour (see repro.sim.core.Simulator).  Regressions in
+    # scheduling structure show up here before they show up as wall time.
+    events_processed: int = 0
+    heap_pushes: int = 0
+    fastlane_hits: int = 0
+    cancelled_popped: int = 0
+
+    @property
+    def fastlane_fraction(self) -> float:
+        """Share of scheduled work that skipped the heap."""
+        total = self.heap_pushes + self.fastlane_hits
+        return self.fastlane_hits / total if total else 0.0
 
     @property
     def goodput_mbps(self) -> float:
@@ -100,6 +112,10 @@ def summarize_cluster(
         nic_ring_drops=ring,
         crc_drops=crc,
         protocol_cpu_fraction_mean=proto_frac,
+        events_processed=cluster.sim.events_processed,
+        heap_pushes=getattr(cluster.sim, "heap_pushes", 0),
+        fastlane_hits=getattr(cluster.sim, "fastlane_hits", 0),
+        cancelled_popped=getattr(cluster.sim, "cancelled_popped", 0),
     )
 
 

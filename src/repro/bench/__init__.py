@@ -3,11 +3,13 @@
 from .cluster import CONFIG_NAMES, Cluster, ClusterConfig, make_cluster
 from .micro import MicroResult, run_micro, run_one_way, run_ping_pong, run_two_way
 from .report import Table, band_str, check_band, fmt
+from .parallel import parallel_app_runs, parallel_micro_sweep, run_points
 from .runner import (
     DEFAULT_SIZES,
     MICRO_BENCHMARKS,
     app_run,
     app_speedup_curve,
+    micro_point,
     micro_sweep,
 )
 
@@ -22,6 +24,10 @@ __all__ = [
     "run_one_way",
     "run_two_way",
     "micro_sweep",
+    "micro_point",
+    "parallel_micro_sweep",
+    "parallel_app_runs",
+    "run_points",
     "app_run",
     "app_speedup_curve",
     "DEFAULT_SIZES",

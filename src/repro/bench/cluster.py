@@ -127,9 +127,15 @@ def make_cluster(
     config: str,
     nodes: Optional[int] = None,
     seed: int = 0,
+    synthetic_payloads: bool = False,
     **overrides,
 ) -> "Cluster":
-    """Build a cluster by configuration name, optionally resized/reseeded."""
+    """Build a cluster by configuration name, optionally resized/reseeded.
+
+    ``synthetic_payloads=True`` switches the protocol layer to length-only
+    frames (no payload bytes are allocated or copied); timing and results
+    are identical, so benchmark harnesses use it to cut wall time.
+    """
     try:
         factory = _CONFIG_FACTORIES[config]
     except KeyError:
@@ -139,6 +145,10 @@ def make_cluster(
     cfg = factory(nodes) if nodes is not None else factory()
     if overrides:
         cfg = replace(cfg, **overrides)
+    if synthetic_payloads:
+        cfg = replace(
+            cfg, protocol=replace(cfg.protocol, synthetic_payloads=True)
+        )
     cfg = replace(cfg, seed=seed)
     return Cluster(cfg)
 

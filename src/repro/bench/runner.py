@@ -5,12 +5,16 @@ returns structured results.  Results are cached per-process keyed on the
 experiment parameters, so the three Figure-2 benchmarks (latency,
 throughput, CPU) share one sweep, and pytest-benchmark's timing hooks can
 re-enter without re-simulating.
+
+The caches are plain dicts keyed per *point* — one ``(config, benchmark,
+size, seed)`` micro run or one ``(app, config, nodes, seed)`` application
+run — rather than per sweep, so :mod:`repro.bench.parallel` can compute
+points in worker processes and prime them here; a later serial
+:func:`micro_sweep` call then assembles its tuple entirely from cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import lru_cache
 from typing import Optional, Sequence
 
 from typing import TYPE_CHECKING
@@ -24,6 +28,7 @@ if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
 __all__ = [
     "DEFAULT_SIZES",
     "micro_sweep",
+    "micro_point",
     "app_run",
     "app_speedup_curve",
     "MICRO_BENCHMARKS",
@@ -33,8 +38,35 @@ MICRO_BENCHMARKS = ("ping-pong", "one-way", "two-way")
 
 DEFAULT_SIZES = (64, 256, 1024, 4096, 16384, 65536, 262144, 1048576)
 
+# Per-point result caches.  Keys are the full argument tuples of
+# micro_point / app_run; repro.bench.parallel primes these directly.
+_micro_cache: dict[tuple, MicroResult] = {}
+_app_cache: dict[tuple, "AppResult"] = {}
 
-@lru_cache(maxsize=None)
+
+def micro_iterations(size: int) -> Optional[int]:
+    """Iteration count for one micro point (None = benchmark default)."""
+    return 10 if size >= 262144 else None
+
+
+def micro_point(
+    config: str, benchmark: str, size: int, seed: int = 0
+) -> MicroResult:
+    """One micro-benchmark at one transfer size, on a fresh cluster."""
+    key = (config, benchmark, size, seed)
+    hit = _micro_cache.get(key)
+    if hit is None:
+        # Length-only payloads: identical results, no byte shuffling.
+        cluster = make_cluster(
+            config, nodes=2, seed=seed, synthetic_payloads=True
+        )
+        hit = run_micro(
+            benchmark, cluster, size, iterations=micro_iterations(size)
+        )
+        _micro_cache[key] = hit
+    return hit
+
+
 def micro_sweep(
     config: str,
     benchmark: str,
@@ -42,17 +74,9 @@ def micro_sweep(
     seed: int = 0,
 ) -> tuple[MicroResult, ...]:
     """One micro-benchmark across transfer sizes on a fresh cluster each."""
-    results = []
-    for size in sizes:
-        cluster = make_cluster(config, nodes=2, seed=seed)
-        iterations = 10 if size >= 262144 else None
-        results.append(
-            run_micro(benchmark, cluster, size, iterations=iterations)
-        )
-    return tuple(results)
+    return tuple(micro_point(config, benchmark, size, seed) for size in sizes)
 
 
-@lru_cache(maxsize=None)
 def app_run(
     app_name: str,
     config: str = "1L-1G",
@@ -60,10 +84,15 @@ def app_run(
     seed: int = 0,
 ) -> "AppResult":
     """One application run (cached: Figures 3/5/6 share 1-node baselines)."""
-    from ..apps import APP_CLASSES, run_app
+    key = (app_name, config, nodes, seed)
+    hit = _app_cache.get(key)
+    if hit is None:
+        from ..apps import APP_CLASSES, run_app
 
-    app = APP_CLASSES[app_name]()
-    return run_app(app, config=config, nodes=nodes, seed=seed)
+        app = APP_CLASSES[app_name]()
+        hit = run_app(app, config=config, nodes=nodes, seed=seed)
+        _app_cache[key] = hit
+    return hit
 
 
 def app_speedup_curve(

@@ -73,6 +73,12 @@ class ProtocolParams:
     pump_batch: int = 8
     # Cost of reclaiming a batch of TX descriptors.
     tx_complete_ns: int = 400
+    # Length-only payloads: frames carry no bytes, only header lengths.
+    # Every CPU/wire cost is computed from lengths, so timing and results
+    # are identical to carrying real bytes; memory contents are simply not
+    # moved.  Used by the micro-benchmark harness; applications that read
+    # back received data must keep this off.
+    synthetic_payloads: bool = False
 
     def __post_init__(self) -> None:
         if self.window_frames < 1:
@@ -137,13 +143,18 @@ class Notification:
     delivered_at: int
 
 
-@dataclass
+@dataclass(slots=True)
 class _FrameDesc:
-    """A not-yet-transmitted fragment of an operation."""
+    """A not-yet-transmitted fragment of an operation.
+
+    ``payload_len`` is authoritative for frame sizing; ``payload`` holds
+    the actual bytes, or None for READ_REQs and synthetic-payload mode.
+    """
 
     op: Operation
     payload: Optional[bytes]
     remote_address: int
+    payload_len: int = 0
     is_read_req: bool = False
     read_dest_address: int = 0  # READ_REQ: requester's local buffer
 
@@ -235,20 +246,22 @@ class Connection:
             length=length,
         )
         self._next_op_seq += 1
-        data = self.node.memory.read(local_address, length)
+        synthetic = self.params.synthetic_payloads
+        data = None if synthetic else self.node.memory.read(local_address, length)
         mtu = max_payload_per_frame()
         offset = 0
         while offset < length:
-            chunk = data[offset : offset + mtu]
+            n = min(mtu, length - offset)
             self.unsent.append(
                 _FrameDesc(
                     op=op,
-                    payload=chunk,
+                    payload=None if synthetic else data[offset : offset + n],
                     remote_address=remote_address + offset,
+                    payload_len=n,
                 )
             )
             op.frames_total += 1
-            offset += len(chunk)
+            offset += n
         if op.forward_fenced:
             self._forward_fences.append(op)
         self.stats.ops_submitted += 1
@@ -289,7 +302,12 @@ class Connection:
             nonlocal frame_segs, frame_bytes
             payload = encode_scatter_records(frame_segs)
             self.unsent.append(
-                _FrameDesc(op=op, payload=payload, remote_address=segments[0][0])
+                _FrameDesc(
+                    op=op,
+                    payload=payload,
+                    remote_address=segments[0][0],
+                    payload_len=len(payload),
+                )
             )
             op.frames_total += 1
             op.length += len(payload)
@@ -367,16 +385,22 @@ class Connection:
             length=length,
         )
         self._next_op_seq += 1
-        data = self.node.memory.read(source, length)
+        synthetic = self.params.synthetic_payloads
+        data = None if synthetic else self.node.memory.read(source, length)
         mtu = max_payload_per_frame()
         offset = 0
         while offset < length:
-            chunk = data[offset : offset + mtu]
+            n = min(mtu, length - offset)
             self.unsent.append(
-                _FrameDesc(op=op, payload=chunk, remote_address=op.remote_address + offset)
+                _FrameDesc(
+                    op=op,
+                    payload=None if synthetic else data[offset : offset + n],
+                    remote_address=op.remote_address + offset,
+                    payload_len=n,
+                )
             )
             op.frames_total += 1
-            offset += len(chunk)
+            offset += n
 
     # ------------------------------------------------------------------
     # The pump: move descriptors into NIC rings (CPU-charged)
@@ -435,20 +459,21 @@ class Connection:
             self.stats.retransmitted_frames += 1
             self.retransmit_timer.arm()
             return True
-        if not self.unsent or not self.window.can_send or self._fence_blocked():
+        unsent = self.unsent
+        window = self.window
+        if not unsent or not window.can_send or self._fence_blocked():
             return False
-        next_bytes = (
-            len(self.unsent[0].payload) if self.unsent[0].payload is not None else 64
-        )
+        next_bytes = unsent[0].payload_len or 64
         rail = self.striping.next_rail(next_bytes)
         if rail is None:
             return False
-        desc = self.unsent.popleft()
-        seq = self.window.allocate_seq()
+        desc = unsent.popleft()
+        seq = window.allocate_seq()
         cum_ack = self.tracker.cum_ack
+        nic = self.nics[rail]
         if desc.is_read_req:
             frame = make_read_req_frame(
-                src_mac=self.nics[rail].mac,
+                src_mac=nic.mac,
                 dst_mac=self.peer_macs[rail],
                 connection_id=self.conn_id,
                 seq=seq,
@@ -460,10 +485,9 @@ class Connection:
                 op_length=desc.op.length,
             )
             frame.control = desc.read_dest_address
-            frame.header.payload_length = 8  # dest address rides in payload
         else:
             frame = make_data_frame(
-                src_mac=self.nics[rail].mac,
+                src_mac=nic.mac,
                 dst_mac=self.peer_macs[rail],
                 connection_id=self.conn_id,
                 seq=seq,
@@ -475,13 +499,15 @@ class Connection:
                 op_length=desc.op.length,
                 payload=desc.payload,
                 read_response=desc.op.kind == Operation.READ_RESP,
+                payload_length=desc.payload_len,
             )
-        self.window.register(frame, desc.op.op_id, self.sim.now)
+        window.register(frame, desc.op.op_id, self.sim.now)
         self._frame_op[seq] = desc.op
-        self.nics[rail].transmit(frame)
-        self.stats.data_frames_sent += 1
-        self.stats.data_bytes_sent += frame.header.payload_length
-        self.stats.piggybacked_acks += 1
+        nic.transmit(frame)
+        stats = self.stats
+        stats.data_frames_sent += 1
+        stats.data_bytes_sent += frame.header.payload_length
+        stats.piggybacked_acks += 1
         self.ack_policy.on_ack_emitted(cum_ack, piggybacked=True)
         self._cancel_delayed_ack()
         self.retransmit_timer.arm()
@@ -504,57 +530,78 @@ class Connection:
         ):
             self.frames_after_close += 1
             return
-        params = self.node.params
-        yield from cpu.run(params.per_frame_recv_ns, "protocol.recv")
+        # Per-frame protocol cost, charged inline (the open-coded uncontended
+        # claim mirrors Cpu.run exactly; the receive path is hot enough that
+        # the extra generator hop per frame shows up in wall time).
+        duration = self.node.params.per_frame_recv_ns
+        if duration > 0:
+            sim = self.sim
+            res = cpu.resource
+            if res.in_use < res.capacity and not res._waiters:
+                now = sim.now
+                res.busy_time += res.in_use * (now - res._busy_since)
+                res._busy_since = now
+                res.in_use += 1
+            else:
+                yield res.acquire()
+            yield duration
+            if res._waiters:
+                res.release()
+            else:
+                now = sim.now
+                res.busy_time += res.in_use * (now - res._busy_since)
+                res._busy_since = now
+                res.in_use -= 1
+            cpu.accounting.charge("protocol.recv", duration)
 
-        if h.frame_type == FrameType.ACK:
+        ftype = h.frame_type
+        if ftype == FrameType.ACK:
             self.stats.explicit_acks_received += 1
             self._process_ack_value(h.ack)
-        elif h.frame_type == FrameType.NACK:
+        elif ftype == FrameType.NACK:
             self.stats.nacks_received += 1
             self._process_ack_value(h.ack)
             self._process_nack(frame.control or [])
         else:
             # Sequenced frame: piggy-backed ack first, then delivery.
             self._process_ack_value(h.ack)
-            yield from self._handle_sequenced(frame, cpu)
+            stats = self.stats
+            tracker = self.tracker
+            expected_before = tracker.expected
+            is_new, in_order = tracker.on_frame(h.seq)
+            if not is_new:
+                stats.duplicate_frames += 1
+                # The peer is retransmitting: our ack state probably got lost.
+                self._send_explicit_ack()
+            else:
+                stats.data_frames_received += 1
+                stats.data_bytes_received += h.payload_length
+                if not in_order:
+                    stats.out_of_order_frames += 1
+                    stats.record_reorder(abs(h.seq - expected_before))
+
+                # Gap management: arm/cancel the NACK timer.
+                if tracker._beyond:
+                    self._arm_nack_timer()
+                else:
+                    self._cancel_nack_timer()
+
+                apply_now, completed = self.ordering.on_frame(frame)
+                if not apply_now:
+                    stats.record_buffered(self.ordering.buffered)
+                for f in apply_now:
+                    yield from self._apply_frame(f, cpu)
+                for rx_op in completed:
+                    self._on_rx_op_complete(rx_op)
+
+                if self.ack_policy.on_data_frame():
+                    self._send_explicit_ack()
+                else:
+                    self._arm_delayed_ack()
 
         # Acks may have opened the window; new work may be queued.
-        yield from self.pump(cpu)
-
-    def _handle_sequenced(self, frame: Frame, cpu: Cpu) -> Generator[Any, Any, None]:
-        h = frame.header
-        expected_before = self.tracker.expected
-        is_new, in_order = self.tracker.on_frame(h.seq)
-        if not is_new:
-            self.stats.duplicate_frames += 1
-            # The peer is retransmitting: our ack state probably got lost.
-            self._send_explicit_ack()
-            return
-        self.stats.data_frames_received += 1
-        self.stats.data_bytes_received += h.payload_length
-        if not in_order:
-            self.stats.out_of_order_frames += 1
-            self.stats.record_reorder(abs(h.seq - expected_before))
-
-        # Gap management: arm/cancel the NACK timer.
-        if self.tracker.has_gap():
-            self._arm_nack_timer()
-        else:
-            self._cancel_nack_timer()
-
-        apply_now, completed = self.ordering.on_frame(frame)
-        if not apply_now:
-            self.stats.record_buffered(self.ordering.buffered)
-        for f in apply_now:
-            yield from self._apply_frame(f, cpu)
-        for rx_op in completed:
-            self._on_rx_op_complete(rx_op)
-
-        if self.ack_policy.on_data_frame():
-            self._send_explicit_ack()
-        else:
-            self._arm_delayed_ack()
+        if self.has_send_work():
+            yield from self.pump(cpu)
 
     def _apply_frame(self, frame: Frame, cpu: Cpu) -> Generator[Any, Any, None]:
         h = frame.header
@@ -565,14 +612,36 @@ class Connection:
             yield from cpu.run(cost, "protocol.recv")
             self._submit_read_response(rx_op, frame)
             return
-        if frame.payload is not None and h.payload_length > 0:
+        if h.payload_length > 0:
+            # Copy-to-user cost is a function of length alone; it is charged
+            # whether or not real bytes ride in the frame (synthetic mode).
             cost = self.node.params.memcpy_ns(h.payload_length)
-            yield from cpu.run(cost, "protocol.recv")
-            if h.flags & OpFlags.SCATTER:
-                for addr, data in decode_scatter_records(frame.payload):
-                    self.node.memory.write(addr, data)
-            else:
-                self.node.memory.write(h.remote_address, frame.payload)
+            if cost > 0:
+                sim = self.sim
+                res = cpu.resource
+                if res.in_use < res.capacity and not res._waiters:
+                    now = sim.now
+                    res.busy_time += res.in_use * (now - res._busy_since)
+                    res._busy_since = now
+                    res.in_use += 1
+                else:
+                    yield res.acquire()
+                yield cost
+                if res._waiters:
+                    res.release()
+                else:
+                    now = sim.now
+                    res.busy_time += res.in_use * (now - res._busy_since)
+                    res._busy_since = now
+                    res.in_use -= 1
+                cpu.accounting.charge("protocol.recv", cost)
+            payload = frame.payload
+            if payload is not None:
+                if h.flags & OpFlags.SCATTER:
+                    for addr, data in decode_scatter_records(payload):
+                        self.node.memory.write(addr, data)
+                else:
+                    self.node.memory.write(h.remote_address, payload)
         if h.frame_type == FrameType.READ_RESP:
             op = self._pending_reads.get(h.op_id)
             if op is not None:

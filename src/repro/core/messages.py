@@ -81,10 +81,15 @@ def make_data_frame(
     op_flags: int,
     remote_address: int,
     op_length: int,
-    payload: bytes,
+    payload: Optional[bytes],
     read_response: bool = False,
+    payload_length: Optional[int] = None,
 ) -> Frame:
-    """A payload-carrying frame of an RDMA write (or read response)."""
+    """A payload-carrying frame of an RDMA write (or read response).
+
+    ``payload`` may be None (synthetic-payload mode); ``payload_length``
+    then supplies the length the frame accounts for on the wire.
+    """
     header = MultiEdgeHeader(
         frame_type=FrameType.READ_RESP if read_response else FrameType.DATA,
         flags=op_flags,
@@ -95,7 +100,7 @@ def make_data_frame(
         op_seq=op_seq,
         remote_address=remote_address,
         op_length=op_length,
-        payload_length=len(payload),
+        payload_length=len(payload) if payload is not None else (payload_length or 0),
     )
     return Frame(src_mac=src_mac, dst_mac=dst_mac, header=header, payload=payload)
 
@@ -113,7 +118,11 @@ def make_read_req_frame(
     op_length: int,
 ) -> Frame:
     """A remote-read request: asks the peer to send ``op_length`` bytes
-    starting at ``remote_address`` back as READ_RESP frames."""
+    starting at ``remote_address`` back as READ_RESP frames.
+
+    ``payload_length`` is 8: the local destination address rides in the
+    payload (the frame stays at the 46-byte Ethernet minimum either way).
+    """
     header = MultiEdgeHeader(
         frame_type=FrameType.READ_REQ,
         flags=op_flags,
@@ -124,7 +133,7 @@ def make_read_req_frame(
         op_seq=op_seq,
         remote_address=remote_address,
         op_length=op_length,
-        payload_length=0,
+        payload_length=8,
     )
     return Frame(src_mac=src_mac, dst_mac=dst_mac, header=header)
 

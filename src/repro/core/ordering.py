@@ -32,7 +32,7 @@ from ..ethernet import Frame, FrameType, OpFlags
 __all__ = ["RxOpState", "OrderingManager", "InOrderDelivery", "FenceDelivery"]
 
 
-@dataclass
+@dataclass(slots=True)
 class RxOpState:
     """Receiver-side record of one incoming operation."""
 

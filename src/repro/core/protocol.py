@@ -55,11 +55,14 @@ class MultiEdgeProtocol:
     # -- DriverClient interface (called from the kernel thread) -----------
 
     def handle_frame(self, frame: Frame, cpu) -> Generator[Any, Any, None]:
+        # Not a generator function: returning the connection's generator
+        # directly keeps it out of the per-resume delegation chain (the
+        # kernel thread drives one of these per received frame).
         conn = self.connections.get(frame.header.connection_id)
         if conn is None:
             self.unknown_connection_frames += 1
-            return
-        yield from conn.handle_rx_frame(frame, cpu)
+            return iter(())
+        return conn.handle_rx_frame(frame, cpu)
 
     def handle_tx_completions(
         self, nic: Nic, count: int, cpu

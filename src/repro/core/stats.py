@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 __all__ = ["ConnectionStats", "merge_stats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ConnectionStats:
     """Counters for one connection endpoint (both directions)."""
 

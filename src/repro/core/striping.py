@@ -63,6 +63,10 @@ class RoundRobinStriping(StripingPolicy):
         self._assigned_bytes = [0] * len(nics)
 
     def next_rail(self, wire_bytes: int = 0) -> Optional[int]:
+        nics = self.nics
+        if len(nics) == 1:
+            # Byte-deficit and cursor state are unobservable with one rail.
+            return 0 if nics[0].tx_ring_free > 0 else None
         n = len(self.nics)
         best: Optional[int] = None
         best_key: Optional[tuple[int, int]] = None

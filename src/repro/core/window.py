@@ -26,7 +26,7 @@ __all__ = ["SendWindow", "ReceiveTracker", "InflightFrame"]
 DEFAULT_WINDOW_FRAMES = 256
 
 
-@dataclass
+@dataclass(slots=True)
 class InflightFrame:
     """Book-keeping for one unacknowledged frame."""
 
@@ -81,6 +81,8 @@ class SendWindow:
         Returns the freed records (the connection completes ops from them).
         Stale acks free nothing.
         """
+        if not self.inflight:
+            return []
         freed = [rec for seq, rec in self.inflight.items() if seq < cum_ack]
         for rec in freed:
             del self.inflight[rec.frame.header.seq]

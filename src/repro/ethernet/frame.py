@@ -15,7 +15,7 @@ do not support jumbo frames, so the MTU is the classic 1500 bytes.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum
 from typing import Optional
 
@@ -91,9 +91,13 @@ _HEADER_STRUCT = struct.Struct("!BBHIIIIQIHH")
 MULTIEDGE_HEADER_BYTES = _HEADER_STRUCT.size  # 36 bytes
 
 
-@dataclass
+@dataclass(slots=True)
 class MultiEdgeHeader:
-    """Typed view of the MultiEdge wire header."""
+    """Typed view of the MultiEdge wire header.
+
+    ``payload_length`` must not change once the header is attached to a
+    :class:`Frame` — the frame caches its wire size at construction.
+    """
 
     frame_type: FrameType = FrameType.DATA
     flags: int = 0
@@ -107,7 +111,7 @@ class MultiEdgeHeader:
     payload_length: int = 0
 
     def encode(self) -> bytes:
-        """Serialise to the 32-byte wire representation."""
+        """Serialise to the 36-byte wire representation."""
         return _HEADER_STRUCT.pack(
             int(self.frame_type),
             self.flags,
@@ -124,7 +128,7 @@ class MultiEdgeHeader:
 
     @classmethod
     def decode(cls, data: bytes) -> "MultiEdgeHeader":
-        """Parse the 32-byte wire representation."""
+        """Parse the 36-byte wire representation."""
         (
             frame_type,
             flags,
@@ -152,15 +156,18 @@ class MultiEdgeHeader:
         )
 
 
+# Data bytes a single frame can carry under the 1500-byte MTU.
+_MAX_PAYLOAD = ETH_MTU - MULTIEDGE_HEADER_BYTES
+
+
 def max_payload_per_frame() -> int:
     """Data bytes a single frame can carry under the 1500-byte MTU."""
-    return ETH_MTU - MULTIEDGE_HEADER_BYTES
+    return _MAX_PAYLOAD
 
 
 _frame_counter = 0
 
 
-@dataclass
 class Frame:
     """A frame in flight.
 
@@ -168,45 +175,64 @@ class Frame:
     control frames carry ``None`` and a synthetic ``payload_length`` through
     the header.  ``uid`` identifies the physical frame instance (a
     retransmission is a new Frame with the same header ``seq``).
+
+    ``mac_payload_bytes`` and ``wire_bytes`` are computed once at
+    construction — the header's ``payload_length`` is immutable from then
+    on (factories in :mod:`repro.core.messages` set it before building the
+    frame).
     """
 
-    src_mac: int
-    dst_mac: int
-    header: MultiEdgeHeader
-    payload: Optional[bytes] = None
-    corrupted: bool = False
-    uid: int = field(default=0)
-    # Extra control payload (e.g. NACK missing-sequence list); accounted in
-    # wire size via header.payload_length, kept typed for the simulator.
-    control: Optional[object] = None
+    __slots__ = (
+        "src_mac",
+        "dst_mac",
+        "header",
+        "payload",
+        "corrupted",
+        "uid",
+        "control",
+        "mac_payload_bytes",
+        "wire_bytes",
+    )
 
-    def __post_init__(self) -> None:
+    def __init__(
+        self,
+        src_mac: int,
+        dst_mac: int,
+        header: MultiEdgeHeader,
+        payload: Optional[bytes] = None,
+        corrupted: bool = False,
+        uid: int = 0,
+        # Extra control payload (e.g. NACK missing-sequence list); accounted
+        # in wire size via header.payload_length, kept typed for the
+        # simulator.
+        control: Optional[object] = None,
+    ) -> None:
         global _frame_counter
         _frame_counter += 1
+        self.src_mac = src_mac
+        self.dst_mac = dst_mac
+        self.header = header
+        self.payload = payload
+        self.corrupted = corrupted
         self.uid = _frame_counter
-        if self.payload is not None:
-            if len(self.payload) != self.header.payload_length:
-                raise ValueError(
-                    f"payload length {len(self.payload)} != header "
-                    f"payload_length {self.header.payload_length}"
-                )
-        if self.header.payload_length > max_payload_per_frame():
+        self.control = control
+        payload_length = header.payload_length
+        if payload is not None and len(payload) != payload_length:
             raise ValueError(
-                f"payload {self.header.payload_length} exceeds MTU budget "
-                f"{max_payload_per_frame()}"
+                f"payload length {len(payload)} != header "
+                f"payload_length {payload_length}"
             )
-
-    @property
-    def mac_payload_bytes(self) -> int:
-        """Bytes between Ethernet header and CRC (padded to the minimum)."""
-        return max(
-            MULTIEDGE_HEADER_BYTES + self.header.payload_length, ETH_MIN_PAYLOAD
-        )
-
-    @property
-    def wire_bytes(self) -> int:
-        """Total link-time bytes: payload + all physical-layer overhead."""
-        return self.mac_payload_bytes + ETH_OVERHEAD_BYTES
+        if payload_length > _MAX_PAYLOAD:
+            raise ValueError(
+                f"payload {payload_length} exceeds MTU budget {_MAX_PAYLOAD}"
+            )
+        # Bytes between Ethernet header and CRC (padded to the minimum),
+        # and total link-time bytes including physical-layer overhead.
+        mac_payload = MULTIEDGE_HEADER_BYTES + payload_length
+        if mac_payload < ETH_MIN_PAYLOAD:
+            mac_payload = ETH_MIN_PAYLOAD
+        self.mac_payload_bytes = mac_payload
+        self.wire_bytes = mac_payload + ETH_OVERHEAD_BYTES
 
     @property
     def is_data(self) -> bool:

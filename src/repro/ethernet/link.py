@@ -72,6 +72,7 @@ class Link:
         self.rng = rng or RngRegistry(0)
         self.name = name
         self.receiver: Optional[LinkEndpoint] = None
+        self._fold = None
         self._last_arrival = 0
         self._failed_until = -1
         # Counters.
@@ -82,6 +83,11 @@ class Link:
 
     def attach_receiver(self, endpoint: LinkEndpoint) -> None:
         self.receiver = endpoint
+        # Optional fast-path hook: lets the receiver absorb a delivery with
+        # fewer scheduler events when doing so is provably timing-identical
+        # (see SwitchPort.deliver_fold / Nic.deliver_fold).  Bound once here
+        # to keep the per-frame path free of getattr.
+        self._fold = getattr(endpoint, "deliver_fold", None)
 
     def fail_for(self, duration_ns: int) -> None:
         """Start a transient outage: frames sent before ``now + duration`` die."""
@@ -112,6 +118,9 @@ class Link:
         self._last_arrival = arrival
         self.frames_delivered += 1
         self.bytes_delivered += frame.wire_bytes
+        fold = self._fold
+        if fold is not None and fold(frame, arrival):
+            return
         self.sim.at(arrival, self.receiver.on_frame, frame)
 
 

@@ -33,6 +33,11 @@ from .link import Link
 
 __all__ = ["NicParams", "Nic", "NicCounters"]
 
+# Slack required before an RX admission decision may be taken at link-deliver
+# time instead of arrival time (see Nic.deliver_fold).  Far larger than the
+# number of frames one propagation window can add to the ring.
+_RX_FOLD_MARGIN = 64
+
 
 @dataclass
 class NicParams:
@@ -57,7 +62,7 @@ class NicParams:
             raise ValueError("coalesce_frames must be >= 1")
 
 
-@dataclass
+@dataclass(slots=True)
 class NicCounters:
     """Observable NIC statistics."""
 
@@ -87,6 +92,16 @@ class Nic:
         self.rng = rng or RngRegistry(0)
         self.name = name
         self.counters = NicCounters()
+        # Pre-bound jitter stream: streams are seeded by name, not creation
+        # order, so binding early draws the identical sequence.  Draws are
+        # buffered in batches — numpy's bounded-integer sampling consumes
+        # the bit stream element-for-element identically in batch and
+        # single-draw form, so the sequence is unchanged.
+        self._txjitter = self.rng.stream(f"{name}.txjitter")
+        self._jitter_buf: list[int] = []
+        self._jitter_bound = 0
+        # Serialisation times memoised per wire size (speed is fixed).
+        self._wt_cache: dict[int, int] = {}
 
         self.tx_link: Optional[Link] = None
         # Driver hooks: on_irq runs in "hardware interrupt" context.
@@ -99,6 +114,7 @@ class Nic:
 
         # Host-visible pending events.
         self._rx_pending: Deque[Frame] = deque()
+        self._rx_inflight = 0  # admitted frames still in the DMA window
         self._tx_completions = 0
 
         # RX coalescing state.
@@ -132,13 +148,24 @@ class Nic:
         # hit a previous copy on the wire does not persist.
         frame.corrupted = False
         self._tx_ring_used += 1
-        ready_at = self.sim.now + self.params.dma_ns
-        if self.params.tx_jitter_ns > 0:
-            ready_at += self.rng.uniform_int(
-                f"{self.name}.txjitter", 0, self.params.tx_jitter_ns
-            )
+        params = self.params
+        ready_at = self.sim.now + params.dma_ns
+        jitter = params.tx_jitter_ns
+        if jitter > 0:
+            buf = self._jitter_buf
+            if not buf or jitter != self._jitter_bound:
+                # Refill; stored reversed so pop() yields draw order.
+                buf = self._txjitter.integers(0, jitter, size=512).tolist()
+                buf.reverse()
+                self._jitter_buf = buf
+                self._jitter_bound = jitter
+            ready_at += buf.pop()
         begin = max(ready_at, self._line_free_at)
-        tx_time = wire_time_ns(frame.wire_bytes, self.params.speed_bps)
+        wb = frame.wire_bytes
+        tx_time = self._wt_cache.get(wb)
+        if tx_time is None:
+            tx_time = wire_time_ns(wb, params.speed_bps)
+            self._wt_cache[wb] = tx_time
         self._line_free_at = begin + tx_time
         self.sim.at(self._line_free_at, self._tx_done, frame)
         return True
@@ -148,8 +175,9 @@ class Nic:
             raise RuntimeError(f"{self.name}: transmit with no link attached")
         self.tx_link.deliver(frame)
         self._tx_ring_used -= 1
-        self.counters.tx_frames += 1
-        self.counters.tx_bytes += frame.wire_bytes
+        counters = self.counters
+        counters.tx_frames += 1
+        counters.tx_bytes += frame.wire_bytes
         self._tx_completions += 1
         self._tx_since_irq += 1
         if self._tx_since_irq >= self.params.tx_completion_batch:
@@ -181,9 +209,31 @@ class Nic:
             self.counters.rx_dropped_ring_full += 1
             return
         # DMA the frame into host memory, then make it host-visible.
+        self._rx_inflight += 1
         self.sim.schedule(self.params.dma_ns, self._rx_visible, frame)
 
+    def deliver_fold(self, frame: Frame, arrival: int) -> bool:
+        """Fold link arrival + RX admission into one scheduled event.
+
+        Only taken when the RX ring is far from full: the ring can gain at
+        most a handful of frames during one propagation window, so with
+        ``_RX_FOLD_MARGIN`` slack the arrival-time admission check is
+        guaranteed to pass and deciding it early is timing-identical.
+        Corrupted frames and near-full rings use the exact two-step path.
+        """
+        if frame.corrupted:
+            return False
+        if (
+            len(self._rx_pending) + self._rx_inflight + _RX_FOLD_MARGIN
+            >= self.params.rx_ring_frames
+        ):
+            return False
+        self._rx_inflight += 1
+        self.sim.at(arrival + self.params.dma_ns, self._rx_visible, frame)
+        return True
+
     def _rx_visible(self, frame: Frame) -> None:
+        self._rx_inflight -= 1
         self._rx_pending.append(frame)
         self.counters.rx_frames += 1
         self._rx_since_irq += 1
@@ -231,10 +281,12 @@ class Nic:
 
     def poll(self, max_frames: Optional[int] = None) -> tuple[list[Frame], int]:
         """Harvest pending RX frames and TX completions (host polling)."""
-        n = len(self._rx_pending) if max_frames is None else min(
-            max_frames, len(self._rx_pending)
-        )
-        frames = [self._rx_pending.popleft() for _ in range(n)]
+        pending = self._rx_pending
+        if max_frames is None or max_frames >= len(pending):
+            frames = list(pending)
+            pending.clear()
+        else:
+            frames = [pending.popleft() for _ in range(max_frames)]
         completions = self._tx_completions
         self._tx_completions = 0
         if not self._rx_pending:

@@ -68,6 +68,7 @@ class SwitchPort:
         self.index = index
         self.tx_link: Optional[Link] = None
         self.speed_bps: float = 1e9
+        self._wt_cache: dict[int, int] = {}  # wire_bytes -> serialisation ns
         self._queue: Deque[Frame] = deque()
         self._paused: Deque[Frame] = deque()  # lossless overflow stage
         self._tx_running = False
@@ -79,9 +80,32 @@ class SwitchPort:
     def attach_link(self, link: Link, speed_bps: float) -> None:
         self.tx_link = link
         self.speed_bps = speed_bps
+        self._wt_cache.clear()
+
+    def _wire_time(self, wire_bytes: int) -> int:
+        t = self._wt_cache.get(wire_bytes)
+        if t is None:
+            t = wire_time_ns(wire_bytes, self.speed_bps)
+            self._wt_cache[wire_bytes] = t
+        return t
 
     def on_frame(self, frame: Frame) -> None:
         self.switch._ingress(self.index, frame)
+
+    def deliver_fold(self, frame: Frame, arrival: int) -> bool:
+        """Fold link arrival + ingress into one scheduled forward.
+
+        Only taken when MAC learning would be a no-op (source already mapped
+        to this port), so skipping the intermediate ``on_frame`` event changes
+        no observable state and no timestamp.
+        """
+        sw = self.switch
+        if sw._mac_table.get(frame.src_mac) != self.index:
+            return False
+        sw.sim.at(
+            arrival + sw.params.forwarding_latency_ns, sw._forward, self.index, frame
+        )
+        return True
 
     # -- egress ----------------------------------------------------------
 
@@ -99,8 +123,13 @@ class SwitchPort:
         self._queue.append(frame)
         self._note_depth()
         if not self._tx_running:
+            # Idle port: the queue was empty, so the zero-delay _tx_step hop
+            # would pop this same frame at this timestamp — serialise now.
             self._tx_running = True
-            self.switch.sim.schedule(0, self._tx_step)
+            self._queue.popleft()
+            self.switch.sim.schedule(
+                self._wire_time(frame.wire_bytes), self._tx_done, frame
+            )
         return True
 
     def _note_depth(self) -> None:
@@ -113,8 +142,9 @@ class SwitchPort:
             self._tx_running = False
             return
         frame = self._queue.popleft()
-        tx_time = wire_time_ns(frame.wire_bytes, self.speed_bps)
-        self.switch.sim.schedule(tx_time, self._tx_done, frame)
+        self.switch.sim.schedule(
+            self._wire_time(frame.wire_bytes), self._tx_done, frame
+        )
 
     def _tx_done(self, frame: Frame) -> None:
         if self.tx_link is None:

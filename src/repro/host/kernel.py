@@ -98,25 +98,29 @@ class Kernel:
 
     def _kthread(self) -> Generator[Any, Any, None]:
         cpu = self.protocol_cpu
+        work = self._work
         while True:
-            yield self._work.wait()
-            self._work.close()
+            if not work.is_open:
+                yield work.wait()
+            work.close()
             self.kthread_active = True
             self.kthread_wakeups += 1
             yield from cpu.run(self.params.kthread_wakeup_ns, "protocol.wakeup")
+            nics = self.nics
+            client = self.client
             while True:
                 did_work = False
-                for nic in self.nics:
-                    nic.disable_interrupts()
-                    frames, completions = nic.poll(max_frames=POLL_BATCH)
-                    if completions and self.client is not None:
-                        yield from self.client.handle_tx_completions(
+                for nic in nics:
+                    nic.interrupts_enabled = False
+                    frames, completions = nic.poll(POLL_BATCH)
+                    if completions and client is not None:
+                        yield from client.handle_tx_completions(
                             nic, completions, cpu
                         )
                         did_work = True
-                    if frames and self.client is not None:
+                    if frames and client is not None:
                         for frame in frames:
-                            yield from self.client.handle_frame(frame, cpu)
+                            yield from client.handle_frame(frame, cpu)
                         did_work = True
                 if not did_work:
                     break

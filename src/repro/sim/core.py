@@ -11,14 +11,38 @@ SimPy, specialised for the needs of the MultiEdge reproduction:
 * deterministic FIFO ordering for simultaneous events (events scheduled at
   the same timestamp fire in scheduling order).
 
-The engine is deliberately minimal: the hot loop is a ``heapq`` pop plus a
-callback invocation, which keeps per-event overhead around a microsecond of
-wall time so that multi-million-event experiments finish in seconds.
+Hot-path design (the engine executes hundreds of thousands of events per
+wall-second, so structure follows cost):
+
+* **Same-timestamp fast lane.**  Roughly a third of all scheduling in a
+  protocol run is ``delay == 0`` — event triggers, process wake-ups, resource
+  hand-offs.  Those bypass the heap entirely and ride a FIFO ``deque`` of
+  bare ``(callback, args)`` pairs.  Correct merge order with the heap follows
+  from an invariant rather than per-event comparisons: heap entries are only
+  ever pushed with ``delay > 0``, so every heap entry due at time ``T`` was
+  scheduled *before* the clock reached ``T`` and therefore precedes (in
+  seed-engine sequence order) every fast-lane entry created at ``T``.  The
+  run loop drains same-``now`` heap entries first, then the fast lane, and
+  only then advances time — an order *bit-identical* to the single-heap seed
+  engine (property-tested against :mod:`repro.sim.reference`).
+* **Lazy-deleted timers.**  Retransmission and delayed-ack timers are almost
+  always cancelled before firing.  Cancellation marks the queue entry dead in
+  O(1); dead entries are skipped on pop without invoking anything, and when
+  they outnumber live heap entries the heap is compacted in one in-place
+  pass.  Counters (:attr:`Simulator.heap_pushes`,
+  :attr:`Simulator.fastlane_hits`, :attr:`Simulator.cancelled_popped`)
+  expose the event-loop behaviour to
+  :func:`repro.analysis.summary.summarize_cluster`.
+* Heap entries are ``[time, seq, callback, args]`` *lists* (mutable so a
+  cancel can null the callback in place); fast-lane entries are
+  ``(callback, args)`` tuples, or 2-element lists for the rare cancellable
+  zero-delay timer.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -38,6 +62,16 @@ NS = 1
 US = 1_000
 MS = 1_000_000
 SEC = 1_000_000_000
+
+# Compact the heap once this many dead entries accumulate *and* they
+# outnumber the live ones (amortised O(1) per cancellation).
+_COMPACT_MIN_DEAD = 64
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+# Shared argument tuple for the extremely common "resume with None" wake-up.
+_NONE_ARGS = (None,)
 
 
 class SimulationError(RuntimeError):
@@ -67,9 +101,16 @@ class Event:
             raise SimulationError("event triggered twice")
         self.triggered = True
         self.value = value
-        waiters, self._waiters = self._waiters, []
-        for resume in waiters:
-            self._sim.schedule(0, resume, value)
+        waiters = self._waiters
+        if waiters:
+            # Inlined Simulator.schedule(0, ...) for the hot wake-up path.
+            sim = self._sim
+            fast = sim._fast
+            args = (value,)
+            for resume in waiters:
+                fast.append((resume, args))
+            sim.fastlane_hits += len(waiters)
+            self._waiters = []
 
     # Alias used by code that reads more naturally with success semantics.
     succeed = trigger
@@ -77,7 +118,9 @@ class Event:
     def add_callback(self, resume: Callable[[Any], None]) -> None:
         """Register ``resume(value)`` to run when the event triggers."""
         if self.triggered:
-            self._sim.schedule(0, resume, self.value)
+            sim = self._sim
+            sim._fast.append((resume, (self.value,)))
+            sim.fastlane_hits += 1
         else:
             self._waiters.append(resume)
 
@@ -86,11 +129,12 @@ class Timer:
     """A cancellable one-shot timer.
 
     ``Timer(sim, delay, callback)`` arms the timer; :meth:`cancel` disarms it
-    if it has not fired yet.  Cancellation is O(1): the heap entry is flagged
-    dead and skipped when popped.
+    if it has not fired yet.  Cancellation is O(1): the queue entry is nulled
+    in place and reclaimed either when popped or by the next heap compaction,
+    so cancelled timers do not rot in the queue.
     """
 
-    __slots__ = ("_sim", "_callback", "_args", "deadline", "_fired", "_cancelled")
+    __slots__ = ("_sim", "_callback", "_args", "deadline", "_fired", "_cancelled", "_entry")
 
     def __init__(
         self,
@@ -107,17 +151,19 @@ class Timer:
         self.deadline = sim.now + int(delay)
         self._fired = False
         self._cancelled = False
-        sim.schedule(delay, self._fire)
+        self._entry = sim.schedule_cancellable(delay, self._fire)
 
     def _fire(self) -> None:
-        if self._cancelled:
-            return
         self._fired = True
         self._callback(*self._args)
 
     def cancel(self) -> None:
         """Disarm the timer.  Cancelling a fired or cancelled timer is a no-op."""
+        if self._fired or self._cancelled:
+            return
         self._cancelled = True
+        self._sim.cancel_scheduled(self._entry)
+        self._entry = None
 
     @property
     def active(self) -> bool:
@@ -140,7 +186,7 @@ class Process:
     with the generator's return value.
     """
 
-    __slots__ = ("_sim", "_gen", "done", "name", "_finished")
+    __slots__ = ("_sim", "_gen", "_send", "_resume_cb", "done", "name", "_finished")
 
     def __init__(
         self,
@@ -150,10 +196,14 @@ class Process:
     ) -> None:
         self._sim = sim
         self._gen = gen
+        self._send = gen.send  # bound once; called on every resume
         self.done = Event(sim)
         self.name = name or getattr(gen, "__name__", "process")
         self._finished = False
-        sim.schedule(0, self._resume, None)
+        resume = self._resume
+        self._resume_cb = resume  # one bound method, reused for every wait
+        sim._fast.append((resume, _NONE_ARGS))
+        sim.fastlane_hits += 1
 
     @property
     def finished(self) -> bool:
@@ -167,7 +217,7 @@ class Process:
 
     def _resume(self, value: Any) -> None:
         try:
-            target = self._gen.send(value)
+            target = self._send(value)
         except StopIteration as stop:
             self._finished = True
             self.done.trigger(stop.value)
@@ -176,18 +226,36 @@ class Process:
             raise SimulationError(
                 f"process {self.name!r} raised {type(exc).__name__}: {exc}"
             ) from exc
-        self._wait_on(target)
-
-    def _wait_on(self, target: Any) -> None:
-        if isinstance(target, int):
-            self._sim.schedule(target, self._resume, None)
-        elif isinstance(target, Event):
-            target.add_callback(self._resume)
-        elif isinstance(target, Process):
-            target.done.add_callback(self._resume)
-        elif isinstance(target, float):
+        # Inline dispatch, most frequent target types first.  Exact type
+        # checks keep the common cases off the isinstance slow path.
+        cls = target.__class__
+        if cls is int:
+            sim = self._sim
+            if target > 0:
+                sim._seq += 1
+                sim.heap_pushes += 1
+                _heappush(
+                    sim._queue,
+                    [sim.now + target, sim._seq, self._resume_cb, _NONE_ARGS],
+                )
+            elif target == 0:
+                sim._fast.append((self._resume_cb, _NONE_ARGS))
+                sim.fastlane_hits += 1
+            else:
+                raise ValueError(f"cannot schedule into the past (delay={target})")
+        elif cls is Event:
+            target.add_callback(self._resume_cb)
+        elif cls is Process:
+            target.done.add_callback(self._resume_cb)
+        elif cls is float:
             # Accept floats from arithmetic but keep the clock integral.
-            self._sim.schedule(int(round(target)), self._resume, None)
+            self._sim.schedule(int(round(target)), self._resume_cb, None)
+        elif isinstance(target, int):
+            self._sim.schedule(int(target), self._resume_cb, None)
+        elif isinstance(target, Event):
+            target.add_callback(self._resume_cb)
+        elif isinstance(target, Process):
+            target.done.add_callback(self._resume_cb)
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported {type(target).__name__}"
@@ -195,19 +263,42 @@ class Process:
 
 
 class Simulator:
-    """The event loop: a clock plus a priority queue of callbacks.
+    """The event loop: a clock plus a two-lane queue of callbacks.
 
     Events scheduled for the same timestamp run in the order they were
-    scheduled, which makes simulations fully deterministic.
+    scheduled, which makes simulations fully deterministic.  ``delay == 0``
+    events ride a FIFO fast lane; everything else goes through the heap.
+    Because heap entries always carry a strictly positive delay, same-``now``
+    heap entries are older than any fast-lane entry, so running "due heap
+    entries, then the fast lane, then advance time" reproduces the seed
+    engine's global scheduling order exactly.
     """
 
-    __slots__ = ("now", "_queue", "_seq", "_events_processed")
+    __slots__ = (
+        "now",
+        "_queue",
+        "_fast",
+        "_seq",
+        "_events_processed",
+        "_dead",
+        "heap_pushes",
+        "fastlane_hits",
+        "cancelled_popped",
+        "heap_compactions",
+    )
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._queue: list[tuple[int, int, Callable[..., None], tuple]] = []
+        self._queue: list[list] = []  # [time, seq, callback, args] entries
+        self._fast = deque()  # (callback, args) entries, FIFO, all due "now"
         self._seq = 0
         self._events_processed = 0
+        self._dead = 0  # cancelled entries still sitting in the heap
+        # Observability counters (see repro.analysis.summary).
+        self.heap_pushes = 0
+        self.fastlane_hits = 0
+        self.cancelled_popped = 0
+        self.heap_compactions = 0
 
     # -- scheduling ------------------------------------------------------
 
@@ -215,12 +306,73 @@ class Simulator:
         """Run ``callback(*args)`` after ``delay`` nanoseconds."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        self._seq += 1
-        heapq.heappush(self._queue, (self.now + int(delay), self._seq, callback, args))
+        delay = int(delay)
+        if delay:
+            self._seq += 1
+            self.heap_pushes += 1
+            _heappush(self._queue, [self.now + delay, self._seq, callback, args])
+        else:
+            self._fast.append((callback, args))
+            self.fastlane_hits += 1
+
+    def schedule_cancellable(
+        self, delay: int, callback: Callable[..., None], *args: Any
+    ) -> list:
+        """Schedule ``callback`` and return a handle for :meth:`cancel_scheduled`.
+
+        The handle is a mutable queue entry; cancelling nulls it in place.
+        Positive delays go through the heap, zero delays ride the fast lane
+        (as a 2-element ``[callback, args]`` list so they stay cancellable).
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        delay = int(delay)
+        if delay:
+            self._seq += 1
+            entry = [self.now + delay, self._seq, callback, args]
+            self.heap_pushes += 1
+            _heappush(self._queue, entry)
+        else:
+            entry = [callback, args]
+            self._fast.append(entry)
+            self.fastlane_hits += 1
+        return entry
+
+    def cancel_scheduled(self, entry: list) -> None:
+        """Lazy-delete a :meth:`schedule_cancellable` entry (O(1) amortised).
+
+        The entry is nulled in place; the run loop discards it when popped.
+        When dead entries outnumber live ones the heap is compacted.  Must
+        not be called for an entry that has already executed.
+        """
+        if len(entry) == 2:  # zero-delay entry riding the fast lane
+            if entry[0] is not None:
+                entry[0] = None
+                entry[1] = ()
+            return
+        if entry[2] is None:
+            return
+        entry[2] = None
+        entry[3] = ()  # drop argument references early
+        self._dead += 1
+        queue = self._queue
+        if self._dead > _COMPACT_MIN_DEAD and self._dead * 2 > len(queue):
+            # In-place: the run loops hold an alias to this list, so the
+            # object identity must survive compaction.
+            queue[:] = [e for e in queue if e[2] is not None]
+            heapq.heapify(queue)
+            self.cancelled_popped += self._dead
+            self._dead = 0
+            self.heap_compactions += 1
 
     def at(self, time: int, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` at absolute simulation time ``time``."""
-        self.schedule(time - self.now, callback, *args)
+        if time > self.now:
+            self._seq += 1
+            self.heap_pushes += 1
+            _heappush(self._queue, [time, self._seq, callback, args])
+        else:
+            self.schedule(time - self.now, callback, *args)
 
     def event(self) -> Event:
         """Create a fresh untriggered :class:`Event`."""
@@ -237,24 +389,51 @@ class Simulator:
     # -- execution -------------------------------------------------------
 
     def run(self, until: Optional[int] = None) -> int:
-        """Run until the queue drains or the clock passes ``until``.
+        """Run until the queues drain or the clock passes ``until``.
 
-        Returns the number of events processed during this call.
+        Returns the number of events processed during this call (skipped
+        cancelled-timer entries do not count).
         """
         queue = self._queue
-        processed = 0
-        while queue:
-            time, _seq, callback, args = queue[0]
-            if until is not None and time > until:
+        fast = self._fast
+        if until is not None and until < self.now:
+            # Seed semantics: nothing can run (all pending work is due at or
+            # after `now`), but a non-empty queue still snaps the clock back.
+            if queue or fast:
                 self.now = until
+            return 0
+        bound = float("inf") if until is None else until
+        processed = 0
+        while True:
+            if queue and (not fast or queue[0][0] == self.now):
+                entry = queue[0]
+                if entry[2] is None:  # lazily-cancelled timer
+                    _heappop(queue)
+                    self._dead -= 1
+                    self.cancelled_popped += 1
+                    continue
+                if entry[0] > bound:
+                    self.now = until
+                    break
+                _heappop(queue)
+                self.now = entry[0]
+                entry[2](*entry[3])
+                processed += 1
+            elif fast:
+                # Drain the fast lane completely: every entry is due at the
+                # current time, and no heap entry can become due until the
+                # clock advances (heap pushes carry strictly positive delay).
+                while fast:
+                    cb, args = fast.popleft()
+                    if cb is None:  # cancelled zero-delay timer
+                        self.cancelled_popped += 1
+                        continue
+                    cb(*args)
+                    processed += 1
+            else:
+                if until is not None and self.now < until:
+                    self.now = until
                 break
-            heapq.heappop(queue)
-            self.now = time
-            callback(*args)
-            processed += 1
-        else:
-            if until is not None:
-                self.now = max(self.now, until)
         self._events_processed += processed
         return processed
 
@@ -264,20 +443,57 @@ class Simulator:
         ``limit`` bounds the simulated time; exceeding it raises
         :class:`SimulationError` (used by tests to catch livelock).
         """
-        while not process.finished:
-            if not self._queue:
+        queue = self._queue
+        fast = self._fast
+        if limit is not None and self.now > limit and not process._finished:
+            while queue and queue[0][2] is None:
+                _heappop(queue)
+                self._dead -= 1
+                self.cancelled_popped += 1
+            if not (queue or fast):
                 raise SimulationError(
                     f"deadlock: process {process.name!r} is waiting but "
                     "the event queue is empty"
                 )
-            if limit is not None and self._queue[0][0] > limit:
-                raise SimulationError(
-                    f"time limit {limit} exceeded waiting for {process.name!r}"
-                )
-            time, _seq, callback, args = heapq.heappop(self._queue)
-            self.now = time
-            callback(*args)
-            self._events_processed += 1
+            raise SimulationError(
+                f"time limit {limit} exceeded waiting for {process.name!r}"
+            )
+        bound = float("inf") if limit is None else limit
+        processed = 0
+        try:
+            while not process._finished:
+                if queue and (not fast or queue[0][0] == self.now):
+                    entry = queue[0]
+                    if entry[2] is None:
+                        _heappop(queue)
+                        self._dead -= 1
+                        self.cancelled_popped += 1
+                        continue
+                    if entry[0] > bound:
+                        raise SimulationError(
+                            f"time limit {limit} exceeded waiting for {process.name!r}"
+                        )
+                    _heappop(queue)
+                    self.now = entry[0]
+                    entry[2](*entry[3])
+                    processed += 1
+                elif fast:
+                    while fast:
+                        cb, args = fast.popleft()
+                        if cb is None:
+                            self.cancelled_popped += 1
+                            continue
+                        cb(*args)
+                        processed += 1
+                        if process._finished:
+                            break
+                else:
+                    raise SimulationError(
+                        f"deadlock: process {process.name!r} is waiting but "
+                        "the event queue is empty"
+                    )
+        finally:
+            self._events_processed += processed
         return process.result
 
     @property
@@ -287,8 +503,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events currently queued (including cancelled timers)."""
-        return len(self._queue)
+        """Events currently queued (including not-yet-reclaimed cancelled timers)."""
+        return len(self._queue) + len(self._fast)
 
 
 def all_of(sim: Simulator, events: Iterable[Event]) -> Event:

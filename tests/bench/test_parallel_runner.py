@@ -1,0 +1,59 @@
+"""Determinism tests for the process-parallel sweep runner.
+
+Every experiment point builds its own seeded simulator, so a worker process
+must produce exactly the result the serial runner produces in-process.
+These tests assert field-for-field equality (``dataclasses.asdict``), not
+just headline numbers.
+"""
+
+import dataclasses
+
+import repro.bench.runner as runner
+from repro.bench.parallel import parallel_app_runs, parallel_micro_sweep, run_points
+
+# Small sizes keep this inside tier-1 time; two configs as required.
+SIZES = (64, 4096)
+CONFIGS = ("1L-1G", "2L-1G")
+
+
+def _fields(results):
+    return [dataclasses.asdict(r) for r in results]
+
+
+def test_parallel_micro_sweep_matches_serial_field_for_field():
+    for config in CONFIGS:
+        par = parallel_micro_sweep(config, "one-way", SIZES, processes=2)
+        # Drop the primed cache so the serial run actually recomputes.
+        runner._micro_cache.clear()
+        ser = runner.micro_sweep(config, "one-way", SIZES)
+        assert _fields(par) == _fields(ser), config
+
+
+def test_parallel_sweep_primes_serial_cache():
+    runner._micro_cache.clear()
+    par = parallel_micro_sweep("1L-1G", "ping-pong", (64,), processes=2)
+    key = ("1L-1G", "ping-pong", 64, 0)
+    assert key in runner._micro_cache
+    # The serial entry point now returns the primed object without rerunning.
+    ser = runner.micro_sweep("1L-1G", "ping-pong", (64,))
+    assert ser[0] is runner._micro_cache[key]
+    assert _fields(par) == _fields(ser)
+
+
+def test_parallel_app_runs_match_serial_field_for_field():
+    spec = ("fft", "1L-1G", 2, 0)
+    [par] = parallel_app_runs([spec], processes=2)
+    runner._app_cache.clear()
+    ser = runner.app_run(*spec)
+    assert dataclasses.asdict(par) == dataclasses.asdict(ser)
+
+
+def test_run_points_serial_fallback_is_identical():
+    point = ("1L-1G", "one-way", 4096, 0)
+    runner._micro_cache.clear()
+    run_points(micro=[point], processes=0)  # forced in-process path
+    serial_result = runner._micro_cache[point]
+    runner._micro_cache.clear()
+    run_points(micro=[point], processes=2)  # pool path
+    pool_result = runner._micro_cache[point]
+    assert dataclasses.asdict(serial_result) == dataclasses.asdict(pool_result)

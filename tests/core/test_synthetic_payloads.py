@@ -1,0 +1,58 @@
+"""Synthetic (length-only) payload mode must not change any result.
+
+``ProtocolParams.synthetic_payloads`` drops payload *bytes* from the hot
+path; every cost is computed from lengths, so timing, counters, and derived
+metrics must be bit-identical to a run that shuffles real bytes.
+"""
+
+import dataclasses
+
+from repro.bench.cluster import make_cluster
+from repro.bench.micro import run_micro
+from repro.ethernet.frame import (
+    ETH_OVERHEAD_BYTES,
+    MULTIEDGE_HEADER_BYTES,
+    Frame,
+    MultiEdgeHeader,
+    max_payload_per_frame,
+)
+
+
+def _point(synthetic: bool, benchmark: str = "one-way", size: int = 65536):
+    cluster = make_cluster(
+        "1L-1G", nodes=2, seed=0, synthetic_payloads=synthetic
+    )
+    return run_micro(benchmark, cluster, size, iterations=4)
+
+
+def test_synthetic_payload_run_is_bit_identical_to_real_bytes():
+    real = dataclasses.asdict(_point(False))
+    synth = dataclasses.asdict(_point(True))
+    assert synth == real
+
+
+def test_synthetic_ping_pong_is_bit_identical_too():
+    real = dataclasses.asdict(_point(False, "ping-pong", 4096))
+    synth = dataclasses.asdict(_point(True, "ping-pong", 4096))
+    assert synth == real
+
+
+def test_length_only_frame_carries_wire_size_without_bytes():
+    header = MultiEdgeHeader(payload_length=1000)
+    frame = Frame(src_mac=1, dst_mac=2, header=header, payload=None)
+    assert frame.payload is None
+    assert frame.mac_payload_bytes == MULTIEDGE_HEADER_BYTES + 1000
+    assert frame.wire_bytes == frame.mac_payload_bytes + ETH_OVERHEAD_BYTES
+    # Same wire size as the equivalent real-bytes frame.
+    real = Frame(
+        src_mac=1,
+        dst_mac=2,
+        header=MultiEdgeHeader(payload_length=1000),
+        payload=bytes(1000),
+    )
+    assert real.wire_bytes == frame.wire_bytes
+
+
+def test_max_payload_matches_header_size():
+    assert max_payload_per_frame() == 1500 - MULTIEDGE_HEADER_BYTES
+    assert MULTIEDGE_HEADER_BYTES == 36

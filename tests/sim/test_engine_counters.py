@@ -1,0 +1,71 @@
+"""Regression tests for the two-lane engine's timer reclamation and counters."""
+
+from repro.sim.core import _COMPACT_MIN_DEAD, Simulator
+
+
+def test_cancelled_then_compacted_timer_never_fires_and_heap_shrinks():
+    """A cancelled timer must never fire, and mass cancellation must shrink
+    ``pending_events`` via heap compaction instead of rotting until the
+    deadline (the seed engine's behaviour)."""
+    sim = Simulator()
+    fired = []
+    n = 4 * _COMPACT_MIN_DEAD
+    timers = [
+        sim.timer(1_000_000 + i, fired.append, i) for i in range(n)
+    ]
+    assert sim.pending_events == n
+
+    for t in timers:
+        t.cancel()
+    # Compaction triggers while cancelling (dead entries outnumber live
+    # ones long before the last cancel), so the queue has already shrunk.
+    assert sim.pending_events < n
+    assert sim.heap_compactions >= 1
+    assert sim.cancelled_popped + sim._dead == n
+
+    # Survivor scheduled *after* the deadline window: if any cancelled
+    # entry were still callable it would fire first.
+    sim.schedule(2_000_000, fired.append, "sentinel")
+    sim.run()
+    assert fired == ["sentinel"]
+    assert sim.pending_events == 0
+    assert sim.cancelled_popped == n
+
+
+def test_cancelled_zero_delay_timer_never_fires():
+    sim = Simulator()
+    fired = []
+    t = sim.timer(0, fired.append, "zero")
+    t.cancel()
+    sim.timer(0, fired.append, "live")
+    sim.run()
+    assert fired == ["live"]
+
+
+def test_engine_counters_track_scheduling_lanes():
+    sim = Simulator()
+    ran = []
+    sim.schedule(0, ran.append, "fast")  # fast lane
+    sim.schedule(5, ran.append, "heap")  # heap
+    t = sim.timer(7, ran.append, "timer")  # heap
+    t.cancel()
+    sim.run()
+    assert ran == ["fast", "heap"]
+    assert sim.fastlane_hits == 1
+    assert sim.heap_pushes == 2
+    assert sim.cancelled_popped == 1
+    assert sim.events_processed == 2  # cancelled pop is not an event
+
+
+def test_counters_surface_in_cluster_summary():
+    from repro.analysis.summary import summarize_cluster
+    from repro.bench.cluster import make_cluster
+    from repro.bench.micro import run_micro
+
+    cluster = make_cluster("1L-1G", nodes=2, seed=0)
+    run_micro("one-way", cluster, 4096)
+    summary = summarize_cluster(cluster)
+    assert summary.events_processed == cluster.sim.events_processed > 0
+    assert summary.heap_pushes == cluster.sim.heap_pushes > 0
+    assert summary.fastlane_hits == cluster.sim.fastlane_hits > 0
+    assert 0.0 < summary.fastlane_fraction < 1.0

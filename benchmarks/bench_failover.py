@@ -1,0 +1,130 @@
+"""Failover benchmarks: detection latency and degraded/recovered goodput.
+
+Measures what the edge lifecycle control plane (``repro.control``) costs
+and delivers when a rail dies mid-transfer on the paper's two-rail
+configurations, recorded to ``BENCH_failover.json`` at the repo root:
+
+* **detection latency** — simulated ns from cable kill to the sender's
+  detector declaring the edge DOWN, vs the configured analytic bound
+  (:attr:`DetectorParams.detect_bound_ns`);
+* **degraded goodput** — steady-state goodput on the surviving rail as a
+  fraction of the two-rail baseline (floor: 45%);
+* **recovered goodput** — goodput after the rail is repaired and
+  re-striped, vs the pre-kill baseline;
+* **probe overhead** — heartbeat frames as a fraction of all wire frames
+  during a healthy bulk transfer.
+
+Invocations:
+
+* smoke —
+  ``PYTHONPATH=src python -m pytest benchmarks/bench_failover.py -k smoke``
+  (seconds; asserts the acceptance floors on 2Lu-1G);
+* full —
+  ``PYTHONPATH=src python -m pytest benchmarks/bench_failover.py -m slow``
+  (adds 2L-1G in-order and the adaptive-striping variant).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.failover import run_failover
+from repro.control import DetectorParams
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_failover.json"
+
+MS = 1_000_000
+
+# Acceptance floors (ISSUE acceptance criteria).
+MIN_DEGRADED_FRACTION = 0.45
+DETECTOR = DetectorParams()
+
+
+def _merge_bench_json(update: dict) -> dict:
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data.update(update)
+    BENCH_JSON.write_text(json.dumps(data, indent=2) + "\n")
+    return data
+
+
+def _point(config: str, striping=None, repair: bool = True) -> dict:
+    result = run_failover(
+        config=config,
+        kill_ns=10 * MS,
+        repair_ns=60 * MS if repair else None,
+        run_ns=100 * MS,
+        detector_params=DETECTOR,
+        striping=striping,
+    )
+    assert result.data_intact, f"{config}: corrupted data after failover"
+    assert result.detected_ns is not None, f"{config}: failure never detected"
+    return {
+        "config": config,
+        "striping": striping or "default",
+        "chunks_sent": result.chunks_sent,
+        "detect_latency_ns": result.detect_latency_ns,
+        "detect_bound_ns": DETECTOR.detect_bound_ns,
+        "baseline_goodput_mbps": round(result.baseline_goodput_bps / 1e6, 1),
+        "degraded_goodput_mbps": round(result.degraded_goodput_bps / 1e6, 1),
+        "degraded_fraction": round(result.degraded_fraction, 3),
+        "recovered_goodput_mbps": round(result.recovered_goodput_bps / 1e6, 1),
+        "transitions": len(result.transitions),
+    }
+
+
+def test_failover_smoke():
+    """Acceptance floors on the out-of-order two-rail configuration."""
+    point = _point("2Lu-1G")
+    report = {"failover_2Lu_1G": point}
+    _merge_bench_json(report)
+    print(json.dumps(report, indent=2))
+    assert point["detect_latency_ns"] <= point["detect_bound_ns"], (
+        f"detection took {point['detect_latency_ns']} ns, "
+        f"over the {point['detect_bound_ns']} ns bound"
+    )
+    assert point["degraded_fraction"] >= MIN_DEGRADED_FRACTION, (
+        f"degraded goodput {point['degraded_fraction']:.1%} of baseline, "
+        f"below the {MIN_DEGRADED_FRACTION:.0%} floor"
+    )
+    assert point["recovered_goodput_mbps"] >= point["degraded_goodput_mbps"], (
+        "re-adding the rail did not improve goodput"
+    )
+
+
+@pytest.mark.slow
+def test_failover_full():
+    """All two-rail variants, plus probe overhead on a healthy run."""
+    report = {}
+    for config in ("2Lu-1G", "2L-1G"):
+        point = _point(config)
+        report[f"failover_{config.replace('-', '_')}"] = point
+        assert point["degraded_fraction"] >= MIN_DEGRADED_FRACTION, config
+        assert point["detect_latency_ns"] <= point["detect_bound_ns"], config
+    report["failover_2Lu_1G_adaptive"] = _point("2Lu-1G", striping="adaptive")
+
+    # Probe overhead: healthy 2-rail run, no faults (kill scheduled after
+    # the stream ends, so both rails stay up throughout).
+    healthy = run_failover(
+        config="2Lu-1G", kill_ns=200 * MS, repair_ns=None, run_ns=50 * MS,
+        detector_params=DETECTOR,
+    )
+    assert healthy.data_intact
+    report["probe_overhead"] = {
+        "probe_interval_ns": DETECTOR.probe_interval_ns,
+        "goodput_mbps": round(healthy.baseline_goodput_bps / 1e6, 1),
+        "probe_frames": healthy.probe_frames,
+        "wire_frames": healthy.wire_frames,
+        "probe_frame_fraction": round(healthy.probe_overhead, 4),
+    }
+    assert healthy.probe_overhead < 0.10, (
+        f"heartbeats are {healthy.probe_overhead:.1%} of wire frames"
+    )
+    _merge_bench_json(report)
+    print(json.dumps(report, indent=2))

@@ -1,20 +1,28 @@
 #!/usr/bin/env python
-"""Reliability demo: bit errors, transient outages, and congestion drops.
+"""Reliability demo: declarative fault schedules and live edge failover.
 
-MultiEdge guarantees delivery across transient faults (paper §2.4).  This
-example injects three kinds of trouble and shows the transfer completing
-with correct bytes every time, plus what the recovery cost was:
+MultiEdge guarantees delivery across faults (paper §2.4).  Every scenario
+here scripts its trouble with ``repro.control.faults`` — a declarative
+:class:`FaultSchedule` applied to the cluster — and shows the transfer
+completing with correct bytes, plus what the recovery cost was:
 
-1. a noisy cable (bit-error rate) — CRC drops recovered by NACKs,
-2. a 5 ms link outage mid-transfer — recovered by the coarse timeout,
-3. an incast storm overflowing a tiny switch queue — congestion drops
-   recovered by selective retransmission.
+1. a bit-error ramp on one edge — CRC drops recovered by NACKs,
+2. a 5 ms outage mid-transfer — recovered by the coarse timeout,
+3. a flapping edge — repeated short outages, absorbed by retransmission,
+4. an incast storm overflowing a tiny switch queue — congestion drops
+   recovered by selective retransmission,
+5. rail death with the edge lifecycle control plane on — the failure is
+   *detected*, in-flight frames are migrated to the surviving rail, and
+   the repaired rail is re-striped automatically.
 
 Run:  python examples/failure_injection.py
 """
 
-from repro.bench import make_cluster
-from repro.ethernet import Frame, LinkParams, MultiEdgeHeader, SwitchParams
+from repro.bench import make_cluster, run_failover
+from repro.control import BitErrorRamp, FaultSchedule, Flap, Outage, Repair
+from repro.ethernet import SwitchParams
+
+MS = 1_000_000
 
 
 def transfer(cluster, size=300_000, limit_ms=5000):
@@ -29,16 +37,19 @@ def transfer(cluster, size=300_000, limit_ms=5000):
         yield from handle.wait()
 
     proc = cluster.sim.process(app())
-    cluster.sim.run_until_done(proc, limit=limit_ms * 1_000_000)
+    cluster.sim.run_until_done(proc, limit=limit_ms * MS)
     ok = b.node.memory.read(dst, size) == payload
     return ok, a.stats, cluster
 
 
 def scenario_bit_errors() -> None:
-    cluster = make_cluster(
-        "1L-1G", nodes=2,
-        link=LinkParams(speed_bps=1e9, bit_error_rate=1e-6),
-    )
+    cluster = make_cluster("1L-1G", nodes=2)
+    # Ramp node 0's edge to a noisy 1e-6 BER just after the transfer starts,
+    # then swap the cable back to clean mid-way.
+    FaultSchedule([
+        BitErrorRamp(at_ns=0, node=0, rail=0, bit_error_rate=1e-6),
+        Repair(at_ns=10 * MS, node=0, rail=0),
+    ]).apply(cluster)
     ok, stats, cl = transfer(cluster)
     crc = sum(n.counters.rx_dropped_crc for node in cl.nodes for n in node.nics)
     print(f"bit errors   : data intact={ok}  CRC drops={crc}  "
@@ -48,13 +59,29 @@ def scenario_bit_errors() -> None:
 
 def scenario_outage() -> None:
     cluster = make_cluster("1L-1G", nodes=2)
-    # Fail node 0's uplink for 5 ms shortly after the transfer starts.
+    # Fail node 0's edge for 5 ms shortly after the transfer starts.
+    FaultSchedule([
+        Outage(at_ns=2 * MS, node=0, rail=0, duration_ns=5 * MS),
+    ]).apply(cluster)
     link = cluster.nodes[0].nics[0].tx_link
-    cluster.sim.schedule(2_000_000, link.fail_for, 5_000_000)
     ok, stats, cl = transfer(cluster)
     print(f"5ms outage   : data intact={ok}  "
           f"lost to outage={link.frames_lost_outage}  "
           f"timeout retransmits={stats.timeout_retransmits}  "
+          f"retransmits={stats.retransmitted_frames}")
+
+
+def scenario_flapping() -> None:
+    cluster = make_cluster("1L-1G", nodes=2)
+    # Edge goes down for 1 ms out of every 4 ms, five times in a row.
+    FaultSchedule([
+        Flap(at_ns=1 * MS, node=0, rail=0, period_ns=4 * MS,
+             down_ns=1 * MS, count=5),
+    ]).apply(cluster)
+    link = cluster.nodes[0].nics[0].tx_link
+    ok, stats, cl = transfer(cluster)
+    print(f"flapping edge: data intact={ok}  "
+          f"lost to outage={link.frames_lost_outage}  "
           f"retransmits={stats.retransmitted_frames}")
 
 
@@ -87,17 +114,34 @@ def scenario_congestion() -> None:
         for dst in dsts
     )
     dropped = sum(sw.dropped_total for sw in cluster.switches)
-    retrans = sum(
-        c.stats.retransmitted_frames + 0 for c in conns
-    )
+    retrans = sum(c.stats.retransmitted_frames for c in conns)
     print(f"incast storm : data intact={ok}  switch drops={dropped}  "
           f"retransmits={retrans}")
+
+
+def scenario_failover() -> None:
+    # Two-rail cluster, control plane on: kill rail 0 at 10 ms, repair at
+    # 60 ms.  The detector notices, migrates the stranded frames, keeps the
+    # stream flowing on rail 1, and re-stripes when the rail returns.
+    result = run_failover(
+        config="2Lu-1G", kill_ns=10 * MS, repair_ns=60 * MS, run_ns=100 * MS
+    )
+    detect_ms = (result.detect_latency_ns or 0) / MS
+    print(f"rail failover: data intact={result.data_intact}  "
+          f"detected in {detect_ms:.1f}ms  "
+          f"degraded={result.degraded_fraction:.0%} of baseline  "
+          f"recovered={result.recovered_goodput_bps / 1e6:.0f}Mb/s")
+    for t in result.transitions:
+        print(f"    {t.time_ns / MS:7.2f}ms  rail {t.rail}: "
+              f"{t.old} -> {t.new}  ({t.reason})")
 
 
 def main() -> None:
     scenario_bit_errors()
     scenario_outage()
+    scenario_flapping()
     scenario_congestion()
+    scenario_failover()
 
 
 if __name__ == "__main__":

@@ -25,6 +25,12 @@ from .bench import (
     make_cluster,
     run_micro,
 )
+from .control import (
+    DetectorParams,
+    EdgeLifecycleManager,
+    EdgeState,
+    FaultSchedule,
+)
 from .core import (
     ConnectionHandle,
     ConnectionStats,
@@ -54,6 +60,10 @@ __all__ = [
     "ProtocolParams",
     "ConnectionStats",
     "establish",
+    "EdgeLifecycleManager",
+    "EdgeState",
+    "DetectorParams",
+    "FaultSchedule",
     "DsmRuntime",
     "DsmNode",
     "SharedRegion",

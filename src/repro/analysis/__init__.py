@@ -1,8 +1,15 @@
 """Measurement probes and cluster-wide summaries."""
 
-from .probes import InflightProbe, QueueProbe, Sample, ThroughputProbe
+from .probes import (
+    EdgeScoreProbe,
+    InflightProbe,
+    QueueProbe,
+    Sample,
+    ThroughputProbe,
+)
 from .summary import (
     ClusterSummary,
+    RailCounters,
     ascii_histogram,
     reorder_histogram,
     summarize_cluster,
@@ -12,8 +19,10 @@ __all__ = [
     "ThroughputProbe",
     "QueueProbe",
     "InflightProbe",
+    "EdgeScoreProbe",
     "Sample",
     "ClusterSummary",
+    "RailCounters",
     "summarize_cluster",
     "reorder_histogram",
     "ascii_histogram",

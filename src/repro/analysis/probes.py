@@ -24,7 +24,13 @@ from ..core.connection import Connection
 from ..ethernet import Switch
 from ..sim import Simulator
 
-__all__ = ["ThroughputProbe", "QueueProbe", "InflightProbe", "Sample"]
+__all__ = [
+    "ThroughputProbe",
+    "QueueProbe",
+    "InflightProbe",
+    "EdgeScoreProbe",
+    "Sample",
+]
 
 
 @dataclass
@@ -114,3 +120,22 @@ class InflightProbe(_Probe):
 
     def _read(self) -> float:
         return float(self._conn.window.in_flight_count)
+
+
+class EdgeScoreProbe(_Probe):
+    """One edge's EWMA health score over time (control plane required).
+
+    ``manager`` is the connection endpoint's
+    :class:`~repro.control.EdgeLifecycleManager`; the probe samples the
+    combined loss/RTT/backlog score of ``rail``.
+    """
+
+    def __init__(
+        self, sim: Simulator, manager, rail: int, interval_ns: int = 500_000
+    ) -> None:
+        self._manager = manager
+        self._rail = rail
+        super().__init__(sim, interval_ns)
+
+    def _read(self) -> float:
+        return self._manager.edge_score(self._rail)

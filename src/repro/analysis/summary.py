@@ -14,7 +14,26 @@ from ..bench.cluster import Cluster
 from ..core import merge_stats
 from ..core.stats import ConnectionStats
 
-__all__ = ["ClusterSummary", "summarize_cluster", "reorder_histogram", "ascii_histogram"]
+__all__ = [
+    "ClusterSummary",
+    "RailCounters",
+    "summarize_cluster",
+    "reorder_histogram",
+    "ascii_histogram",
+]
+
+
+@dataclass
+class RailCounters:
+    """Hardware counters rolled up per rail across every node."""
+
+    rail: int
+    tx_frames: int
+    tx_bytes: int
+    rx_frames: int
+    ring_drops: int
+    crc_drops: int
+    irqs: int
 
 
 @dataclass
@@ -47,6 +66,12 @@ class ClusterSummary:
     heap_pushes: int = 0
     fastlane_hits: int = 0
     cancelled_popped: int = 0
+    # Edge lifecycle (populated when the control plane is in use).
+    rails: list["RailCounters"] = field(default_factory=list)
+    edge_history: list = field(default_factory=list)  # EdgeTransition, by time
+    edges_failed: int = 0  # transitions into DOWN
+    edges_recovered: int = 0  # DOWN/RECOVERING -> UP transitions
+    frames_migrated: int = 0  # in-flight frames re-striped off dead rails
 
     @property
     def fastlane_fraction(self) -> float:
@@ -88,6 +113,33 @@ def summarize_cluster(
             ring += nic.counters.rx_dropped_ring_full
             crc += nic.counters.rx_dropped_crc
     switch_drops = sum(sw.dropped_total for sw in cluster.all_switches)
+    rails = []
+    for rail in range(cluster.config.rails):
+        tx_f = tx_b = rx_f = ring_d = crc_d = rail_irqs = 0
+        for node in cluster.nodes:
+            c = node.nics[rail].counters
+            tx_f += c.tx_frames
+            tx_b += c.tx_bytes
+            rx_f += c.rx_frames
+            ring_d += c.rx_dropped_ring_full
+            crc_d += c.rx_dropped_crc
+            rail_irqs += c.irqs_raised
+        rails.append(
+            RailCounters(
+                rail=rail, tx_frames=tx_f, tx_bytes=tx_b, rx_frames=rx_f,
+                ring_drops=ring_d, crc_drops=crc_d, irqs=rail_irqs,
+            )
+        )
+    edge_history = sorted(
+        (t for mgr in cluster.control_planes.values() for t in mgr.history),
+        key=lambda t: (t.time_ns, t.rail),
+    )
+    edges_failed = sum(1 for t in edge_history if t.new.value == "down")
+    edges_recovered = sum(
+        1
+        for t in edge_history
+        if t.new.value == "up" and t.old.value in ("down", "recovering")
+    )
     n = len(cluster.stacks)
     proto_frac = (
         sum(s.node.protocol_cpu_time() / elapsed for s in cluster.stacks) / n
@@ -116,6 +168,11 @@ def summarize_cluster(
         heap_pushes=getattr(cluster.sim, "heap_pushes", 0),
         fastlane_hits=getattr(cluster.sim, "fastlane_hits", 0),
         cancelled_popped=getattr(cluster.sim, "cancelled_popped", 0),
+        rails=rails,
+        edge_history=edge_history,
+        edges_failed=edges_failed,
+        edges_recovered=edges_recovered,
+        frames_migrated=stats.migrated_frames,
     )
 
 

@@ -1,6 +1,7 @@
 """Benchmark harness: cluster builders, micro-benchmarks, runners, reports."""
 
 from .cluster import CONFIG_NAMES, Cluster, ClusterConfig, make_cluster
+from .failover import FailoverResult, run_failover
 from .micro import MicroResult, run_micro, run_one_way, run_ping_pong, run_two_way
 from .report import Table, band_str, check_band, fmt
 from .parallel import parallel_app_runs, parallel_micro_sweep, run_points
@@ -18,6 +19,8 @@ __all__ = [
     "ClusterConfig",
     "make_cluster",
     "CONFIG_NAMES",
+    "FailoverResult",
+    "run_failover",
     "MicroResult",
     "run_micro",
     "run_ping_pong",

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
+from ..control import DetectorParams, EdgeLifecycleManager, HealthParams
 from ..core import ConnectionHandle, MultiEdgeStack, ProtocolParams, establish
 from ..ethernet import (
     LinkParams,
@@ -27,8 +28,10 @@ from ..ethernet import (
     SwitchParams,
     connect_nic_to_switch,
 )
+from ..ethernet.link import Cable
 from ..host import HostParams, Node, myri10g_params, tigon3_params
 from ..sim import RngRegistry, Simulator
+from ..sim.trace import Tracer
 
 __all__ = ["ClusterConfig", "Cluster", "CONFIG_NAMES", "make_cluster"]
 
@@ -177,12 +180,18 @@ class Cluster:
         self.switches: list[Switch] = []  # flat per-rail switches
         self.spines: list[Switch] = []  # per-rail spine (multi-leaf only)
         self.leaves: list[list[Switch]] = []  # per-rail leaf switches
+        # (node_id, rail) -> the full-duplex cable to that NIC's switch
+        # port.  The fault driver and repair paths need both directions.
+        self._cables: dict[tuple[int, int], Cable] = {}
         if config.leaf_switches <= 1:
             self._wire_flat(nodes)
         else:
             self._wire_leaf_spine(nodes)
 
+        self.tracer = Tracer(self.sim)
         self._connections: dict[tuple[int, int], tuple[ConnectionHandle, ConnectionHandle]] = {}
+        # (node_id, peer_node_id) -> that endpoint's lifecycle manager.
+        self.control_planes: dict[tuple[int, int], EdgeLifecycleManager] = {}
 
     def _wire_flat(self, nodes) -> None:
         config = self.config
@@ -192,7 +201,7 @@ class Cluster:
         ]
         for node in nodes:
             for rail in range(config.rails):
-                connect_nic_to_switch(
+                self._cables[(node.node_id, rail)] = connect_nic_to_switch(
                     self.sim,
                     node.nics[rail],
                     self.switches[rail],
@@ -203,8 +212,6 @@ class Cluster:
 
     def _wire_leaf_spine(self, nodes) -> None:
         """Two-level fabric: leaves hold nodes, one spine joins leaves."""
-        from ..ethernet.link import Cable
-
         config = self.config
         n_leaves = config.leaf_switches
         per_leaf = (config.nodes + n_leaves - 1) // n_leaves
@@ -245,7 +252,7 @@ class Cluster:
             for node in nodes:
                 leaf_index = node.node_id // per_leaf
                 local_port = node.node_id % per_leaf
-                connect_nic_to_switch(
+                self._cables[(node.node_id, rail)] = connect_nic_to_switch(
                     self.sim,
                     node.nics[rail],
                     leaves[leaf_index],
@@ -299,6 +306,57 @@ class Cluster:
         for i in range(n):
             for j in range(i + 1, n):
                 self.connect(i, j)
+
+    # -- edge lifecycle control plane ------------------------------------
+
+    def cable(self, node: int, rail: int) -> Cable:
+        """The full-duplex cable between ``node``'s ``rail`` NIC and its
+        switch port (fault injection and repair act on this)."""
+        try:
+            return self._cables[(node, rail)]
+        except KeyError:
+            raise ValueError(f"no cable for node {node} rail {rail}") from None
+
+    def enable_edge_control(
+        self,
+        i: int,
+        j: int,
+        detector_params: Optional[DetectorParams] = None,
+        health_params: Optional[HealthParams] = None,
+    ) -> tuple[EdgeLifecycleManager, EdgeLifecycleManager]:
+        """Run the edge lifecycle control plane on both ends of (i, j).
+
+        Establishes the connection if needed, then attaches one
+        :class:`~repro.control.EdgeLifecycleManager` per endpoint
+        (heartbeat probes + failure detection + automatic failover).
+        Edge state transitions are recorded through :attr:`tracer` under
+        category ``"edge.state"``.
+        """
+        a, b = self.connect(i, j)
+        self.tracer.enable("edge.state")
+        managers = []
+        for node_id, handle in ((i, a), (j, b)):
+            peer = handle.conn.peer_node_id
+            key = (node_id, peer)
+            mgr = self.control_planes.get(key)
+            if mgr is None:
+                mgr = EdgeLifecycleManager(
+                    self.sim,
+                    handle.conn,
+                    detector_params=detector_params,
+                    health_params=health_params,
+                    tracer=self.tracer,
+                )
+                self.control_planes[key] = mgr
+            managers.append(mgr)
+        return managers[0], managers[1]
+
+    def enable_frame_tracing(self) -> None:
+        """Record every NIC TX/RX completion into :attr:`tracer`."""
+        self.tracer.enable("frame.tx", "frame.rx")
+        for node in self.nodes:
+            for nic in node.nics:
+                nic.tracer = self.tracer
 
     # -- cluster-wide statistics -----------------------------------------
 

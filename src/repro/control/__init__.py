@@ -1,0 +1,49 @@
+"""Edge lifecycle control plane (extends the paper's §2.4 fault model).
+
+The MultiEdge paper argues that edges — not connections — are the right
+failure domain for multi-rail clusters.  This subsystem makes that
+concrete for the simulation:
+
+* :mod:`~repro.control.health` — per-edge heartbeat probes with EWMA
+  loss/latency/backlog scoring,
+* :mod:`~repro.control.detector` — the UP → SUSPECT → DOWN → RECOVERING
+  state machine with bounded detection latency,
+* :mod:`~repro.control.lifecycle` — the manager that masks a dead rail,
+  migrates its in-flight frames, and re-stripes on recovery,
+* :mod:`~repro.control.adaptive` — a health-weighted striping policy
+  (registered with the core as ``"adaptive"``),
+* :mod:`~repro.control.faults` — declarative fault schedules for
+  experiments.
+"""
+
+from .adaptive import AdaptiveStriping
+from .detector import DetectorParams, EdgeFailureDetector, EdgeState, EdgeTransition
+from .faults import (
+    BitErrorRamp,
+    FaultEvent,
+    FaultSchedule,
+    Flap,
+    Outage,
+    PermanentFailure,
+    Repair,
+)
+from .health import EdgeHealthMonitor, HealthParams
+from .lifecycle import EdgeLifecycleManager
+
+__all__ = [
+    "EdgeState",
+    "EdgeTransition",
+    "DetectorParams",
+    "EdgeFailureDetector",
+    "HealthParams",
+    "EdgeHealthMonitor",
+    "EdgeLifecycleManager",
+    "AdaptiveStriping",
+    "FaultSchedule",
+    "FaultEvent",
+    "Outage",
+    "Flap",
+    "BitErrorRamp",
+    "PermanentFailure",
+    "Repair",
+]

@@ -1,0 +1,190 @@
+"""Per-edge failure detection: an explicit lifecycle state machine.
+
+Every edge (rail) of a connection owns one :class:`EdgeFailureDetector`
+fed by the health monitor's probe outcomes.  The machine is:
+
+::
+
+    UP --(losses / low score)--> SUSPECT --(confirm window)--> DOWN
+     ^                              |                            |
+     |   (score recovers)           |                            |
+     +------------------------------+                 (probe answered)
+     ^                                                           |
+     +--(recovery_probes successes)-- RECOVERING <---------------+
+                                          |
+                                          +--(any loss)--> DOWN
+
+Detection latency is bounded by the parameters alone
+(:attr:`DetectorParams.detect_bound_ns`), which is what the failover
+acceptance test asserts against.  The machine is pure bookkeeping — no
+simulator access — so it is unit-testable by driving it with synthetic
+probe outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Optional
+
+__all__ = ["EdgeState", "DetectorParams", "EdgeFailureDetector", "EdgeTransition"]
+
+
+class EdgeState(Enum):
+    """Lifecycle state of one edge (rail) of a connection."""
+
+    UP = "up"
+    SUSPECT = "suspect"
+    DOWN = "down"
+    RECOVERING = "recovering"
+
+    def __str__(self) -> str:  # compact trace payloads
+        return self.value
+
+
+@dataclass
+class DetectorParams:
+    """Detect/confirm windows for the per-edge failure detector.
+
+    Defaults are sized for 1-GbE rails with deep TX rings: a probe stuck
+    behind a full 256-frame ring plus a loaded switch queue can take a few
+    milliseconds legitimately, so ``probe_timeout_ns`` must not declare a
+    merely *congested* rail lost.
+    """
+
+    probe_interval_ns: int = 500_000  # heartbeat period per edge
+    probe_timeout_ns: int = 4_000_000  # unanswered probe counts as lost
+    suspect_after_losses: int = 2  # consecutive losses before SUSPECT
+    suspect_score: float = 0.5  # EWMA score below this is suspect
+    confirm_window_ns: int = 1_000_000  # SUSPECT must persist this long
+    recovery_probes: int = 2  # successes needed to leave RECOVERING
+
+    def __post_init__(self) -> None:
+        if self.probe_interval_ns <= 0:
+            raise ValueError("probe_interval_ns must be positive")
+        if self.probe_timeout_ns <= 0:
+            raise ValueError("probe_timeout_ns must be positive")
+        if self.suspect_after_losses < 1:
+            raise ValueError("suspect_after_losses must be >= 1")
+        if self.recovery_probes < 1:
+            raise ValueError("recovery_probes must be >= 1")
+
+    @property
+    def detect_bound_ns(self) -> int:
+        """Worst-case ns from edge death to the DOWN transition.
+
+        ``suspect_after_losses`` probe periods accumulate the losses, the
+        last lost probe surfaces after ``probe_timeout_ns``, the SUSPECT
+        state must age ``confirm_window_ns``, and the confirming loss can
+        lag one further period plus its own timeout-resolution slack.
+        """
+        return (
+            self.suspect_after_losses * self.probe_interval_ns
+            + self.probe_timeout_ns
+            + self.confirm_window_ns
+            + 2 * self.probe_interval_ns
+        )
+
+
+@dataclass(slots=True)
+class EdgeTransition:
+    """One recorded state change of one edge."""
+
+    time_ns: int
+    rail: int
+    old: EdgeState
+    new: EdgeState
+    reason: str
+
+
+class EdgeFailureDetector:
+    """State machine for one edge, driven by probe outcomes."""
+
+    def __init__(
+        self,
+        rail: int,
+        params: Optional[DetectorParams] = None,
+        on_transition: Optional[
+            Callable[[int, EdgeState, EdgeState, int, str], None]
+        ] = None,
+    ) -> None:
+        self.rail = rail
+        self.params = params or DetectorParams()
+        self.on_transition = on_transition
+        self.state = EdgeState.UP
+        self.consecutive_losses = 0
+        self.recovery_successes = 0
+        self.suspect_since: Optional[int] = None
+        self.down_since: Optional[int] = None
+        self.transitions = 0
+
+    def _move(self, new: EdgeState, now: int, reason: str) -> None:
+        old = self.state
+        if new is old:
+            return
+        self.state = new
+        self.transitions += 1
+        if new is EdgeState.SUSPECT:
+            self.suspect_since = now
+        elif new is EdgeState.DOWN:
+            self.down_since = now
+            self.recovery_successes = 0
+        elif new is EdgeState.UP:
+            self.consecutive_losses = 0
+            self.suspect_since = None
+            self.down_since = None
+        elif new is EdgeState.RECOVERING:
+            self.recovery_successes = 1
+        if self.on_transition is not None:
+            self.on_transition(self.rail, old, new, now, reason)
+
+    # -- probe outcomes (called by the health monitor) --------------------
+
+    def on_probe_success(self, now: int, score: float) -> None:
+        self.consecutive_losses = 0
+        state = self.state
+        if state is EdgeState.UP:
+            if score < self.params.suspect_score:
+                self._move(EdgeState.SUSPECT, now, f"score {score:.2f}")
+        elif state is EdgeState.SUSPECT:
+            if score >= self.params.suspect_score:
+                self._move(EdgeState.UP, now, "score recovered")
+        elif state is EdgeState.DOWN:
+            self._move(EdgeState.RECOVERING, now, "probe answered")
+            if self.recovery_successes >= self.params.recovery_probes:
+                self._move(EdgeState.UP, now, "recovery confirmed")
+        elif state is EdgeState.RECOVERING:
+            self.recovery_successes += 1
+            if self.recovery_successes >= self.params.recovery_probes:
+                self._move(EdgeState.UP, now, "recovery confirmed")
+
+    def on_probe_loss(self, now: int, score: float) -> None:
+        self.consecutive_losses += 1
+        state = self.state
+        if state is EdgeState.UP:
+            if (
+                self.consecutive_losses >= self.params.suspect_after_losses
+                or score < self.params.suspect_score
+            ):
+                self._move(
+                    EdgeState.SUSPECT,
+                    now,
+                    f"{self.consecutive_losses} consecutive losses",
+                )
+        elif state is EdgeState.SUSPECT:
+            since = self.suspect_since if self.suspect_since is not None else now
+            if now - since >= self.params.confirm_window_ns:
+                self._move(EdgeState.DOWN, now, "confirm window elapsed")
+        elif state is EdgeState.RECOVERING:
+            self._move(EdgeState.DOWN, now, "loss during recovery")
+
+    # -- external overrides ----------------------------------------------
+
+    def force_down(self, now: int, reason: str = "administrative") -> None:
+        """Administrative removal (or a dead-peer escalation)."""
+        if self.state is not EdgeState.DOWN:
+            self._move(EdgeState.DOWN, now, reason)
+
+    def force_up(self, now: int, reason: str = "administrative") -> None:
+        if self.state is not EdgeState.UP:
+            self._move(EdgeState.UP, now, reason)

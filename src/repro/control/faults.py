@@ -1,0 +1,166 @@
+"""Declarative fault schedules for cluster experiments.
+
+Instead of sprinkling ``sim.schedule(t, link.fail_for, d)`` calls through
+every experiment script, a :class:`FaultSchedule` is a list of fault
+*events* — plain dataclasses naming a ``(node, rail)`` edge and a start
+time — applied to a :class:`~repro.bench.cluster.Cluster` before the run:
+
+>>> schedule = FaultSchedule([
+...     Outage(at_ns=2_000_000, node=0, rail=0, duration_ns=5_000_000),
+...     PermanentFailure(at_ns=20_000_000, node=1, rail=1),
+...     Repair(at_ns=60_000_000, node=1, rail=1),
+... ])
+>>> schedule.apply(cluster)
+
+All faults hit the full-duplex cable between the node's NIC and its
+switch port, both directions, which is what a yanked cable or dead port
+does in practice.  Every event is deterministic: the schedule only
+installs simulator timers, so same seed + same schedule = same run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..bench.cluster import Cluster
+    from ..ethernet.link import Cable
+
+__all__ = [
+    "Outage",
+    "Flap",
+    "BitErrorRamp",
+    "PermanentFailure",
+    "Repair",
+    "FaultEvent",
+    "FaultSchedule",
+]
+
+
+@dataclass(frozen=True)
+class Outage:
+    """Transient outage: the edge drops every frame for ``duration_ns``."""
+
+    at_ns: int
+    node: int
+    rail: int
+    duration_ns: int
+
+
+@dataclass(frozen=True)
+class Flap:
+    """A flapping edge: ``count`` outages of ``down_ns`` every ``period_ns``.
+
+    The k-th outage starts at ``at_ns + k * period_ns``.  ``down_ns`` must
+    not exceed ``period_ns`` (that would be a permanent failure in
+    disguise — use :class:`PermanentFailure`).
+    """
+
+    at_ns: int
+    node: int
+    rail: int
+    period_ns: int
+    down_ns: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if not 0 < self.down_ns <= self.period_ns:
+            raise ValueError("need 0 < down_ns <= period_ns")
+
+
+@dataclass(frozen=True)
+class BitErrorRamp:
+    """Raise the edge's bit-error rate at ``at_ns`` (until a Repair).
+
+    The link's shared :class:`~repro.ethernet.LinkParams` is *copied*
+    before mutation so the ramp affects only the targeted edge, never the
+    whole cluster.
+    """
+
+    at_ns: int
+    node: int
+    rail: int
+    bit_error_rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.bit_error_rate < 1.0:
+            raise ValueError("bit_error_rate must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class PermanentFailure:
+    """Kill the edge outright (until a Repair, if any)."""
+
+    at_ns: int
+    node: int
+    rail: int
+
+
+@dataclass(frozen=True)
+class Repair:
+    """End any outage and restore the original bit-error rate."""
+
+    at_ns: int
+    node: int
+    rail: int
+
+
+FaultEvent = Union[Outage, Flap, BitErrorRamp, PermanentFailure, Repair]
+
+
+class FaultSchedule:
+    """An ordered set of fault events, applied once to a cluster."""
+
+    def __init__(self, events: Sequence[FaultEvent] = ()) -> None:
+        self.events: list[FaultEvent] = list(events)
+        self._applied = False
+
+    def add(self, event: FaultEvent) -> "FaultSchedule":
+        if self._applied:
+            raise RuntimeError("schedule already applied; build a new one")
+        self.events.append(event)
+        return self
+
+    def apply(self, cluster: "Cluster") -> None:
+        """Install every event as simulator timers on ``cluster``."""
+        if self._applied:
+            raise RuntimeError("schedule already applied; build a new one")
+        self._applied = True
+        sim = cluster.sim
+        for ev in self.events:
+            cable = cluster.cable(ev.node, ev.rail)
+            if isinstance(ev, Outage):
+                sim.schedule(ev.at_ns, cable.fail_for, ev.duration_ns)
+            elif isinstance(ev, Flap):
+                for k in range(ev.count):
+                    sim.schedule(
+                        ev.at_ns + k * ev.period_ns, cable.fail_for, ev.down_ns
+                    )
+            elif isinstance(ev, BitErrorRamp):
+                sim.schedule(ev.at_ns, _set_ber, cable, ev.bit_error_rate)
+            elif isinstance(ev, PermanentFailure):
+                sim.schedule(ev.at_ns, cable.fail_forever)
+            elif isinstance(ev, Repair):
+                sim.schedule(ev.at_ns, _repair, cable)
+            else:
+                raise TypeError(f"unknown fault event {ev!r}")
+
+
+def _set_ber(cable: "Cable", rate: float) -> None:
+    # LinkParams is shared across the whole cluster; give each direction a
+    # private copy so the ramp stays scoped to this one edge.
+    for link in (cable.ab, cable.ba):
+        if not hasattr(link, "_pristine_params"):
+            link._pristine_params = link.params
+        link.params = replace(link._pristine_params, bit_error_rate=rate)
+
+
+def _repair(cable: "Cable") -> None:
+    cable.repair()
+    for link in (cable.ab, cable.ba):
+        pristine = getattr(link, "_pristine_params", None)
+        if pristine is not None:
+            link.params = pristine

@@ -1,0 +1,150 @@
+"""Edge lifecycle manager: ties monitors, detectors, and the connection.
+
+One :class:`EdgeLifecycleManager` per connection endpoint.  It owns one
+:class:`~repro.control.health.EdgeHealthMonitor` and one
+:class:`~repro.control.detector.EdgeFailureDetector` per rail, registers
+itself as ``connection.control_plane`` (so PROBE_ACK frames and dead-peer
+escalations route here), and acts on detector transitions:
+
+* ``* → DOWN``   — ``connection.remove_edge(rail)``: mask the rail and
+  migrate its stranded in-flight frames onto the survivors.
+* ``* → UP``     — ``connection.add_edge(rail)``: re-stripe across it.
+
+Every transition is appended to :attr:`history` and recorded through the
+simulation :class:`~repro.sim.Tracer` under category ``"edge.state"`` so
+the Chrome trace exporter can draw per-edge lifecycle spans.  After every
+probe outcome the latest health score is pushed into the striping policy
+when it supports it (the ``"adaptive"`` policy does).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..sim import Simulator
+from .detector import DetectorParams, EdgeFailureDetector, EdgeState, EdgeTransition
+from .health import EdgeHealthMonitor, HealthParams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.connection import Connection
+    from ..sim.trace import Tracer
+
+__all__ = ["EdgeLifecycleManager"]
+
+
+class EdgeLifecycleManager:
+    """Control plane for all edges of one connection endpoint."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        connection: "Connection",
+        detector_params: Optional[DetectorParams] = None,
+        health_params: Optional[HealthParams] = None,
+        tracer: Optional["Tracer"] = None,
+        auto_failover: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.conn = connection
+        self.tracer = tracer
+        self.auto_failover = auto_failover
+        self.detector_params = detector_params or DetectorParams()
+        self.history: list[EdgeTransition] = []
+        self.detectors: list[EdgeFailureDetector] = []
+        self.monitors: list[EdgeHealthMonitor] = []
+        for rail in range(len(connection.nics)):
+            self._make_edge(rail, health_params)
+        connection.control_plane = self
+
+    def _make_edge(self, rail: int, health_params: Optional[HealthParams]) -> None:
+        detector = EdgeFailureDetector(
+            rail, self.detector_params, on_transition=self._on_transition
+        )
+        monitor = EdgeHealthMonitor(
+            self.sim, self.conn, rail, detector, params=health_params
+        )
+        self.detectors.append(detector)
+        self.monitors.append(monitor)
+
+    # -- introspection -----------------------------------------------------
+
+    def edge_state(self, rail: int) -> EdgeState:
+        return self.detectors[rail].state
+
+    @property
+    def states(self) -> list[EdgeState]:
+        return [d.state for d in self.detectors]
+
+    def edge_score(self, rail: int) -> float:
+        return self.monitors[rail].score
+
+    def transitions_for(self, rail: int) -> list[EdgeTransition]:
+        return [t for t in self.history if t.rail == rail]
+
+    # -- wiring ------------------------------------------------------------
+
+    def watch_new_rail(
+        self, rail: int, health_params: Optional[HealthParams] = None
+    ) -> None:
+        """Start monitoring a rail attached after construction."""
+        if rail != len(self.detectors):
+            raise ValueError(
+                f"rails must be watched in order; expected {len(self.detectors)}, "
+                f"got {rail}"
+            )
+        self._make_edge(rail, health_params)
+
+    def stop(self) -> None:
+        """Stop all probe loops (end of experiment)."""
+        for monitor in self.monitors:
+            monitor.stop()
+
+    # -- callbacks from the connection ------------------------------------
+
+    def on_probe_ack(self, frame) -> None:
+        """PROBE_ACK arrived; route to the monitor for its rail."""
+        rail = frame.control
+        if not isinstance(rail, int) or not 0 <= rail < len(self.monitors):
+            return
+        monitor = self.monitors[rail]
+        monitor.on_probe_ack(frame.header.op_id, frame.header.remote_address)
+        self._push_score(rail)
+
+    def on_connection_dead(self) -> None:
+        """Coarse retransmit retries exhausted: every rail is silent.
+
+        Nothing to fail over *to*; record the event so experiments can
+        distinguish total-fabric death from single-edge failures.
+        """
+        if self.tracer is not None and self.tracer.is_enabled("edge.state"):
+            self.tracer.record(
+                "edge.state",
+                {"conn": self.conn.conn_id, "rail": -1, "old": "up",
+                 "new": "dead", "reason": "all rails silent"},
+            )
+
+    # -- detector transition handling --------------------------------------
+
+    def _on_transition(
+        self, rail: int, old: EdgeState, new: EdgeState, now: int, reason: str
+    ) -> None:
+        self.history.append(EdgeTransition(now, rail, old, new, reason))
+        if self.tracer is not None and self.tracer.is_enabled("edge.state"):
+            self.tracer.record(
+                "edge.state",
+                {"conn": self.conn.conn_id, "rail": rail, "old": str(old),
+                 "new": str(new), "reason": reason},
+            )
+        if not self.auto_failover:
+            return
+        if new is EdgeState.DOWN:
+            self.conn.remove_edge(rail)
+        elif new is EdgeState.UP and old is not EdgeState.SUSPECT:
+            # SUSPECT→UP never masked the rail, so nothing to undo.
+            self.conn.add_edge(rail)
+
+    def _push_score(self, rail: int) -> None:
+        striping = self.conn.striping
+        set_score = getattr(striping, "set_score", None)
+        if set_score is not None:
+            set_score(rail, self.monitors[rail].score)

@@ -15,6 +15,7 @@ from .striping import (
     SingleRailStriping,
     StripingPolicy,
     make_striping_policy,
+    register_striping_policy,
 )
 from .window import ReceiveTracker, SendWindow
 
@@ -47,6 +48,7 @@ __all__ = [
     "ShortestQueueStriping",
     "SingleRailStriping",
     "make_striping_policy",
+    "register_striping_policy",
     "ConnectionStats",
     "merge_stats",
     "SEQUENCED_TYPES",

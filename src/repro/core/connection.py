@@ -48,6 +48,7 @@ from .messages import (
     make_ack_frame,
     make_data_frame,
     make_nack_frame,
+    make_probe_ack_frame,
     make_read_req_frame,
 )
 from .ordering import FenceDelivery, InOrderDelivery, RxOpState
@@ -198,7 +199,11 @@ class Connection:
             self.sim,
             self.params.retransmit,
             on_timeout=self._on_coarse_timeout,
+            on_dead=self._on_coarse_dead,
         )
+        # Edge lifecycle control plane (repro.control); None when the
+        # connection runs bare.  Receives probe echoes and dead-peer events.
+        self.control_plane: Optional[Any] = None
 
         # ---- receive state ----
         self.tracker = ReceiveTracker()
@@ -455,6 +460,7 @@ class Connection:
             rec.frame.src_mac = self.nics[rail].mac
             rec.frame.header.ack = self.tracker.cum_ack
             rec.last_sent_at = self.sim.now
+            rec.last_rail = rail
             self.nics[rail].transmit(rec.frame)
             self.stats.retransmitted_frames += 1
             self.retransmit_timer.arm()
@@ -501,7 +507,7 @@ class Connection:
                 read_response=desc.op.kind == Operation.READ_RESP,
                 payload_length=desc.payload_len,
             )
-        window.register(frame, desc.op.op_id, self.sim.now)
+        window.register(frame, desc.op.op_id, self.sim.now, rail=rail)
         self._frame_op[seq] = desc.op
         nic.transmit(frame)
         stats = self.stats
@@ -555,6 +561,16 @@ class Connection:
             cpu.accounting.charge("protocol.recv", duration)
 
         ftype = h.frame_type
+        if ftype == FrameType.PROBE:
+            # Heartbeat: echo it on the rail it probed (control plane §2.4
+            # analogue; unsequenced, never flow-controlled).
+            if not self.closed:
+                yield from self._answer_probe(frame, cpu)
+            return
+        if ftype == FrameType.PROBE_ACK:
+            if self.control_plane is not None:
+                self.control_plane.on_probe_ack(frame)
+            return
         if ftype == FrameType.ACK:
             self.stats.explicit_acks_received += 1
             self._process_ack_value(h.ack)
@@ -663,6 +679,84 @@ class Connection:
                 )
             )
             self.stats.notifications_delivered += 1
+
+    # ------------------------------------------------------------------
+    # Edge lifecycle (driven by repro.control, usable manually too)
+    # ------------------------------------------------------------------
+
+    def _answer_probe(self, frame: Frame, cpu: Cpu) -> Generator[Any, Any, None]:
+        """Echo a heartbeat probe back on the rail it arrived on."""
+        rail = frame.control
+        if not isinstance(rail, int) or not 0 <= rail < len(self.nics):
+            return
+        yield from cpu.run(self.node.params.per_frame_send_ns, "protocol.send")
+        nic = self.nics[rail]
+        nic.transmit(
+            make_probe_ack_frame(nic.mac, self.peer_macs[rail], self.conn_id, frame)
+        )
+        self.stats.probes_answered += 1
+
+    def remove_edge(self, rail: int, migrate: bool = True) -> int:
+        """Take one rail of a live connection out of service.
+
+        Masks the rail for the striping policy and migrates every unacked
+        in-flight frame whose latest transmission used it onto the
+        survivors (requeued in sequence order, so delivery-order
+        guarantees are untouched — retransmissions keep their original
+        sequence numbers).  Returns the number of migrated frames.
+        Idempotent: removing an already-removed edge does nothing.
+        """
+        if not 0 <= rail < len(self.nics):
+            raise ValueError(f"rail {rail} out of range")
+        if not self.striping.rail_active(rail):
+            return 0
+        self.striping.disable_rail(rail)
+        self.stats.edges_removed += 1
+        migrated = 0
+        if migrate:
+            queued = set(self._retransmit_q)
+            for seq in self.window.inflight_on_rail(rail):
+                if seq in queued:
+                    continue
+                self.window.inflight[seq].retransmits += 1
+                self._retransmit_q.append(seq)
+                migrated += 1
+        self.stats.migrated_frames += migrated
+        if self.has_send_work():
+            self.sim.process(self._timer_pump())
+        return migrated
+
+    def add_edge(self, rail: int) -> None:
+        """Return a previously removed rail to service (live re-stripe)."""
+        if not 0 <= rail < len(self.nics):
+            raise ValueError(f"rail {rail} out of range")
+        if self.striping.rail_active(rail):
+            return
+        self.striping.enable_rail(rail)
+        self.stats.edges_added += 1
+        if self.has_send_work():
+            self.sim.process(self._timer_pump())
+
+    def attach_rail(self, nic: "Any", peer_mac: int) -> int:
+        """Extend a live connection with a brand-new rail; returns its index.
+
+        The NIC must already be wired into the fabric; the peer must
+        symmetrically attach its own end for traffic to flow both ways.
+        """
+        self.nics.append(nic)
+        self.peer_macs.append(peer_mac)
+        rail = self.striping.add_rail(nic)
+        self.stats.edges_added += 1
+        return rail
+
+    @property
+    def active_rails(self) -> list[int]:
+        return self.striping.active_rails
+
+    def _on_coarse_dead(self) -> None:
+        """Retransmit retries exhausted: every rail is silent."""
+        if self.control_plane is not None:
+            self.control_plane.on_connection_dead()
 
     # ------------------------------------------------------------------
     # Ack / NACK machinery

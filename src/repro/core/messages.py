@@ -33,6 +33,8 @@ __all__ = [
     "make_nack_frame",
     "make_syn_frame",
     "make_syn_ack_frame",
+    "make_probe_frame",
+    "make_probe_ack_frame",
     "SEQUENCED_TYPES",
 ]
 
@@ -182,3 +184,45 @@ def make_syn_ack_frame(
         frame_type=FrameType.SYN_ACK, connection_id=connection_id, op_id=node_id
     )
     return Frame(src_mac=src_mac, dst_mac=dst_mac, header=header)
+
+
+def make_probe_frame(
+    src_mac: int,
+    dst_mac: int,
+    connection_id: int,
+    rail: int,
+    probe_seq: int,
+    sent_at: int,
+) -> Frame:
+    """Edge-health heartbeat (control plane, unsequenced).
+
+    ``probe_seq`` rides in ``op_id`` and the transmit timestamp in
+    ``remote_address`` (u64), so the echo carries everything the monitor
+    needs to compute the RTT without sender-side correlation state.  The
+    probed rail index rides in ``control``; the responder echoes it back
+    on the same rail.
+    """
+    header = MultiEdgeHeader(
+        frame_type=FrameType.PROBE,
+        connection_id=connection_id,
+        op_id=probe_seq,
+        remote_address=sent_at,
+    )
+    frame = Frame(src_mac=src_mac, dst_mac=dst_mac, header=header)
+    frame.control = rail
+    return frame
+
+
+def make_probe_ack_frame(
+    src_mac: int, dst_mac: int, connection_id: int, probe: Frame
+) -> Frame:
+    """Echo of a heartbeat probe, sent back on the rail it arrived on."""
+    header = MultiEdgeHeader(
+        frame_type=FrameType.PROBE_ACK,
+        connection_id=connection_id,
+        op_id=probe.header.op_id,
+        remote_address=probe.header.remote_address,
+    )
+    frame = Frame(src_mac=src_mac, dst_mac=dst_mac, header=header)
+    frame.control = probe.control
+    return frame

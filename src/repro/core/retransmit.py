@@ -63,6 +63,16 @@ class RetransmitTimer:
     def armed(self) -> bool:
         return self._timer is not None and self._timer.active
 
+    @property
+    def consecutive_timeouts(self) -> int:
+        """Silent timeouts since the last ack progress.
+
+        The edge lifecycle control plane samples this as a passive health
+        signal: coarse timeouts piling up mean *every* rail is failing to
+        make progress, not just the probed one.
+        """
+        return self._consecutive
+
     def arm(self) -> None:
         """Start (or restart) the timer if not already running."""
         if not self.armed:

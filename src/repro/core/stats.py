@@ -38,6 +38,13 @@ class ConnectionStats:
     timeout_retransmits: int = 0
     nack_retransmits: int = 0
 
+    # Edge lifecycle (control plane).
+    edges_removed: int = 0
+    edges_added: int = 0
+    migrated_frames: int = 0
+    probes_sent: int = 0
+    probes_answered: int = 0
+
     # Receive side.
     data_frames_received: int = 0
     data_bytes_received: int = 0
@@ -103,6 +110,11 @@ def merge_stats(stats_list: list[ConnectionStats]) -> ConnectionStats:
             "piggybacked_acks",
             "timeout_retransmits",
             "nack_retransmits",
+            "edges_removed",
+            "edges_added",
+            "migrated_frames",
+            "probes_sent",
+            "probes_answered",
             "data_frames_received",
             "data_bytes_received",
             "duplicate_frames",

@@ -10,11 +10,20 @@ we also provide two alternatives used by the ablation benchmarks:
   space (adaptive; trades reorder for balance under asymmetric load).
 * :class:`SingleRailStriping` — pin everything to rail 0 (degenerate case,
   equals a single-link configuration even when hardware has two rails).
+
+The edge lifecycle control plane (:mod:`repro.control`) adds a fourth,
+health-weighted policy (``"adaptive"``) through
+:func:`register_striping_policy`.
+
+Every policy supports *rail masking*: the control plane disables an edge
+that its failure detector has declared DOWN, and re-enables it once the
+edge recovers.  Masked rails are never chosen; when every active rail's TX
+ring is full, ``next_rail`` returns None exactly as before.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Type
 
 from ..ethernet import Nic
 
@@ -24,6 +33,7 @@ __all__ = [
     "ShortestQueueStriping",
     "SingleRailStriping",
     "make_striping_policy",
+    "register_striping_policy",
 ]
 
 
@@ -34,6 +44,39 @@ class StripingPolicy:
         if not nics:
             raise ValueError("striping policy needs at least one rail")
         self.nics = list(nics)
+        # Rails the control plane has taken out of service (edge DOWN).
+        self.masked: set[int] = set()
+
+    # -- edge lifecycle hooks -------------------------------------------
+
+    def disable_rail(self, rail: int) -> None:
+        """Stop assigning frames to ``rail`` (edge declared DOWN)."""
+        if not 0 <= rail < len(self.nics):
+            raise ValueError(f"rail {rail} out of range")
+        self.masked.add(rail)
+
+    def enable_rail(self, rail: int) -> None:
+        """Resume assigning frames to ``rail`` (edge recovered)."""
+        if not 0 <= rail < len(self.nics):
+            raise ValueError(f"rail {rail} out of range")
+        self.masked.discard(rail)
+
+    def rail_active(self, rail: int) -> bool:
+        return rail not in self.masked
+
+    @property
+    def active_rails(self) -> list[int]:
+        return [r for r in range(len(self.nics)) if r not in self.masked]
+
+    def add_rail(self, nic: Nic) -> int:
+        """Attach a new rail to a live connection; returns its index.
+
+        Subclasses with per-rail state extend it here.
+        """
+        self.nics.append(nic)
+        return len(self.nics) - 1
+
+    # -- selection -------------------------------------------------------
 
     def next_rail(self, wire_bytes: int = 0) -> Optional[int]:
         """Index of the rail to use, or None if every TX ring is full.
@@ -62,17 +105,44 @@ class RoundRobinStriping(StripingPolicy):
         self._cursor = 0
         self._assigned_bytes = [0] * len(nics)
 
+    def add_rail(self, nic: Nic) -> int:
+        rail = super().add_rail(nic)
+        # Start the newcomer at the current low-water mark so it neither
+        # starves nor absorbs the whole stream while catching up.
+        self._assigned_bytes.append(
+            min(self._assigned_bytes) if self._assigned_bytes else 0
+        )
+        return rail
+
+    def enable_rail(self, rail: int) -> None:
+        super().enable_rail(rail)
+        # While masked, this rail's deficit counter froze as the others
+        # kept accumulating.  Left alone, the huge gap would route *all*
+        # traffic onto the returning rail until it caught up — turning
+        # recovery into a bottleneck swap.  Rejoin at the low-water mark
+        # of the rails that stayed active instead.
+        others = [
+            b
+            for r, b in enumerate(self._assigned_bytes)
+            if r != rail and r not in self.masked
+        ]
+        if others:
+            self._assigned_bytes[rail] = max(
+                self._assigned_bytes[rail], min(others)
+            )
+
     def next_rail(self, wire_bytes: int = 0) -> Optional[int]:
         nics = self.nics
-        if len(nics) == 1:
+        masked = self.masked
+        if len(nics) == 1 and not masked:
             # Byte-deficit and cursor state are unobservable with one rail.
             return 0 if nics[0].tx_ring_free > 0 else None
-        n = len(self.nics)
+        n = len(nics)
         best: Optional[int] = None
         best_key: Optional[tuple[int, int]] = None
         for probe in range(n):
             rail = (self._cursor + probe) % n
-            if self.nics[rail].tx_ring_free <= 0:
+            if rail in masked or nics[rail].tx_ring_free <= 0:
                 continue
             key = (self._assigned_bytes[rail], probe)
             if best_key is None or key < best_key:
@@ -93,7 +163,10 @@ class ShortestQueueStriping(StripingPolicy):
 
     def next_rail(self, wire_bytes: int = 0) -> Optional[int]:
         best, best_free = None, 0
+        masked = self.masked
         for rail, nic in enumerate(self.nics):
+            if rail in masked:
+                continue
             free = nic.tx_ring_free
             if free > best_free:
                 best, best_free = rail, free
@@ -101,17 +174,32 @@ class ShortestQueueStriping(StripingPolicy):
 
 
 class SingleRailStriping(StripingPolicy):
-    """Always rail 0 (baseline)."""
+    """Always rail 0 (baseline).  Falls over to the lowest active rail if
+    the control plane masks rail 0."""
 
     def next_rail(self, wire_bytes: int = 0) -> Optional[int]:
-        return 0 if self.nics[0].tx_ring_free > 0 else None
+        masked = self.masked
+        if not masked:
+            return 0 if self.nics[0].tx_ring_free > 0 else None
+        for rail, nic in enumerate(self.nics):
+            if rail not in masked:
+                return rail if nic.tx_ring_free > 0 else None
+        return None
 
 
-_POLICIES = {
+_POLICIES: dict[str, Type[StripingPolicy]] = {
     "round_robin": RoundRobinStriping,
     "shortest_queue": ShortestQueueStriping,
     "single_rail": SingleRailStriping,
 }
+
+
+def register_striping_policy(name: str, cls: Type[StripingPolicy]) -> None:
+    """Register an out-of-core policy (used by :mod:`repro.control`)."""
+    existing = _POLICIES.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"striping policy {name!r} already registered")
+    _POLICIES[name] = cls
 
 
 def make_striping_policy(name: str, nics: Sequence[Nic]) -> StripingPolicy:

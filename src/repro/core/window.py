@@ -28,13 +28,19 @@ DEFAULT_WINDOW_FRAMES = 256
 
 @dataclass(slots=True)
 class InflightFrame:
-    """Book-keeping for one unacknowledged frame."""
+    """Book-keeping for one unacknowledged frame.
+
+    ``last_rail`` records the rail the most recent (re)transmission used,
+    so the edge lifecycle control plane can migrate exactly the frames
+    stranded on a dead rail.
+    """
 
     frame: Frame
     op_id: int
     first_sent_at: int
     last_sent_at: int = 0
     retransmits: int = 0
+    last_rail: int = -1
 
 
 class SendWindow:
@@ -67,12 +73,13 @@ class SendWindow:
         self.next_seq += 1
         return seq
 
-    def register(self, frame: Frame, op_id: int, now: int) -> None:
+    def register(self, frame: Frame, op_id: int, now: int, rail: int = -1) -> None:
         """Record a sequenced frame as in flight."""
         if not self.can_send:
             raise RuntimeError("window overflow: register() with a full window")
         self.inflight[frame.header.seq] = InflightFrame(
-            frame=frame, op_id=op_id, first_sent_at=now, last_sent_at=now
+            frame=frame, op_id=op_id, first_sent_at=now, last_sent_at=now,
+            last_rail=rail,
         )
 
     def on_ack(self, cum_ack: int) -> list[InflightFrame]:
@@ -112,6 +119,17 @@ class SendWindow:
         if not self.inflight:
             return None
         return self.inflight[min(self.inflight)]
+
+    def inflight_on_rail(self, rail: int) -> list[int]:
+        """Sequence numbers whose latest transmission used ``rail``.
+
+        Returned in sequence order — the control plane requeues them for
+        retransmission in this order when the rail dies, so delivery
+        ordering guarantees survive the migration unchanged.
+        """
+        return sorted(
+            seq for seq, rec in self.inflight.items() if rec.last_rail == rail
+        )
 
 
 class ReceiveTracker:

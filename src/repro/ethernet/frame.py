@@ -63,6 +63,8 @@ class FrameType(IntEnum):
     SYN_ACK = 5  # connection setup acknowledgement
     FIN = 6  # connection teardown
     READ_RESP = 7  # remote read response payload (sequenced like DATA)
+    PROBE = 8  # edge-health heartbeat probe (control plane, unsequenced)
+    PROBE_ACK = 9  # heartbeat echo, returned on the probed rail
 
 
 class OpFlags(IntEnum):

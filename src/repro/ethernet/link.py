@@ -93,6 +93,14 @@ class Link:
         """Start a transient outage: frames sent before ``now + duration`` die."""
         self._failed_until = max(self._failed_until, self.sim.now + duration_ns)
 
+    def fail_forever(self) -> None:
+        """Permanent failure: every frame dies until :meth:`repair`."""
+        self._failed_until = 1 << 62
+
+    def repair(self) -> None:
+        """End any outage immediately (cable replaced / port re-enabled)."""
+        self._failed_until = -1
+
     @property
     def failed(self) -> bool:
         return self.sim.now < self._failed_until
@@ -159,3 +167,13 @@ class Cable:
         """Fail both directions (transient cable outage)."""
         self.ab.fail_for(duration_ns)
         self.ba.fail_for(duration_ns)
+
+    def fail_forever(self) -> None:
+        """Fail both directions permanently (until :meth:`repair`)."""
+        self.ab.fail_forever()
+        self.ba.fail_forever()
+
+    def repair(self) -> None:
+        """Repair both directions."""
+        self.ab.repair()
+        self.ba.repair()

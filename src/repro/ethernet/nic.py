@@ -106,6 +106,10 @@ class Nic:
         self.tx_link: Optional[Link] = None
         # Driver hooks: on_irq runs in "hardware interrupt" context.
         self.on_irq: Optional[Callable[["Nic"], None]] = None
+        # Optional trace sink (repro.sim.trace.Tracer).  When attached and
+        # the category is enabled, frame tx/rx land on the timeline the
+        # Chrome exporter renders; otherwise the cost is one None check.
+        self.tracer = None
 
         self.interrupts_enabled = True
 
@@ -134,6 +138,11 @@ class Nic:
     @property
     def tx_ring_free(self) -> int:
         return self.params.tx_ring_frames - self._tx_ring_used
+
+    @property
+    def tx_backlog_fraction(self) -> float:
+        """TX ring occupancy in [0, 1] (health-monitor backlog signal)."""
+        return self._tx_ring_used / self.params.tx_ring_frames
 
     def transmit(self, frame: Frame) -> bool:
         """Queue a frame for transmission; False if the TX ring is full.
@@ -178,6 +187,14 @@ class Nic:
         counters = self.counters
         counters.tx_frames += 1
         counters.tx_bytes += frame.wire_bytes
+        tracer = self.tracer
+        if tracer is not None and tracer.is_enabled("frame.tx"):
+            h = frame.header
+            tracer.record(
+                "frame.tx",
+                {"nic": self.name, "type": int(h.frame_type), "seq": h.seq,
+                 "bytes": frame.wire_bytes},
+            )
         self._tx_completions += 1
         self._tx_since_irq += 1
         if self._tx_since_irq >= self.params.tx_completion_batch:
@@ -237,6 +254,14 @@ class Nic:
         self._rx_pending.append(frame)
         self.counters.rx_frames += 1
         self._rx_since_irq += 1
+        tracer = self.tracer
+        if tracer is not None and tracer.is_enabled("frame.rx"):
+            h = frame.header
+            tracer.record(
+                "frame.rx",
+                {"nic": self.name, "type": int(h.frame_type), "seq": h.seq,
+                 "bytes": frame.wire_bytes},
+            )
         if not self.interrupts_enabled:
             return
         if self._rx_since_irq >= self.params.coalesce_frames:

@@ -15,7 +15,7 @@ from .core import (
 )
 from .resources import Gate, Resource, Store
 from .rng import RngRegistry
-from .trace import TraceRecord, Tracer
+from .trace import TraceRecord, Tracer, export_chrome_trace
 
 __all__ = [
     "Simulator",
@@ -28,6 +28,7 @@ __all__ = [
     "Gate",
     "RngRegistry",
     "Tracer",
+    "export_chrome_trace",
     "TraceRecord",
     "all_of",
     "any_of",

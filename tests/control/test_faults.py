@@ -1,0 +1,120 @@
+"""The declarative fault-schedule driver."""
+
+import pytest
+
+from repro.bench import make_cluster
+from repro.control import (
+    BitErrorRamp,
+    FaultSchedule,
+    Flap,
+    Outage,
+    PermanentFailure,
+    Repair,
+)
+
+MS = 1_000_000
+
+
+def transfer(cluster, size=200_000):
+    a, b = cluster.connect(0, 1)
+    src = a.node.memory.alloc(size)
+    dst = b.node.memory.alloc(size)
+    payload = bytes(i % 251 for i in range(size))
+    a.node.memory.write(src, payload)
+
+    def app():
+        handle = yield from a.rdma_write(src, dst, size)
+        yield from handle.wait()
+
+    proc = cluster.sim.process(app())
+    cluster.sim.run_until_done(proc, limit=5_000 * MS)
+    return b.node.memory.read(dst, size) == payload, a.stats
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        Flap(at_ns=0, node=0, rail=0, period_ns=1 * MS, down_ns=2 * MS, count=3)
+    with pytest.raises(ValueError):
+        Flap(at_ns=0, node=0, rail=0, period_ns=1 * MS, down_ns=1 * MS, count=0)
+    with pytest.raises(ValueError):
+        BitErrorRamp(at_ns=0, node=0, rail=0, bit_error_rate=1.0)
+
+
+def test_apply_is_single_shot():
+    cluster = make_cluster("1L-1G", nodes=2)
+    sched = FaultSchedule([Outage(at_ns=MS, node=0, rail=0, duration_ns=MS)])
+    sched.apply(cluster)
+    with pytest.raises(RuntimeError):
+        sched.apply(cluster)
+    with pytest.raises(RuntimeError):
+        sched.add(Outage(at_ns=MS, node=0, rail=0, duration_ns=MS))
+
+
+def test_unknown_edge_rejected():
+    cluster = make_cluster("1L-1G", nodes=2)
+    sched = FaultSchedule([Outage(at_ns=MS, node=9, rail=0, duration_ns=MS)])
+    with pytest.raises(ValueError):
+        sched.apply(cluster)
+
+
+def test_outage_drops_frames_then_recovers():
+    cluster = make_cluster("1L-1G", nodes=2)
+    FaultSchedule([
+        Outage(at_ns=2 * MS, node=0, rail=0, duration_ns=5 * MS),
+    ]).apply(cluster)
+    ok, stats = transfer(cluster)
+    assert ok
+    link = cluster.nodes[0].nics[0].tx_link
+    assert link.frames_lost_outage > 0
+    assert stats.retransmitted_frames > 0
+
+
+def test_flap_produces_repeated_outages():
+    cluster = make_cluster("1L-1G", nodes=2)
+    FaultSchedule([
+        Flap(at_ns=1 * MS, node=0, rail=0, period_ns=4 * MS,
+             down_ns=1 * MS, count=4),
+    ]).apply(cluster)
+    ok, stats = transfer(cluster, size=400_000)
+    assert ok
+    assert cluster.nodes[0].nics[0].tx_link.frames_lost_outage > 0
+
+
+def test_bit_error_ramp_is_scoped_to_one_edge():
+    # All links share one LinkParams instance; the ramp must copy before
+    # mutating or the whole cluster goes noisy.
+    cluster = make_cluster("1L-1G", nodes=3)
+    FaultSchedule([
+        BitErrorRamp(at_ns=0, node=0, rail=0, bit_error_rate=1e-5),
+    ]).apply(cluster)
+    cluster.sim.run(until=1 * MS)
+    assert cluster.cable(0, 0).ab.params.bit_error_rate == 1e-5
+    assert cluster.cable(1, 0).ab.params.bit_error_rate == 0.0
+    assert cluster.config.link.bit_error_rate == 0.0
+
+
+def test_bit_error_ramp_causes_crc_drops_and_repair_clears():
+    cluster = make_cluster("1L-1G", nodes=2)
+    FaultSchedule([
+        BitErrorRamp(at_ns=0, node=0, rail=0, bit_error_rate=1e-6),
+        Repair(at_ns=8 * MS, node=0, rail=0),
+    ]).apply(cluster)
+    ok, stats = transfer(cluster, size=500_000)
+    assert ok
+    crc = sum(
+        n.counters.rx_dropped_crc for node in cluster.nodes for n in node.nics
+    )
+    assert crc > 0
+    cluster.sim.run(until=10 * MS)  # let the scheduled repair fire
+    assert cluster.cable(0, 0).ab.params.bit_error_rate == 0.0
+
+
+def test_permanent_failure_until_repair():
+    cluster = make_cluster("1L-1G", nodes=2)
+    FaultSchedule([
+        PermanentFailure(at_ns=2 * MS, node=0, rail=0),
+        Repair(at_ns=30 * MS, node=0, rail=0),
+    ]).apply(cluster)
+    ok, stats = transfer(cluster)
+    assert ok  # single rail: the transfer stalls until the repair, then completes
+    assert cluster.sim.now > 30 * MS

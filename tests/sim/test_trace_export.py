@@ -1,0 +1,113 @@
+"""Tracer ring-buffer cap and Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.sim import Simulator, Tracer, export_chrome_trace
+
+
+def make_tracer(**kwargs):
+    return Simulator(), Tracer(Simulator(), **kwargs)
+
+
+def test_unbounded_by_default():
+    sim = Simulator()
+    tr = Tracer(sim)
+    tr.enable("x")
+    for i in range(1000):
+        tr.record("x", i)
+    assert len(tr.records) == 1000
+    assert tr.dropped_records == 0
+
+
+def test_max_records_ring_buffer():
+    sim = Simulator()
+    tr = Tracer(sim, max_records=10)
+    tr.enable("x")
+    for i in range(25):
+        tr.record("x", i)
+    assert len(tr.records) == 10
+    assert tr.dropped_records == 15
+    assert [r.payload for r in tr.records] == list(range(15, 25))
+
+
+def test_max_records_validation():
+    with pytest.raises(ValueError):
+        Tracer(Simulator(), max_records=0)
+
+
+def test_clear_resets_drop_counter():
+    sim = Simulator()
+    tr = Tracer(sim, max_records=2)
+    tr.enable("x")
+    for i in range(5):
+        tr.record("x", i)
+    tr.clear()
+    assert len(tr.records) == 0
+    assert tr.dropped_records == 0
+
+
+def test_disabled_categories_not_recorded():
+    sim = Simulator()
+    tr = Tracer(sim, max_records=4)
+    tr.enable("on")
+    tr.record("off", 1)
+    tr.record("on", 2)
+    assert len(tr.records) == 1
+
+
+def _edge(conn, rail, new, reason="r"):
+    return {"conn": conn, "rail": rail, "old": "up", "new": new, "reason": reason}
+
+
+def test_chrome_export_spans_and_instants(tmp_path):
+    sim = Simulator()
+    tr = Tracer(sim)
+    tr.enable_all()
+
+    def script():
+        tr.record("edge.state", _edge(1, 0, "suspect"))
+        yield 1_000_000
+        tr.record("edge.state", _edge(1, 0, "down"))
+        yield 1_000_000
+        tr.record("frame.tx", {"nic": "n0.nic0", "seq": 7})
+        tr.record("edge.state", _edge(1, 0, "up"))
+
+    sim.run_until_done(sim.process(script()))
+    out = tmp_path / "trace.json"
+    trace = export_chrome_trace(tr, str(out), end_time_ns=5_000_000)
+
+    loaded = json.loads(out.read_text())
+    assert loaded["traceEvents"] == trace["traceEvents"]
+
+    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+    # Three states -> three spans; the last is closed at end_time_ns.
+    assert [s["name"] for s in spans] == ["suspect", "down", "up"]
+    assert all(s["tid"] == "conn1.rail0" for s in spans)
+    # ts/dur are microseconds.
+    assert spans[0]["ts"] == 0.0 and spans[0]["dur"] == 1000.0
+    assert spans[2]["ts"] == 2000.0 and spans[2]["dur"] == 3000.0
+    # The frame event lands on its category track as an instant.
+    frame = [e for e in instants if e["cat"] == "frame.tx"]
+    assert len(frame) == 1 and frame[0]["args"]["seq"] == 7
+
+
+def test_chrome_export_counts_drops_in_metadata():
+    sim = Simulator()
+    tr = Tracer(sim, max_records=1)
+    tr.enable("x")
+    tr.record("x", 1)
+    tr.record("x", 2)
+    trace = export_chrome_trace(tr)
+    assert trace["metadata"]["dropped_records"] == 1
+
+
+def test_chrome_export_non_dict_payload():
+    sim = Simulator()
+    tr = Tracer(sim)
+    tr.enable("y")
+    tr.record("y", 42)
+    trace = export_chrome_trace(tr)
+    assert trace["traceEvents"][0]["args"] == {"payload": "42"}

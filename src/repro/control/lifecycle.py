@@ -52,6 +52,9 @@ class EdgeLifecycleManager:
         self.history: list[EdgeTransition] = []
         self.detectors: list[EdgeFailureDetector] = []
         self.monitors: list[EdgeHealthMonitor] = []
+        # Opt-in invariant monitor (repro.verify); validates state-machine
+        # transition legality.  None in normal runs.
+        self.invariant_monitor = None
         for rail in range(len(connection.nics)):
             self._make_edge(rail, health_params)
         connection.control_plane = self
@@ -129,6 +132,8 @@ class EdgeLifecycleManager:
         self, rail: int, old: EdgeState, new: EdgeState, now: int, reason: str
     ) -> None:
         self.history.append(EdgeTransition(now, rail, old, new, reason))
+        if self.invariant_monitor is not None:
+            self.invariant_monitor.on_edge_transition(self, rail, old, new, reason)
         if self.tracer is not None and self.tracer.is_enabled("edge.state"):
             self.tracer.record(
                 "edge.state",

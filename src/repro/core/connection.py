@@ -204,6 +204,9 @@ class Connection:
         # Edge lifecycle control plane (repro.control); None when the
         # connection runs bare.  Receives probe echoes and dead-peer events.
         self.control_plane: Optional[Any] = None
+        # Opt-in invariant monitor (repro.verify); None in normal runs so
+        # every hook below is a single attribute test.
+        self.monitor: Optional[Any] = None
 
         # ---- receive state ----
         self.tracker = ReceiveTracker()
@@ -270,6 +273,8 @@ class Connection:
         if op.forward_fenced:
             self._forward_fences.append(op)
         self.stats.ops_submitted += 1
+        if self.monitor is not None:
+            self.monitor.on_op_submitted(self, op)
         return op
 
     def submit_scatter(
@@ -333,6 +338,8 @@ class Connection:
         if op.forward_fenced:
             self._forward_fences.append(op)
         self.stats.ops_submitted += 1
+        if self.monitor is not None:
+            self.monitor.on_op_submitted(self, op)
         return op
 
     def submit_read(
@@ -372,6 +379,8 @@ class Connection:
         if op.forward_fenced:
             self._forward_fences.append(op)
         self.stats.ops_submitted += 1
+        if self.monitor is not None:
+            self.monitor.on_op_submitted(self, op)
         return op
 
     def _submit_read_response(self, rx_op: RxOpState, req_frame: Frame) -> None:
@@ -393,10 +402,11 @@ class Connection:
         synthetic = self.params.synthetic_payloads
         data = None if synthetic else self.node.memory.read(source, length)
         mtu = max_payload_per_frame()
+        descs = []
         offset = 0
         while offset < length:
             n = min(mtu, length - offset)
-            self.unsent.append(
+            descs.append(
                 _FrameDesc(
                     op=op,
                     payload=None if synthetic else data[offset : offset + n],
@@ -406,6 +416,23 @@ class Connection:
             )
             op.frames_total += 1
             offset += n
+        # Responses bypass forward fences (see _fence_blocked), so they
+        # must not queue behind descriptors a fence is withholding: slot
+        # them ahead of the first fence-blocked descriptor.
+        idx = len(self.unsent)
+        if self._forward_fences:
+            barrier = self._forward_fences[0].op_seq
+            for k, queued in enumerate(self.unsent):
+                if (
+                    queued.op.kind != Operation.READ_RESP
+                    and queued.op.op_seq > barrier
+                ):
+                    idx = k
+                    break
+        for k, desc in enumerate(descs):
+            self.unsent.insert(idx + k, desc)
+        if self.monitor is not None:
+            self.monitor.on_op_submitted(self, op)
 
     # ------------------------------------------------------------------
     # The pump: move descriptors into NIC rings (CPU-charged)
@@ -419,11 +446,19 @@ class Connection:
     def _fence_blocked(self) -> bool:
         if not self._forward_fences or not self.unsent:
             return False
-        return self.unsent[0].op.op_seq > self._forward_fences[0].op_seq
+        head = self.unsent[0]
+        if head.op.kind == Operation.READ_RESP:
+            # Responder traffic is never fenced: forward fences order this
+            # endpoint's *own* operations.  Parking a read response behind
+            # a local fence deadlocks two endpoints whose fenced reads
+            # wait on each other's responses.
+            return False
+        return head.op.op_seq > self._forward_fences[0].op_seq
 
     def pump(self, cpu: Cpu, tag: str = "protocol.send") -> Generator[Any, Any, None]:
         """Transmit as much as the window, fences, and TX rings allow."""
         per_frame = self.node.params.per_frame_send_ns
+        stats = self.stats
         while True:
             n = self._sendable_now()
             if n == 0:
@@ -434,8 +469,21 @@ class Connection:
             sent = 0
             while sent < batch:
                 if not self._send_one():
-                    return
+                    break
                 sent += 1
+            stats.pump_charged_ns += sent * per_frame
+            if self.monitor is not None:
+                self.monitor.on_event(self)
+            if sent < batch:
+                # The batch was billed up front, then the TX rings (or a
+                # state change during the CPU wait) stopped it early.  The
+                # core really was occupied for the full charge, but the
+                # surplus is ring-stall time, not protocol work: reclassify
+                # it so protocol-CPU utilization counts only frames sent.
+                stalled = (batch - sent) * per_frame
+                stats.pump_stalled_ns += stalled
+                cpu.accounting.reclassify(tag, "stall.tx_ring", stalled)
+                return
 
     def _sendable_now(self) -> int:
         n = len(self._retransmit_q)
@@ -615,6 +663,8 @@ class Connection:
                 else:
                     self._arm_delayed_ack()
 
+        if self.monitor is not None:
+            self.monitor.on_event(self)
         # Acks may have opened the window; new work may be queued.
         if self.has_send_work():
             yield from self.pump(cpu)
@@ -722,6 +772,8 @@ class Connection:
                 self._retransmit_q.append(seq)
                 migrated += 1
         self.stats.migrated_frames += migrated
+        if self.monitor is not None:
+            self.monitor.on_event(self)
         if self.has_send_work():
             self.sim.process(self._timer_pump())
         return migrated
@@ -734,6 +786,8 @@ class Connection:
             return
         self.striping.enable_rail(rail)
         self.stats.edges_added += 1
+        if self.monitor is not None:
+            self.monitor.on_event(self)
         if self.has_send_work():
             self.sim.process(self._timer_pump())
 
@@ -764,6 +818,8 @@ class Connection:
 
     def _process_ack_value(self, cum_ack: int) -> None:
         freed = self.window.on_ack(cum_ack)
+        if self.monitor is not None:
+            self.monitor.on_ack(self, cum_ack, freed)
         if not freed:
             return
         self.retransmit_timer.on_progress()
@@ -808,7 +864,9 @@ class Connection:
             self.stats.nack_retransmits += 1
 
     def _send_explicit_ack(self) -> None:
-        rail = self.striping.next_rail(84)
+        # Control frames ride a separate rotation: they must not charge the
+        # data-plane byte-deficit counters or advance its cursor.
+        rail = self.striping.control_rail()
         if rail is None:
             return  # rings full; the delayed-ack timer will try again
         cum = self.tracker.cum_ack
@@ -831,7 +889,7 @@ class Connection:
         )
         if not missing:
             return
-        rail = self.striping.next_rail(84)
+        rail = self.striping.control_rail()
         if rail is None:
             return
         frame = make_nack_frame(
@@ -895,11 +953,18 @@ class Connection:
         rec = self.window.last_unacked()
         if rec is None:
             return
-        self.stats.timeout_retransmits += 1
-        if rec.frame.header.seq not in self._retransmit_q:
-            self._retransmit_q.append(rec.frame.header.seq)
+        seq = rec.frame.header.seq
+        if seq not in self._retransmit_q:
+            # Count at the enqueue site: a timer firing while the seq is
+            # still queued enqueues nothing and must not inflate either
+            # the per-frame or the connection-level retransmit counter.
+            rec.retransmits += 1
+            self.stats.timeout_retransmits += 1
+            self._retransmit_q.append(seq)
         self.sim.process(self._timer_pump())
         self.retransmit_timer.arm()
+        if self.monitor is not None:
+            self.monitor.on_event(self)
 
     def _timer_work(self, action) -> Generator[Any, Any, None]:
         """Run a small control-frame action on the protocol CPU."""

@@ -37,6 +37,11 @@ class ConnectionStats:
     piggybacked_acks: int = 0
     timeout_retransmits: int = 0
     nack_retransmits: int = 0
+    # CPU-charge conservation: pump() bills its batch up front, then
+    # reclassifies the unused remainder when the TX ring stalls the batch.
+    # Invariant: pump_charged_ns == frames actually sent * per_frame_send_ns.
+    pump_charged_ns: int = 0
+    pump_stalled_ns: int = 0
 
     # Edge lifecycle (control plane).
     edges_removed: int = 0
@@ -110,6 +115,8 @@ def merge_stats(stats_list: list[ConnectionStats]) -> ConnectionStats:
             "piggybacked_acks",
             "timeout_retransmits",
             "nack_retransmits",
+            "pump_charged_ns",
+            "pump_stalled_ns",
             "edges_removed",
             "edges_added",
             "migrated_frames",

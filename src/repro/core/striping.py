@@ -46,6 +46,9 @@ class StripingPolicy:
         self.nics = list(nics)
         # Rails the control plane has taken out of service (edge DOWN).
         self.masked: set[int] = set()
+        # Rotation point for control frames (ACK/NACK); separate from any
+        # data-plane cursor so control traffic never skews data balance.
+        self._control_cursor = 0
 
     # -- edge lifecycle hooks -------------------------------------------
 
@@ -85,6 +88,25 @@ class StripingPolicy:
         that balance load by bytes account for it.
         """
         raise NotImplementedError
+
+    def control_rail(self) -> Optional[int]:
+        """Rail for a control frame (explicit ACK / NACK), or None.
+
+        Control frames must not perturb the data plane: this rotates its
+        own cursor over active rails with TX ring space and never touches
+        byte-deficit counters or the data-frame rotation point, so ACK/NACK
+        traffic cannot skew data-frame balance on asymmetric rails.
+        """
+        nics = self.nics
+        masked = self.masked
+        n = len(nics)
+        for probe in range(n):
+            rail = (self._control_cursor + probe) % n
+            if rail in masked or nics[rail].tx_ring_free <= 0:
+                continue
+            self._control_cursor = (rail + 1) % n
+            return rail
+        return None
 
 
 class RoundRobinStriping(StripingPolicy):
@@ -185,6 +207,10 @@ class SingleRailStriping(StripingPolicy):
             if rail not in masked:
                 return rail if nic.tx_ring_free > 0 else None
         return None
+
+    def control_rail(self) -> Optional[int]:
+        # Pin control frames to the same rail as the data path.
+        return self.next_rail(0)
 
 
 _POLICIES: dict[str, Type[StripingPolicy]] = {

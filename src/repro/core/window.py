@@ -96,24 +96,25 @@ class SendWindow:
         return freed
 
     def get_for_retransmit(self, seq: int) -> Optional[InflightFrame]:
-        """Look up an in-flight frame for retransmission (None if acked)."""
-        rec = self.inflight.get(seq)
-        if rec is not None:
-            rec.retransmits += 1
-        return rec
+        """Look up an in-flight frame for retransmission (None if acked).
+
+        Pure query: the ``retransmits`` counter is incremented by the caller
+        at the point a retransmission is actually enqueued, never at lookup
+        time, so repeated lookups cannot inflate the count.
+        """
+        return self.inflight.get(seq)
 
     def last_unacked(self) -> Optional[InflightFrame]:
         """The most recently sent unacknowledged frame (coarse timeout path).
 
         The paper retransmits "the last transmitted Ethernet frame" when the
         coarse timer fires, to provoke the receiver into (re)acknowledging.
+        Pure query — see :meth:`get_for_retransmit` for why the retransmit
+        counter is not touched here.
         """
         if not self.inflight:
             return None
-        last_seq = max(self.inflight)
-        rec = self.inflight[last_seq]
-        rec.retransmits += 1
-        return rec
+        return self.inflight[max(self.inflight)]
 
     def oldest_unacked(self) -> Optional[InflightFrame]:
         if not self.inflight:
@@ -168,14 +169,23 @@ class ReceiveTracker:
         return True, False
 
     def missing(self, limit: int = 64) -> list[int]:
-        """Sequence numbers in the current gap window, oldest first."""
-        if not self._beyond:
+        """Sequence numbers in the current gap window, oldest first.
+
+        Stops as soon as ``limit`` gaps are collected, so a wide gap (a
+        burst loss spanning thousands of sequence numbers) costs O(limit),
+        not O(gap), on every NACK-timer fire.
+        """
+        beyond = self._beyond
+        if not beyond:
             return []
-        top = max(self._beyond)
-        gaps = [
-            s for s in range(self.expected, top) if s not in self._beyond
-        ]
-        return gaps[:limit]
+        top = max(beyond)
+        gaps: list[int] = []
+        for s in range(self.expected, top):
+            if s not in beyond:
+                gaps.append(s)
+                if len(gaps) >= limit:
+                    break
+        return gaps
 
     def has_gap(self) -> bool:
         return bool(self._beyond)

@@ -110,6 +110,9 @@ class Nic:
         # the category is enabled, frame tx/rx land on the timeline the
         # Chrome exporter renders; otherwise the cost is one None check.
         self.tracer = None
+        # Optional invariant monitor wire tap (repro.verify); same guarded
+        # single-attribute-test pattern as the tracer.
+        self.monitor = None
 
         self.interrupts_enabled = True
 
@@ -177,6 +180,8 @@ class Nic:
             self._wt_cache[wb] = tx_time
         self._line_free_at = begin + tx_time
         self.sim.at(self._line_free_at, self._tx_done, frame)
+        if self.monitor is not None:
+            self.monitor.on_nic_tx(self, frame)
         return True
 
     def _tx_done(self, frame: Frame) -> None:

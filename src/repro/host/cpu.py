@@ -28,6 +28,19 @@ class CpuAccounting:
     def charge(self, tag: str, duration: int) -> None:
         self.by_tag[tag] += duration
 
+    def reclassify(self, from_tag: str, to_tag: str, duration: int) -> None:
+        """Move ``duration`` ns already charged to ``from_tag`` onto ``to_tag``.
+
+        The core really was occupied for that time (busy-time conservation
+        holds), but the work turned out not to belong under ``from_tag`` —
+        e.g. a send batch billed up front that then stalled on a full TX
+        ring.  Total charged time is unchanged.
+        """
+        if duration <= 0:
+            return
+        self.by_tag[from_tag] -= duration
+        self.by_tag[to_tag] += duration
+
     def mark_epoch(self) -> None:
         """Snapshot counters; :meth:`since_epoch` reports deltas after this."""
         self._epoch_snapshot = dict(self.by_tag)

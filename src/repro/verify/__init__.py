@@ -1,0 +1,20 @@
+"""Runtime protocol verification (invariant checking + fuzzing).
+
+The reproduction's claims rest on protocol-level bookkeeping — retransmit
+counts, CPU charges, striping balance — being exactly right, and simulated
+fidelity rots silently without continuous checking.  This package is the
+standing gate:
+
+* :class:`InvariantMonitor` — an opt-in runtime checker that hooks
+  :class:`~repro.core.connection.Connection`, the NICs, and the edge
+  lifecycle control plane through guarded hook points (a single ``is not
+  None`` test when disabled) and asserts protocol invariants after every
+  event.
+* :mod:`repro.verify.fuzz` — a deterministic fuzz harness driving seeded
+  random workloads crossed with fault schedules under the monitor, with a
+  shrinker that reduces any failing seed to a minimal reproducer.
+"""
+
+from .monitor import ConnectionMonitor, InvariantMonitor, InvariantViolation
+
+__all__ = ["InvariantMonitor", "ConnectionMonitor", "InvariantViolation"]

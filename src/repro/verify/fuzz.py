@@ -1,0 +1,616 @@
+"""Deterministic protocol fuzzing under the invariant monitor.
+
+A :class:`Scenario` is a fully declarative description of one randomized
+run: cluster configuration, protocol knobs (window, pump batch, TX ring
+depth, striping policy), a workload (a sequence of :class:`OpSpec` remote
+operations), and a :class:`~repro.control.faults.FaultSchedule`.  Scenarios
+are derived from a seed by :func:`scenario_from_seed`, executed by
+:func:`run_scenario` with an :class:`~repro.verify.InvariantMonitor`
+attached, and — when one fails — reduced by :func:`shrink_scenario` to a
+minimal reproducer.
+
+Everything is deterministic: the scenario is a pure function of
+``(seed, workload, fault_profile)``, and the simulation itself is seeded,
+so the same seed always produces the identical event trace, final stats,
+and :func:`fingerprint`.  That determinism is itself asserted by the CI
+smoke suite (``benchmarks/bench_fuzz.py``).
+
+Command line::
+
+    PYTHONPATH=src python -m repro.verify.fuzz --count 50
+    PYTHONPATH=src python -m repro.verify.fuzz --seed 1234 --trace
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, fields as dataclass_fields, replace
+from typing import Callable, Optional
+
+from ..bench.cluster import Cluster, make_cluster
+from ..control import (
+    BitErrorRamp,
+    FaultSchedule,
+    Flap,
+    Outage,
+    PermanentFailure,
+    Repair,
+)
+from ..core import ProtocolParams
+from ..ethernet import OpFlags
+from ..host import myri10g_params, tigon3_params
+from ..sim import SimulationError
+from .monitor import InvariantMonitor, InvariantViolation
+
+__all__ = [
+    "OpSpec",
+    "Scenario",
+    "FuzzResult",
+    "WORKLOADS",
+    "FAULT_PROFILES",
+    "scenario_from_seed",
+    "run_scenario",
+    "shrink_scenario",
+    "fingerprint",
+]
+
+WORKLOADS = ("bulk", "small", "scatter", "read", "mixed")
+FAULT_PROFILES = ("none", "outage", "flap", "ber", "chaos")
+_CONFIGS = ("1L-1G", "1L-10G", "2L-1G", "2Lu-1G")
+
+_US = 1_000
+_MS = 1_000_000
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One remote operation in a scenario's workload."""
+
+    src: int
+    dst: int
+    kind: str  # "write" | "scatter" | "read"
+    size: int  # total payload bytes (scatter: per segment)
+    segments: int = 0  # scatter only
+    flags: int = 0
+    wait: bool = False  # wait for completion before issuing the next op
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully declarative, replayable fuzz case."""
+
+    seed: int
+    config: str
+    nodes: int
+    workload: str
+    fault_profile: str
+    striping: Optional[str]
+    window_frames: int
+    pump_batch: int
+    tx_ring_frames: Optional[int]
+    control_plane: bool
+    ops: tuple[OpSpec, ...]
+    faults: tuple[object, ...]
+    limit_ns: int = 2_000_000_000
+
+    @property
+    def rails(self) -> int:
+        return 2 if self.config.startswith("2") else 1
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one scenario run."""
+
+    scenario: Scenario
+    failure: Optional[str]  # None on success
+    fingerprint: str
+    elapsed_ns: int
+    checks: int
+    violations: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+# ---------------------------------------------------------------------------
+# Scenario generation
+# ---------------------------------------------------------------------------
+
+
+def _gen_ops(rng: random.Random, workload: str, pairs: list[tuple[int, int]]):
+    def flags_for(p_notify=0.3, p_fence_fwd=0.15, p_fence_bwd=0.15) -> int:
+        f = 0
+        if rng.random() < p_notify:
+            f |= OpFlags.NOTIFY
+        if rng.random() < p_fence_fwd:
+            f |= OpFlags.FENCE_FORWARD
+        if rng.random() < p_fence_bwd:
+            f |= OpFlags.FENCE_BACKWARD
+        return f
+
+    def pair() -> tuple[int, int]:
+        return rng.choice(pairs)
+
+    ops: list[OpSpec] = []
+    if workload == "bulk":
+        for _ in range(rng.randint(2, 5)):
+            src, dst = pair()
+            ops.append(
+                OpSpec(src, dst, "write", rng.randint(16_384, 131_072),
+                       flags=flags_for(), wait=rng.random() < 0.25)
+            )
+    elif workload == "small":
+        for _ in range(rng.randint(10, 40)):
+            src, dst = pair()
+            ops.append(
+                OpSpec(src, dst, "write", rng.randint(16, 1024),
+                       flags=flags_for(), wait=rng.random() < 0.25)
+            )
+    elif workload == "scatter":
+        for _ in range(rng.randint(3, 10)):
+            src, dst = pair()
+            ops.append(
+                OpSpec(src, dst, "scatter", rng.randint(16, 256),
+                       segments=rng.randint(2, 8), flags=flags_for(),
+                       wait=rng.random() < 0.25)
+            )
+    elif workload == "read":
+        for _ in range(rng.randint(3, 8)):
+            src, dst = pair()
+            ops.append(
+                OpSpec(src, dst, "read", rng.randint(512, 16_384),
+                       flags=flags_for(p_notify=0.0), wait=rng.random() < 0.4)
+            )
+    elif workload == "mixed":
+        for _ in range(rng.randint(6, 20)):
+            src, dst = pair()
+            kind = rng.choice(("write", "write", "scatter", "read"))
+            if kind == "write":
+                spec = OpSpec(src, dst, "write", rng.randint(64, 32_768),
+                              flags=flags_for(), wait=rng.random() < 0.25)
+            elif kind == "scatter":
+                spec = OpSpec(src, dst, "scatter", rng.randint(16, 256),
+                              segments=rng.randint(2, 6), flags=flags_for(),
+                              wait=rng.random() < 0.25)
+            else:
+                spec = OpSpec(src, dst, "read", rng.randint(512, 8_192),
+                              flags=flags_for(p_notify=0.0),
+                              wait=rng.random() < 0.4)
+            ops.append(spec)
+    else:
+        raise ValueError(f"unknown workload {workload!r}")
+    return tuple(ops)
+
+
+def _gen_faults(
+    rng: random.Random, profile: str, nodes: int, rails: int
+) -> tuple[object, ...]:
+    """Bounded fault events: runs must always complete within the limit."""
+
+    def edge() -> tuple[int, int]:
+        return rng.randrange(nodes), rng.randrange(rails)
+
+    events: list[object] = []
+    if profile == "none":
+        pass
+    elif profile == "outage":
+        for _ in range(rng.randint(1, 2)):
+            node, rail = edge()
+            events.append(
+                Outage(at_ns=rng.randint(200 * _US, 5 * _MS), node=node,
+                       rail=rail, duration_ns=rng.randint(100 * _US, 2 * _MS))
+            )
+    elif profile == "flap":
+        node, rail = edge()
+        period = rng.randint(400 * _US, 1500 * _US)
+        events.append(
+            Flap(at_ns=rng.randint(200 * _US, 2 * _MS), node=node, rail=rail,
+                 period_ns=period, down_ns=rng.randint(100 * _US,
+                                                       min(400 * _US, period)),
+                 count=rng.randint(2, 4))
+        )
+    elif profile == "ber":
+        node, rail = edge()
+        at = rng.randint(100 * _US, 2 * _MS)
+        events.append(
+            BitErrorRamp(at_ns=at, node=node, rail=rail,
+                         bit_error_rate=10 ** rng.uniform(-7.0, -4.5))
+        )
+        events.append(
+            Repair(at_ns=at + rng.randint(1 * _MS, 4 * _MS), node=node,
+                   rail=rail)
+        )
+    elif profile == "chaos":
+        for _ in range(rng.randint(2, 4)):
+            node, rail = edge()
+            kind = rng.choice(("outage", "ber", "perm"))
+            at = rng.randint(200 * _US, 4 * _MS)
+            if kind == "outage":
+                events.append(
+                    Outage(at_ns=at, node=node, rail=rail,
+                           duration_ns=rng.randint(100 * _US, 1500 * _US))
+                )
+            elif kind == "ber":
+                events.append(
+                    BitErrorRamp(at_ns=at, node=node, rail=rail,
+                                 bit_error_rate=10 ** rng.uniform(-7.0, -5.0))
+                )
+                events.append(
+                    Repair(at_ns=at + rng.randint(1 * _MS, 3 * _MS),
+                           node=node, rail=rail)
+                )
+            else:
+                # Permanent failure is always paired with a repair so the
+                # run can drain even on a single-rail configuration.
+                events.append(PermanentFailure(at_ns=at, node=node, rail=rail))
+                events.append(
+                    Repair(at_ns=at + rng.randint(1 * _MS, 3 * _MS),
+                           node=node, rail=rail)
+                )
+    else:
+        raise ValueError(f"unknown fault profile {profile!r}")
+    return tuple(events)
+
+
+def scenario_from_seed(
+    seed: int,
+    workload: Optional[str] = None,
+    fault_profile: Optional[str] = None,
+) -> Scenario:
+    """Derive a scenario deterministically from ``(seed, workload, faults)``.
+
+    ``random.Random`` with a string seed hashes it stably (SHA-512), so the
+    derivation is identical across processes and Python invocations.
+    """
+    rng = random.Random(f"multiedge-fuzz:{seed}:{workload}:{fault_profile}")
+    if workload is None:
+        workload = rng.choice(WORKLOADS)
+    if fault_profile is None:
+        fault_profile = rng.choice(FAULT_PROFILES)
+    config = rng.choice(_CONFIGS)
+    rails = 2 if config.startswith("2") else 1
+    nodes = rng.choice((2, 2, 2, 3))
+
+    pairs = [(0, 1)]
+    if rng.random() < 0.4:
+        pairs.append((1, 0))  # reverse traffic on the same connection
+    if nodes == 3:
+        pairs.append(rng.choice(((2, 1), (0, 2), (2, 0))))
+
+    striping = None
+    if rails > 1:
+        striping = rng.choice(
+            (None, "round_robin", "shortest_queue", "single_rail", "adaptive")
+        )
+    return Scenario(
+        seed=seed,
+        config=config,
+        nodes=nodes,
+        workload=workload,
+        fault_profile=fault_profile,
+        striping=striping,
+        window_frames=rng.choice((8, 16, 64, 256)),
+        pump_batch=rng.choice((1, 4, 8)),
+        tx_ring_frames=rng.choice((None, None, 4, 8, 32)),
+        control_plane=rails > 1 and rng.random() < 0.5,
+        ops=_gen_ops(rng, workload, pairs),
+        faults=_gen_faults(rng, fault_profile, nodes, rails),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def _build_cluster(sc: Scenario, trace: bool) -> Cluster:
+    protocol = ProtocolParams(
+        window_frames=sc.window_frames,
+        pump_batch=sc.pump_batch,
+        in_order_delivery=(sc.config == "2L-1G"),
+        striping=sc.striping or "round_robin",
+    )
+    overrides: dict = {"protocol": protocol}
+    if sc.tx_ring_frames is not None:
+        base = myri10g_params if sc.config == "1L-10G" else tigon3_params
+        ring = sc.tx_ring_frames
+        overrides["nic_factory"] = lambda: base(tx_ring_frames=ring)
+    cluster = make_cluster(sc.config, nodes=sc.nodes, seed=sc.seed, **overrides)
+    if trace:
+        cluster.enable_frame_tracing()
+    return cluster
+
+
+def fingerprint(cluster: Cluster, include_trace: bool = False) -> str:
+    """SHA-256 over final simulation time, per-connection stats, and
+    (optionally) the captured frame trace — the bit-determinism witness."""
+    h = hashlib.sha256()
+    h.update(str(cluster.sim.now).encode())
+    for stack in cluster.stacks:
+        for conn_id in sorted(stack.protocol.connections):
+            conn = stack.protocol.connections[conn_id]
+            h.update(f"|{conn_id}@{stack.node_id}".encode())
+            s = conn.stats
+            for f in dataclass_fields(s):
+                h.update(f"{f.name}={getattr(s, f.name)};".encode())
+            h.update(
+                f"next_seq={conn.window.next_seq};"
+                f"expected={conn.tracker.expected};".encode()
+            )
+    if include_trace:
+        for rec in cluster.tracer.records:
+            h.update(repr(rec).encode())
+    return h.hexdigest()
+
+
+def run_scenario(
+    sc: Scenario,
+    use_monitor: bool = True,
+    collect: bool = False,
+    trace: bool = False,
+) -> FuzzResult:
+    """Execute one scenario; never raises — failures land in the result."""
+    # Connection ids come from a process-global counter; pin it so the same
+    # seed yields bit-identical frame headers, stats, and fingerprints no
+    # matter how many scenarios ran before in this process.
+    from ..core import api as _api
+
+    _api._next_conn_id = 1
+    cluster = _build_cluster(sc, trace)
+    pairs = sorted({(op.src, op.dst) for op in sc.ops})
+    conn_pairs = sorted({(min(i, j), max(i, j)) for i, j in pairs})
+    handles = {}
+    for i, j in conn_pairs:
+        a, b = cluster.connect(i, j)
+        handles[(i, j)] = a
+        handles[(j, i)] = b
+
+    managers = []
+    if sc.control_plane:
+        for i, j in conn_pairs:
+            m1, m2 = cluster.enable_edge_control(i, j)
+            managers += [m1, m2]
+
+    monitor = (
+        InvariantMonitor.attach(cluster, collect=collect) if use_monitor else None
+    )
+    FaultSchedule(list(sc.faults)).apply(cluster)
+
+    # One send/receive buffer per (src, dst) direction; ops reuse them.
+    max_size = max(
+        (op.size * max(op.segments, 1) for op in sc.ops), default=0
+    ) or 64
+    bufs = {}
+    for i, j in pairs:
+        src_node = cluster.nodes[i]
+        dst_node = cluster.nodes[j]
+        bufs[(i, j)] = (
+            src_node.memory.alloc(max_size),
+            dst_node.memory.alloc(max_size),
+        )
+
+    by_src: dict[int, list[OpSpec]] = {}
+    for op in sc.ops:
+        by_src.setdefault(op.src, []).append(op)
+
+    def sender(src: int, specs: list[OpSpec]):
+        pending = []
+        for spec in specs:
+            handle = handles[(spec.src, spec.dst)]
+            local, remote = bufs[(spec.src, spec.dst)]
+            if spec.kind == "write":
+                oh = yield from handle.rdma_write(
+                    local, remote, spec.size, flags=spec.flags
+                )
+            elif spec.kind == "scatter":
+                segments = [
+                    (remote + k * spec.size, bytes(spec.size))
+                    for k in range(spec.segments)
+                ]
+                oh = yield from handle.rdma_write_scatter(
+                    segments, flags=spec.flags
+                )
+            elif spec.kind == "read":
+                oh = yield from handle.rdma_read(
+                    local, remote, spec.size, flags=spec.flags
+                )
+            else:
+                raise ValueError(f"unknown op kind {spec.kind!r}")
+            pending.append(oh)
+            if spec.wait:
+                yield from oh.wait()
+        for oh in pending:
+            yield from oh.wait()
+
+    failure: Optional[str] = None
+    try:
+        procs = [
+            cluster.sim.process(sender(src, specs))
+            for src, specs in sorted(by_src.items())
+        ]
+        for proc in procs:
+            cluster.sim.run_until_done(proc, limit=sc.limit_ns)
+        for mgr in managers:
+            mgr.stop()
+        cluster.sim.run()  # drain retransmits, acks, fault timers
+        for stack in cluster.stacks:
+            for conn in stack.protocol.connections.values():
+                for op in list(conn._frame_op.values()) + [
+                    o for o in conn._pending_reads.values()
+                ]:
+                    if not op.completed:
+                        raise SimulationError(
+                            f"op {op!r} incomplete after drain"
+                        )
+        if monitor is not None:
+            monitor.final_check()
+    except InvariantViolation as v:
+        failure = f"invariant: {v}"
+    except SimulationError as e:
+        failure = f"simulation: {e}"
+    if failure is None and monitor is not None and monitor.violations:
+        failure = f"invariant: {monitor.violations[0]}"
+    return FuzzResult(
+        scenario=sc,
+        failure=failure,
+        fingerprint=fingerprint(cluster, include_trace=trace),
+        elapsed_ns=cluster.sim.now,
+        checks=monitor.checks_run if monitor is not None else 0,
+        violations=tuple(str(v) for v in monitor.violations)
+        if monitor is not None
+        else (),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+
+def shrink_scenario(
+    sc: Scenario,
+    fails: Optional[Callable[[Scenario], bool]] = None,
+    max_runs: int = 200,
+) -> Scenario:
+    """Greedily reduce a failing scenario to a minimal reproducer.
+
+    Removal passes (ops one at a time, then fault events, then halved
+    sizes, then knob simplification) repeat until a fixpoint or the run
+    budget is exhausted.  Every candidate is re-executed, so the result is
+    guaranteed to still fail.
+    """
+    if fails is None:
+        def fails(s: Scenario) -> bool:
+            return not run_scenario(s).ok
+
+    runs = 0
+
+    def still_fails(candidate: Scenario) -> bool:
+        nonlocal runs
+        if runs >= max_runs:
+            return False
+        runs += 1
+        return fails(candidate)
+
+    if not still_fails(sc):
+        raise ValueError("shrink_scenario: the input scenario does not fail")
+
+    changed = True
+    while changed and runs < max_runs:
+        changed = False
+        # Drop ops one at a time (back to front keeps indices stable).
+        i = len(sc.ops) - 1
+        while i >= 0 and len(sc.ops) > 1:
+            cand = replace(sc, ops=sc.ops[:i] + sc.ops[i + 1:])
+            if still_fails(cand):
+                sc = cand
+                changed = True
+            i -= 1
+        # Drop fault events one at a time.
+        i = len(sc.faults) - 1
+        while i >= 0:
+            cand = replace(sc, faults=sc.faults[:i] + sc.faults[i + 1:])
+            if still_fails(cand):
+                sc = cand
+                changed = True
+            i -= 1
+        # Halve op sizes.
+        if any(op.size > 64 for op in sc.ops):
+            cand = replace(
+                sc,
+                ops=tuple(
+                    replace(op, size=max(64, op.size // 2)) for op in sc.ops
+                ),
+            )
+            if still_fails(cand):
+                sc = cand
+                changed = True
+        # Simplify knobs.
+        for simpler in (
+            replace(sc, control_plane=False),
+            replace(sc, striping=None),
+            replace(sc, tx_ring_frames=None),
+            replace(sc, nodes=2) if sc.nodes > 2 and all(
+                op.src < 2 and op.dst < 2 for op in sc.ops
+            ) else sc,
+        ):
+            if simpler != sc and still_fails(simpler):
+                sc = simpler
+                changed = True
+    return sc
+
+
+# ---------------------------------------------------------------------------
+# Command line
+# ---------------------------------------------------------------------------
+
+
+def run_batch(
+    count: int,
+    base_seed: int = 0,
+    workload: Optional[str] = None,
+    fault_profile: Optional[str] = None,
+    shrink: bool = True,
+    verbose: bool = True,
+) -> list[FuzzResult]:
+    """Run ``count`` seeded scenarios; shrink and report any failure."""
+    results = []
+    for k in range(count):
+        sc = scenario_from_seed(base_seed + k, workload, fault_profile)
+        res = run_scenario(sc)
+        results.append(res)
+        if verbose and (not res.ok or (k + 1) % 25 == 0):
+            status = "FAIL" if not res.ok else "ok"
+            print(
+                f"[{k + 1}/{count}] seed={sc.seed} {sc.config} "
+                f"{sc.workload}/{sc.fault_profile} {status}"
+            )
+        if not res.ok:
+            print(f"  failure: {res.failure}")
+            if shrink:
+                small = shrink_scenario(sc)
+                print(f"  minimal reproducer:\n    {small!r}")
+    return results
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Deterministic MultiEdge protocol fuzzer"
+    )
+    parser.add_argument("--count", type=int, default=50,
+                        help="number of seeded scenarios to run")
+    parser.add_argument("--base-seed", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=None,
+                        help="run exactly one seed (implies --count 1)")
+    parser.add_argument("--workload", choices=WORKLOADS, default=None)
+    parser.add_argument("--faults", choices=FAULT_PROFILES, default=None)
+    parser.add_argument("--no-shrink", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.seed is not None:
+        count, base = 1, args.seed
+    else:
+        count, base = args.count, args.base_seed
+    results = run_batch(
+        count,
+        base_seed=base,
+        workload=args.workload,
+        fault_profile=args.faults,
+        shrink=not args.no_shrink,
+    )
+    failures = [r for r in results if not r.ok]
+    checks = sum(r.checks for r in results)
+    print(
+        f"{len(results)} scenarios, {checks} invariant checks, "
+        f"{len(failures)} failures"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

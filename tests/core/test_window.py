@@ -51,9 +51,22 @@ class TestSendWindow:
         s = w.allocate_seq()
         w.register(seq_frame(s), op_id=1, now=0)
         rec = w.get_for_retransmit(0)
-        assert rec is not None and rec.retransmits == 1
+        assert rec is not None
         w.on_ack(1)
         assert w.get_for_retransmit(0) is None
+
+    def test_retransmit_lookups_are_pure(self):
+        """Lookups never bump the retransmit counter — only the caller's
+        enqueue site does, so repeated queries can't inflate the count."""
+        w = SendWindow(8)
+        s = w.allocate_seq()
+        w.register(seq_frame(s), op_id=1, now=0)
+        for _ in range(5):
+            rec = w.get_for_retransmit(0)
+            assert rec is not None
+            rec2 = w.last_unacked()
+            assert rec2 is rec
+        assert rec.retransmits == 0
 
     def test_last_and_oldest_unacked(self):
         w = SendWindow(8)
@@ -104,6 +117,28 @@ class TestReceiveTracker:
         t = ReceiveTracker()
         t.on_frame(100)
         assert t.missing(limit=10) == list(range(10))
+
+    def test_missing_wide_gap_is_bounded(self):
+        """A burst loss spanning 100k seqs must cost O(limit), not O(gap).
+
+        Instrumented via a counting set: pre-fix the scan probed every
+        sequence number up to the gap's top; post-fix it stops after
+        ``limit`` gaps.
+        """
+
+        class CountingSet(set):
+            probes = 0
+
+            def __contains__(self, item):
+                CountingSet.probes += 1
+                return super().__contains__(item)
+
+        t = ReceiveTracker()
+        t.on_frame(100_000)  # everything below is one giant gap
+        t._beyond = CountingSet(t._beyond)
+        CountingSet.probes = 0
+        assert t.missing(limit=64) == list(range(64))
+        assert CountingSet.probes <= 64
 
     def test_missing_empty_when_contiguous(self):
         t = ReceiveTracker()

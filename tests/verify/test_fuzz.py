@@ -1,0 +1,87 @@
+"""Tests for the deterministic fuzz harness (repro.verify.fuzz)."""
+
+from dataclasses import replace
+
+from repro.verify.fuzz import (
+    FAULT_PROFILES,
+    WORKLOADS,
+    OpSpec,
+    run_scenario,
+    scenario_from_seed,
+    shrink_scenario,
+)
+
+
+class TestScenarioGeneration:
+    def test_same_seed_same_scenario(self):
+        for seed in (0, 1, 99):
+            assert scenario_from_seed(seed) == scenario_from_seed(seed)
+
+    def test_constrained_generation(self):
+        sc = scenario_from_seed(7, "scatter", "outage")
+        assert sc.workload == "scatter" and sc.fault_profile == "outage"
+        assert all(op.kind == "scatter" for op in sc.ops)
+
+    def test_grid_axes_cover(self):
+        assert len(WORKLOADS) == 5 and len(FAULT_PROFILES) == 5
+
+
+class TestRunScenario:
+    def test_clean_run_reports_checks(self):
+        res = run_scenario(scenario_from_seed(1))
+        assert res.ok, res.failure
+        assert res.checks > 0
+        assert len(res.fingerprint) == 64
+
+    def test_bit_determinism_with_trace(self):
+        sc = scenario_from_seed(11, "mixed", "outage")
+        first = run_scenario(sc, trace=True)
+        second = run_scenario(sc, trace=True)
+        assert first.ok, first.failure
+        assert first.fingerprint == second.fingerprint
+        assert first.elapsed_ns == second.elapsed_ns
+
+    def test_monitor_optional(self):
+        sc = scenario_from_seed(2)
+        res = run_scenario(sc, use_monitor=False)
+        assert res.ok and res.checks == 0
+
+
+class TestShrinker:
+    def test_reduces_to_minimal_failing_case(self):
+        sc = scenario_from_seed(5, "small", "chaos")
+        assert len(sc.ops) > 3 and len(sc.faults) >= 1
+
+        def fails(s):
+            return len(s.ops) >= 3 and len(s.faults) >= 1
+
+        small = shrink_scenario(sc, fails=fails)
+        assert len(small.ops) == 3 and len(small.faults) == 1
+
+    def test_rejects_passing_scenario(self):
+        sc = scenario_from_seed(5, "small", "none")
+        try:
+            shrink_scenario(sc, fails=lambda s: False)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError for a passing scenario")
+
+
+class TestReadFenceRegression:
+    def test_cross_fenced_read_scenario_passes(self):
+        """The minimal reproducer the shrinker produced for the read-fence
+        deadlock (seed 0, read/none); it must now run to completion."""
+        base = scenario_from_seed(0, "read", "none")
+        sc = replace(
+            base,
+            nodes=2,
+            ops=(
+                OpSpec(src=1, dst=0, kind="read", size=4271, wait=True),
+                OpSpec(src=0, dst=1, kind="read", size=7202, wait=True),
+                OpSpec(src=0, dst=1, kind="read", size=15862, flags=4, wait=True),
+                OpSpec(src=1, dst=0, kind="read", size=9061, flags=4, wait=False),
+            ),
+        )
+        res = run_scenario(sc)
+        assert res.ok, res.failure

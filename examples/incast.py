@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Incast congestion collapse, and what congestion control buys back.
+
+Converges SENDERS bulk streams on a single receiver — the many-to-one
+pattern behind TCP incast — and compares three congestion policies on
+the same fabric:
+
+* ``static``  — the fixed send window (the paper's baseline protocol),
+* ``aimd``    — loss-driven additive-increase / multiplicative-decrease,
+* ``dctcp``   — ECN-driven DCTCP-style marking with proportional cuts.
+
+Every run uses real payloads and verifies receiver memory end to end:
+congestion control changes *when* frames move, never *what* arrives.
+
+Run:  python examples/incast.py
+"""
+
+from repro.bench.incast import run_incast
+
+SENDERS = 12
+CHUNK = 64 * 1024
+CHUNKS = 8
+
+POLICIES = (
+    ("static", "static", None),
+    ("aimd", "aimd", None),
+    ("dctcp", "dctcp", 32),  # ECN marks above 32 queued frames
+)
+
+
+def main() -> None:
+    print(f"== {SENDERS}-to-1 incast, {CHUNKS} x {CHUNK // 1024} KB per "
+          f"sender, 1-GbE fabric ==")
+    print(f"{'policy':8s} {'goodput':>12s} {'queue drops':>12s} "
+          f"{'retrans':>8s} {'CE marks':>9s} {'intact':>7s}")
+    results = {}
+    for label, congestion, ecn in POLICIES:
+        r = run_incast(
+            senders=SENDERS,
+            chunk_bytes=CHUNK,
+            chunks_per_sender=CHUNKS,
+            congestion=congestion,
+            ecn_threshold_frames=ecn,
+            verify_data=True,
+        )
+        results[label] = r
+        print(f"{label:8s} {r.goodput_bps / 1e6:8.1f} Mbps {r.dropped_queue_full:12d} "
+              f"{r.retransmissions:8d} {r.ce_marked:9d} "
+              f"{'True' if r.data_intact else 'FALSE':>7s}  "
+              f"data intact={r.data_intact}")
+
+    static, dctcp = results["static"], results["dctcp"]
+    if static.dropped_queue_full:
+        saved = 1 - dctcp.dropped_queue_full / static.dropped_queue_full
+        print(f"\ndctcp cut switch tail drops by {saved:.0%} and the final "
+              f"congestion windows settled at {dctcp.final_cwnd_frames} "
+              f"frames (window size stays the protocol's upper bound).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,8 +1,11 @@
 """Measurement probes and cluster-wide summaries."""
 
 from .probes import (
+    CwndProbe,
     EdgeScoreProbe,
     InflightProbe,
+    MarkedFractionProbe,
+    PacingStallProbe,
     QueueProbe,
     Sample,
     ThroughputProbe,
@@ -20,6 +23,9 @@ __all__ = [
     "QueueProbe",
     "InflightProbe",
     "EdgeScoreProbe",
+    "CwndProbe",
+    "MarkedFractionProbe",
+    "PacingStallProbe",
     "Sample",
     "ClusterSummary",
     "RailCounters",

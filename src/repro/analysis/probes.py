@@ -9,7 +9,13 @@ kind of analysis:
   connection endpoint,
 * :class:`QueueProbe` — switch output-queue depth over time (congestion
   visibility),
-* :class:`InflightProbe` — sender window occupancy over time.
+* :class:`InflightProbe` — sender window occupancy over time,
+* :class:`CwndProbe` — the congestion window a repro.congestion controller
+  is granting the connection,
+* :class:`MarkedFractionProbe` — per-interval fraction of received data
+  frames that arrived CE-marked (receiver-side ECN visibility),
+* :class:`PacingStallProbe` — per-interval nanoseconds a NIC's frames
+  spent waiting on the pacing token bucket.
 
 Each probe runs as a simulation process; call :meth:`stop` (or let the
 simulation end) and read ``samples``.
@@ -29,6 +35,9 @@ __all__ = [
     "QueueProbe",
     "InflightProbe",
     "EdgeScoreProbe",
+    "CwndProbe",
+    "MarkedFractionProbe",
+    "PacingStallProbe",
     "Sample",
 ]
 
@@ -120,6 +129,64 @@ class InflightProbe(_Probe):
 
     def _read(self) -> float:
         return float(self._conn.window.in_flight_count)
+
+
+class CwndProbe(_Probe):
+    """Congestion window granted by the connection's controller, in frames.
+
+    With the static policy this is a flat line at the flow window size.
+    """
+
+    def __init__(
+        self, sim: Simulator, connection: Connection, interval_ns: int = 100_000
+    ) -> None:
+        self._conn = connection
+        super().__init__(sim, interval_ns)
+
+    def _read(self) -> float:
+        return float(self._conn.congestion.cwnd_frames)
+
+
+class MarkedFractionProbe(_Probe):
+    """Fraction of data frames received CE-marked, per interval.
+
+    Receiver-side view of fabric congestion (the sender-side EWMA is
+    ``connection.congestion.marked_fraction``).  Intervals with no
+    arrivals sample 0.
+    """
+
+    def __init__(
+        self, sim: Simulator, connection: Connection, interval_ns: int = 1_000_000
+    ) -> None:
+        self._conn = connection
+        self._last_ce = connection.ce_frames_received
+        self._last_rx = connection.stats.data_frames_received
+        super().__init__(sim, interval_ns)
+
+    def _read(self) -> float:
+        conn = self._conn
+        ce = conn.ce_frames_received
+        rx = conn.stats.data_frames_received
+        d_ce = ce - self._last_ce
+        d_rx = rx - self._last_rx
+        self._last_ce = ce
+        self._last_rx = rx
+        return d_ce / d_rx if d_rx > 0 else 0.0
+
+
+class PacingStallProbe(_Probe):
+    """Nanoseconds of token-bucket pacing delay accrued per interval."""
+
+    def __init__(self, sim: Simulator, nic, interval_ns: int = 1_000_000) -> None:
+        self._nic = nic
+        self._last_stall = nic.counters.pacing_stall_ns
+        super().__init__(sim, interval_ns)
+
+    def _read(self) -> float:
+        stall = self._nic.counters.pacing_stall_ns
+        delta = stall - self._last_stall
+        self._last_stall = stall
+        return float(delta)
 
 
 class EdgeScoreProbe(_Probe):

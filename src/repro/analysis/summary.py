@@ -66,6 +66,15 @@ class ClusterSummary:
     heap_pushes: int = 0
     fastlane_hits: int = 0
     cancelled_popped: int = 0
+    # Congestion management (repro.congestion; all zero with ECN off and
+    # the static controller).
+    ce_marked: int = 0  # frames CE-marked by any switch output queue
+    ce_received: int = 0  # CE-marked sequenced frames seen by receivers
+    ecn_echoes_sent: int = 0  # acks/nacks/data frames that carried the echo
+    ecn_echoes_received: int = 0
+    pacing_stall_ns: int = 0  # total token-bucket wait across all NICs
+    congestion_controllers: list[str] = field(default_factory=list)
+    cwnd_final_mean: float = 0.0  # mean final cwnd over adaptive connections
     # Edge lifecycle (populated when the control plane is in use).
     rails: list["RailCounters"] = field(default_factory=list)
     edge_history: list = field(default_factory=list)  # EdgeTransition, by time
@@ -104,7 +113,7 @@ def summarize_cluster(
         [s.protocol.total_stats() for s in cluster.stacks]
     )
     elapsed = elapsed_ns if elapsed_ns is not None else cluster.sim.now
-    wire_frames = wire_bytes = irqs = ring = crc = 0
+    wire_frames = wire_bytes = irqs = ring = crc = pacing_stall = 0
     for node in cluster.nodes:
         for nic in node.nics:
             wire_frames += nic.counters.tx_frames
@@ -112,7 +121,21 @@ def summarize_cluster(
             irqs += nic.counters.irqs_raised
             ring += nic.counters.rx_dropped_ring_full
             crc += nic.counters.rx_dropped_crc
+            pacing_stall += nic.counters.pacing_stall_ns
     switch_drops = sum(sw.dropped_total for sw in cluster.all_switches)
+    ce_marked = sum(sw.ce_marked_total for sw in cluster.all_switches)
+    ce_received = echoes_sent = echoes_received = 0
+    controllers: set[str] = set()
+    cwnd_finals: list[int] = []
+    for stack in cluster.stacks:
+        for conn in stack.protocol.connections.values():
+            ce_received += conn.ce_frames_received
+            echoes_sent += conn.ecn_echoes_sent
+            echoes_received += conn.ecn_echoes_received
+            cc = conn.congestion
+            controllers.add(cc.name)
+            if cc.active:
+                cwnd_finals.append(cc.cwnd_frames)
     rails = []
     for rail in range(cluster.config.rails):
         tx_f = tx_b = rx_f = ring_d = crc_d = rail_irqs = 0
@@ -168,6 +191,15 @@ def summarize_cluster(
         heap_pushes=getattr(cluster.sim, "heap_pushes", 0),
         fastlane_hits=getattr(cluster.sim, "fastlane_hits", 0),
         cancelled_popped=getattr(cluster.sim, "cancelled_popped", 0),
+        ce_marked=ce_marked,
+        ce_received=ce_received,
+        ecn_echoes_sent=echoes_sent,
+        ecn_echoes_received=echoes_received,
+        pacing_stall_ns=pacing_stall,
+        congestion_controllers=sorted(controllers),
+        cwnd_final_mean=(
+            sum(cwnd_finals) / len(cwnd_finals) if cwnd_finals else 0.0
+        ),
         rails=rails,
         edge_history=edge_history,
         edges_failed=edges_failed,

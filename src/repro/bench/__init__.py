@@ -2,6 +2,7 @@
 
 from .cluster import CONFIG_NAMES, Cluster, ClusterConfig, make_cluster
 from .failover import FailoverResult, run_failover
+from .incast import IncastResult, run_incast
 from .micro import MicroResult, run_micro, run_one_way, run_ping_pong, run_two_way
 from .report import Table, band_str, check_band, fmt
 from .parallel import parallel_app_runs, parallel_micro_sweep, run_points
@@ -21,6 +22,8 @@ __all__ = [
     "CONFIG_NAMES",
     "FailoverResult",
     "run_failover",
+    "IncastResult",
+    "run_incast",
     "MicroResult",
     "run_micro",
     "run_ping_pong",

@@ -351,6 +351,18 @@ class Cluster:
             managers.append(mgr)
         return managers[0], managers[1]
 
+    def set_ecn_threshold(self, frames: Optional[int]) -> None:
+        """Enable (or disable with None) ECN marking on every switch.
+
+        Must be called before traffic flows; marking starts immediately on
+        every output queue whose depth is at or above ``frames``.
+        """
+        seen = set()
+        for sw in self.all_switches:
+            if id(sw.params) not in seen:
+                seen.add(id(sw.params))
+                sw.params.ecn_threshold_frames = frames
+
     def enable_frame_tracing(self) -> None:
         """Record every NIC TX/RX completion into :attr:`tracer`."""
         self.tracer.enable("frame.tx", "frame.rx")

@@ -1,0 +1,31 @@
+"""repro.congestion — ECN-aware congestion control and NIC pacing.
+
+See :mod:`repro.congestion.base` for the controller contract and
+docs/PROTOCOL.md ("Congestion management") for the protocol-level story.
+"""
+
+from .base import (
+    CONTROLLER_NAMES,
+    CongestionController,
+    CongestionParams,
+    StaticWindow,
+    make_congestion_controller,
+    register_congestion_controller,
+)
+from .adaptive import AdaptiveController
+from .aimd import AimdController
+from .dctcp import DctcpController
+from .pacing import TokenBucket
+
+__all__ = [
+    "CONTROLLER_NAMES",
+    "CongestionController",
+    "CongestionParams",
+    "StaticWindow",
+    "AdaptiveController",
+    "AimdController",
+    "DctcpController",
+    "TokenBucket",
+    "make_congestion_controller",
+    "register_congestion_controller",
+]

@@ -1,0 +1,79 @@
+"""Shared machinery for window-adapting controllers (AIMD, DCTCP).
+
+Keeps the congestion window as a float (so sub-frame additive increase
+accumulates) and mirrors it into ``window.cwnd`` as an integer clamped to
+``[min_cwnd_frames, window.size]``.  Also maintains a smoothed RTT from
+Karn-filtered ack samples, which feeds the optional pacing rate
+``cwnd_bytes / srtt * headroom``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import FULL_FRAME_WIRE_BYTES, CongestionController, CongestionParams
+
+
+class AdaptiveController(CongestionController):
+    """Base for controllers that actually move the window."""
+
+    active = True
+
+    def __init__(self, window, params: Optional[CongestionParams] = None) -> None:
+        super().__init__(window, params)
+        p = self.params
+        initial = p.initial_cwnd_frames
+        if initial is None:
+            initial = window.size
+        self._cwnd = float(min(max(initial, p.min_cwnd_frames), window.size))
+        self._srtt_ns = float(p.rtt_init_ns)
+        # Loss/timeout reactions are rate-limited to once per smoothed
+        # RTT: every drop in one overfull-queue episode is the same
+        # congestion event and must cut the window only once.
+        self._last_cut_ns = -(1 << 62)
+        self._apply_cwnd()
+
+    # -- window bookkeeping ----------------------------------------------
+
+    def _apply_cwnd(self) -> None:
+        p = self.params
+        lo = float(p.min_cwnd_frames)
+        hi = float(self.window.size)
+        if self._cwnd < lo:
+            self._cwnd = lo
+        elif self._cwnd > hi:
+            self._cwnd = hi
+        self.window.cwnd = int(self._cwnd)
+
+    def _additive_increase(self, freed: int) -> None:
+        # Classic congestion avoidance: +ai/cwnd per acked frame adds
+        # ~ai frames per round trip regardless of ack coalescing.
+        self._cwnd += self.params.additive_increase_frames * freed / self._cwnd
+
+    def _cut(self, factor: float, now: int) -> bool:
+        if now - self._last_cut_ns < self._srtt_ns:
+            return False
+        self._last_cut_ns = now
+        self._cwnd *= factor
+        return True
+
+    def _note_rtt(self, rtt_sample_ns: Optional[int]) -> None:
+        if rtt_sample_ns is None or rtt_sample_ns <= 0:
+            return
+        g = self.params.rtt_gain
+        self._srtt_ns += g * (rtt_sample_ns - self._srtt_ns)
+
+    # -- pacing -----------------------------------------------------------
+
+    def pacing_rate_bps(self) -> Optional[float]:
+        p = self.params
+        if not p.pacing:
+            return None
+        return (
+            self._cwnd
+            * FULL_FRAME_WIRE_BYTES
+            * 8
+            * 1e9
+            / self._srtt_ns
+            * p.pacing_headroom
+        )

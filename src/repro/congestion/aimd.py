@@ -1,0 +1,52 @@
+"""TCP-Reno-style AIMD congestion control.
+
+* Additive increase: ``additive_increase_frames`` per round trip,
+  accumulated as ``ai * freed / cwnd`` on every cumulative ack.
+* Multiplicative decrease: ``cwnd *= md_factor`` (default 0.5) on a
+  NACK-driven loss, at most once per smoothed RTT.
+* Coarse timeout: collapse to ``min_cwnd_frames`` — the retransmission
+  timer only fires after NACK recovery has already failed, which signals
+  the fabric is severely oversubscribed.
+
+ECN echoes are treated like losses (a conservative fallback when the
+fabric marks but the operator chose plain AIMD).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .adaptive import AdaptiveController
+from .base import register_congestion_controller
+
+
+class AimdController(AdaptiveController):
+    name = "aimd"
+
+    def on_ack(
+        self,
+        freed: int,
+        ece: bool,
+        now: int,
+        rtt_sample_ns: Optional[int] = None,
+    ) -> None:
+        self._note_rtt(rtt_sample_ns)
+        if ece:
+            self._cut(self.params.md_factor, now)
+        else:
+            self._additive_increase(freed)
+        self._apply_cwnd()
+
+    def on_loss(self, now: int) -> None:
+        if self._cut(self.params.md_factor, now):
+            self._apply_cwnd()
+
+    def on_timeout(self, now: int) -> None:
+        if now - self._last_cut_ns < self._srtt_ns:
+            return
+        self._last_cut_ns = now
+        self._cwnd = float(self.params.min_cwnd_frames)
+        self._apply_cwnd()
+
+
+register_congestion_controller("aimd", AimdController)

@@ -1,0 +1,197 @@
+"""Congestion-controller interface and the static (paper) policy.
+
+The paper's sliding-window protocol has *flow control* (a fixed window
+bounds in-flight frames against receiver buffering) but no *congestion
+control*: under many-to-one traffic the switch output queue overflows and
+frames drop with nothing above reacting.  A
+:class:`CongestionController` closes that loop per connection: it owns a
+congestion window (cwnd, in frames) layered under the flow-control window
+(``SendWindow.size`` stays the hard cap), reacts to acknowledgements,
+ECN echoes, NACK-driven losses, and coarse timeouts, and optionally
+exposes a pacing rate the NIC token bucket enforces.
+
+Controllers are deliberately decoupled from :mod:`repro.core`: they see a
+duck-typed window object (``size``, ``cwnd``) and receive events from the
+connection, so this package has no import cycle with the protocol core.
+
+Three implementations ship:
+
+* :class:`StaticWindow` — the paper's behaviour: cwnd pinned to the flow
+  window, no reactions.  ``active`` is False, so the connection skips
+  every hot-path hook and the event trace is bit-identical to a build
+  without this subsystem.  This is the default.
+* :class:`~repro.congestion.aimd.AimdController` — TCP-Reno-style
+  additive increase / multiplicative decrease on loss.
+* :class:`~repro.congestion.dctcp.DctcpController` — DCTCP: an EWMA of
+  the ECN-marked fraction scales the decrease.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Type
+
+from ..ethernet.frame import ETH_MTU, ETH_OVERHEAD_BYTES
+
+__all__ = [
+    "CongestionParams",
+    "CongestionController",
+    "StaticWindow",
+    "make_congestion_controller",
+    "register_congestion_controller",
+    "CONTROLLER_NAMES",
+]
+
+# Wire bytes of a full-MTU frame; pacing converts cwnd (frames) to bits/s.
+FULL_FRAME_WIRE_BYTES = ETH_MTU + ETH_OVERHEAD_BYTES
+
+
+@dataclass
+class CongestionParams:
+    """Tunables shared by every controller (see docs/API.md for defaults)."""
+
+    # Floor for the congestion window; cwnd never drops below this.
+    min_cwnd_frames: int = 2
+    # Frames the cwnd opens at (None: start fully open at the flow window).
+    initial_cwnd_frames: Optional[int] = None
+    # Additive increase: frames added to cwnd per round trip of acks.
+    additive_increase_frames: float = 1.0
+    # AIMD multiplicative decrease factor applied on loss.
+    md_factor: float = 0.5
+    # DCTCP: gain of the marked-fraction EWMA (the paper's g = 1/16).
+    dctcp_g: float = 1.0 / 16.0
+    # SRTT EWMA gain for the pacing-rate estimate.
+    rtt_gain: float = 0.125
+    # Seed RTT before the first sample (pacing only).
+    rtt_init_ns: int = 200_000
+    # Token-bucket pacing: enabled, rate headroom, and burst allowance.
+    pacing: bool = False
+    pacing_headroom: float = 1.25
+    pacing_burst_frames: int = 8
+
+    def __post_init__(self) -> None:
+        if self.min_cwnd_frames < 1:
+            raise ValueError("min_cwnd_frames must be >= 1")
+        if not 0.0 < self.md_factor < 1.0:
+            raise ValueError("md_factor must be in (0, 1)")
+        if not 0.0 < self.dctcp_g <= 1.0:
+            raise ValueError("dctcp_g must be in (0, 1]")
+        if self.additive_increase_frames <= 0:
+            raise ValueError("additive_increase_frames must be positive")
+        if self.pacing_burst_frames < 1:
+            raise ValueError("pacing_burst_frames must be >= 1")
+        if self.initial_cwnd_frames is not None and self.initial_cwnd_frames < 1:
+            raise ValueError("initial_cwnd_frames must be >= 1 (or None)")
+        if not 0.0 < self.rtt_gain <= 1.0:
+            raise ValueError("rtt_gain must be in (0, 1]")
+        if self.rtt_init_ns < 1:
+            raise ValueError("rtt_init_ns must be >= 1")
+        if self.pacing_headroom < 1.0:
+            raise ValueError("pacing_headroom must be >= 1 (no underpacing)")
+
+
+class CongestionController:
+    """Per-connection congestion policy.
+
+    The connection calls :meth:`on_ack` / :meth:`on_loss` /
+    :meth:`on_timeout` from its protocol state machine and applies
+    :meth:`pacing_rate_bps` to its NICs after each event.  Controllers
+    write their window through ``window.cwnd`` (frames); ``None`` means
+    "no congestion limit", which is what the static policy leaves in
+    place so the flow-control arithmetic is untouched.
+    """
+
+    name = "static"
+    # When False the connection skips every hot-path hook (single
+    # attribute test at attach time, zero per-event cost).
+    active = False
+
+    def __init__(self, window, params: Optional[CongestionParams] = None) -> None:
+        self.window = window
+        self.params = params or CongestionParams()
+
+    # -- observability ---------------------------------------------------
+
+    @property
+    def cwnd_frames(self) -> int:
+        """Current congestion window in frames (static: the flow window)."""
+        cwnd = self.window.cwnd
+        return self.window.size if cwnd is None else cwnd
+
+    @property
+    def marked_fraction(self) -> float:
+        """Controller's running estimate of the ECN-marked fraction."""
+        return 0.0
+
+    # -- events (no-ops for the static policy) ---------------------------
+
+    def on_ack(
+        self,
+        freed: int,
+        ece: bool,
+        now: int,
+        rtt_sample_ns: Optional[int] = None,
+    ) -> None:
+        """``freed`` frames were cumulatively acknowledged.
+
+        ``ece`` is the ECN-echo bit of the acknowledgement: with delayed
+        acks one echo covers the whole freed batch (the standard DCTCP
+        coarsening).  ``rtt_sample_ns`` is a Karn-filtered RTT sample or
+        None when the newest freed frame had been retransmitted.
+        """
+
+    def on_loss(self, now: int) -> None:
+        """A NACK-driven retransmission was enqueued (frame loss signal)."""
+
+    def on_timeout(self, now: int) -> None:
+        """The coarse retransmission timer fired (severe congestion)."""
+
+    def pacing_rate_bps(self) -> Optional[float]:
+        """Rate for the NIC token bucket, or None to transmit unpaced."""
+        return None
+
+
+class StaticWindow(CongestionController):
+    """Today's behaviour: the flow-control window is the only limit.
+
+    Selected by default.  Leaves ``window.cwnd`` at None and reacts to
+    nothing, so every frame trace is bit-identical to the pre-congestion
+    protocol.
+    """
+
+    name = "static"
+    active = False
+
+
+_CONTROLLERS: dict[str, Type[CongestionController]] = {
+    "static": StaticWindow,
+}
+
+
+def register_congestion_controller(
+    name: str, cls: Type[CongestionController]
+) -> None:
+    """Register a controller class under ``name`` (idempotent per class)."""
+    existing = _CONTROLLERS.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"congestion controller {name!r} already registered")
+    _CONTROLLERS[name] = cls
+
+
+def make_congestion_controller(
+    name: str, window, params: Optional[CongestionParams] = None
+) -> CongestionController:
+    """Factory by controller name (used by :class:`ProtocolParams`)."""
+    try:
+        cls = _CONTROLLERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown congestion controller {name!r}; "
+            f"choose from {sorted(_CONTROLLERS)}"
+        ) from None
+    return cls(window, params)
+
+
+def CONTROLLER_NAMES() -> tuple[str, ...]:
+    """Currently registered controller names (import order matters)."""
+    return tuple(sorted(_CONTROLLERS))

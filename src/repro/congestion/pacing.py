@@ -1,0 +1,68 @@
+"""Token-bucket pacing in virtual time.
+
+The bucket holds ``burst_bytes`` worth of tokens refilled at
+``rate_bps``.  :meth:`TokenBucket.reserve` answers "given a frame of
+``nbytes`` ready at ``now``, when may it start on the wire?" and charges
+the bucket for it.  All state is integer nanoseconds, so paced schedules
+are bit-deterministic.
+
+The implementation tracks a single virtual deadline ``_debt_until``: the
+instant at which the bucket is full again.  Tokens available at time
+``t`` are ``clamp((t - (_debt_until - burst_ns)) * rate, 0, burst)``,
+which turns the reserve computation into two max() operations.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    __slots__ = ("rate_bps", "burst_bytes", "_debt_until")
+
+    def __init__(self, rate_bps: float, burst_bytes: int) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        if burst_bytes <= 0:
+            raise ValueError("burst_bytes must be positive")
+        self.rate_bps = float(rate_bps)
+        self.burst_bytes = int(burst_bytes)
+        # Virtual instant when the bucket is full; anything in the past
+        # means "full now".  Starts full at t=0.
+        self._debt_until = 0
+
+    def set_rate(self, rate_bps: float, burst_bytes: int | None = None) -> None:
+        """Retarget the refill rate (existing debt keeps its deadline)."""
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        self.rate_bps = float(rate_bps)
+        if burst_bytes is not None:
+            if burst_bytes <= 0:
+                raise ValueError("burst_bytes must be positive")
+            self.burst_bytes = int(burst_bytes)
+
+    def _cost_ns(self, nbytes: int) -> int:
+        return int(round(nbytes * 8 * 1e9 / self.rate_bps))
+
+    def reserve(self, nbytes: int, now: int) -> int:
+        """Charge ``nbytes`` and return the earliest departure time >= now.
+
+        A frame may depart once the bucket holds ``nbytes`` tokens; a
+        frame larger than the configured burst is allowed through at one
+        full-bucket's wait (the burst is widened for that reservation
+        rather than blocking forever).
+        """
+        cost = self._cost_ns(nbytes)
+        burst_ns = self._cost_ns(self.burst_bytes)
+        if cost > burst_ns:
+            burst_ns = cost
+        depart = self._debt_until - burst_ns + cost
+        if depart < now:
+            depart = now
+        # Consume the tokens: if the bucket had refilled past `depart`
+        # the surplus is forfeited (bucket caps at burst_bytes).
+        base = self._debt_until
+        if depart > base:
+            base = depart
+        self._debt_until = base + cost
+        return depart

@@ -47,10 +47,28 @@ class AckPolicy:
         self.params = params or AckPolicyParams()
         self._unacked_frames = 0
         self._last_acked_value = 0
+        # Congestion-Experienced frames seen since the last ack left this
+        # node; while non-zero, outgoing acks carry the ECN-echo bit.
+        self._ce_since_ack = 0
 
     @property
     def frames_pending_ack(self) -> int:
         return self._unacked_frames
+
+    @property
+    def echo_pending(self) -> bool:
+        """True while an ECN echo is owed to the sender."""
+        return self._ce_since_ack > 0
+
+    def note_ce(self) -> None:
+        """A received sequenced frame carried the CE mark (new or dup)."""
+        self._ce_since_ack += 1
+
+    def note_echo_sent(self) -> None:
+        """An ECN echo left on a frame that is not an acknowledgement for
+        delayed-ack purposes (a NACK or a retransmission): clear only the
+        CE debt, leaving the unacked-frame count untouched."""
+        self._ce_since_ack = 0
 
     def on_data_frame(self) -> bool:
         """Register a received data frame; True if an explicit ack is due now."""
@@ -67,10 +85,12 @@ class AckPolicy:
         """Reset state after ack information left this node.
 
         Both explicit acks and piggy-backed acks count (paper: piggy-backing
-        reduces the number of explicit acknowledgements).
+        reduces the number of explicit acknowledgements).  Any pending ECN
+        echo rode out with the ack, so the CE debt clears too.
         """
         self._unacked_frames = 0
         self._last_acked_value = cum_ack
+        self._ce_since_ack = 0
 
     def on_duplicate(self) -> bool:
         """Duplicates mean the peer is retransmitting: re-ack immediately so

@@ -37,7 +37,9 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Generator, Optional
 
-from ..ethernet import Frame, FrameType, OpFlags, max_payload_per_frame
+from ..congestion import CongestionParams, make_congestion_controller
+from ..congestion.base import FULL_FRAME_WIRE_BYTES
+from ..ethernet import ECN_CE, ECN_ECHO, Frame, FrameType, OpFlags, max_payload_per_frame
 from ..host.cpu import Cpu
 from ..sim import Event, Simulator, Store, Timer
 from .ack import AckPolicy, AckPolicyParams
@@ -80,6 +82,13 @@ class ProtocolParams:
     # moved.  Used by the micro-benchmark harness; applications that read
     # back received data must keep this off.
     synthetic_payloads: bool = False
+    # Congestion controller ("static" | "aimd" | "dctcp" | any registered
+    # name).  "static" is the paper's behaviour: the fixed flow-control
+    # window is the only send limit, and every trace is bit-identical to
+    # a build without the congestion subsystem.
+    congestion: str = "static"
+    # Controller tunables; None uses CongestionParams() defaults.
+    congestion_params: Optional[CongestionParams] = None
 
     def __post_init__(self) -> None:
         if self.window_frames < 1:
@@ -192,6 +201,22 @@ class Connection:
         self._retransmit_q: Deque[int] = deque()  # seqs to retransmit
         self._frame_op: dict[int, Operation] = {}  # seq -> op
         self.striping = make_striping_policy(self.params.striping, self.nics)
+        # Congestion control (repro.congestion).  The fast-path guard _cc
+        # is None for the static policy — the same single-attribute-test
+        # pattern as the monitor hooks, so the default costs nothing.
+        self.congestion = make_congestion_controller(
+            self.params.congestion, self.window, self.params.congestion_params
+        )
+        self._cc = self.congestion if self.congestion.active else None
+        self._pacing_on = (
+            self._cc is not None and self.congestion.params.pacing
+        )
+        # ECN accounting.  Deliberately *not* in ConnectionStats: stats
+        # fields feed the fuzz fingerprints, which must stay bit-identical
+        # for pre-ECN scenarios.
+        self.ce_frames_received = 0
+        self.ecn_echoes_sent = 0
+        self.ecn_echoes_received = 0
         self._next_op_seq = 0
         self._forward_fences: Deque[Operation] = deque()
         self._pending_reads: dict[int, Operation] = {}  # op_id -> read op
@@ -222,6 +247,9 @@ class Connection:
         self._nack_snapshot: set[int] = set()
         self._nacked_at: dict[int, int] = {}
         self.notifications: Store = Store(self.sim)
+
+        if self._pacing_on:
+            self._sync_pacing()
 
     # ------------------------------------------------------------------
     # Operation submission (runs in the caller's CPU context)
@@ -507,6 +535,14 @@ class Connection:
             rec.frame.dst_mac = self.peer_macs[rail]
             rec.frame.src_mac = self.nics[rail].mac
             rec.frame.header.ack = self.tracker.cum_ack
+            # Re-evaluate the ECN echo: the bit a previous copy carried is
+            # stale, and a pending CE debt may ride out with this copy.
+            if self.ack_policy.echo_pending:
+                rec.frame.header.flags |= ECN_ECHO
+                self.ecn_echoes_sent += 1
+                self.ack_policy.note_echo_sent()
+            else:
+                rec.frame.header.flags &= ~ECN_ECHO
             rec.last_sent_at = self.sim.now
             rec.last_rail = rail
             self.nics[rail].transmit(rec.frame)
@@ -555,6 +591,9 @@ class Connection:
                 read_response=desc.op.kind == Operation.READ_RESP,
                 payload_length=desc.payload_len,
             )
+        if self.ack_policy.echo_pending:
+            frame.header.flags |= ECN_ECHO
+            self.ecn_echoes_sent += 1
         window.register(frame, desc.op.op_id, self.sim.now, rail=rail)
         self._frame_op[seq] = desc.op
         nic.transmit(frame)
@@ -621,14 +660,19 @@ class Connection:
             return
         if ftype == FrameType.ACK:
             self.stats.explicit_acks_received += 1
-            self._process_ack_value(h.ack)
+            self._process_ack_value(h.ack, bool(h.flags & ECN_ECHO))
         elif ftype == FrameType.NACK:
             self.stats.nacks_received += 1
-            self._process_ack_value(h.ack)
+            self._process_ack_value(h.ack, bool(h.flags & ECN_ECHO))
             self._process_nack(frame.control or [])
         else:
-            # Sequenced frame: piggy-backed ack first, then delivery.
-            self._process_ack_value(h.ack)
+            # Sequenced frame: ECN first (a CE mark must be echoed even on
+            # a duplicate), then the piggy-backed ack, then delivery.
+            flags = h.flags
+            if flags & ECN_CE:
+                self.ce_frames_received += 1
+                self.ack_policy.note_ce()
+            self._process_ack_value(h.ack, bool(flags & ECN_ECHO))
             stats = self.stats
             tracker = self.tracker
             expected_before = tracker.expected
@@ -816,12 +860,38 @@ class Connection:
     # Ack / NACK machinery
     # ------------------------------------------------------------------
 
-    def _process_ack_value(self, cum_ack: int) -> None:
+    def _sync_pacing(self) -> None:
+        """Retune the NIC token buckets to the controller's current rate.
+
+        The connection-level rate (cwnd/srtt with headroom) is split evenly
+        across the active rails; the NIC clamps each share at line rate.
+        """
+        rate = self.congestion.pacing_rate_bps()
+        if rate is None:
+            return
+        rails = self.striping.active_rails
+        per_rail = rate / len(rails) if rails else rate
+        burst = self.congestion.params.pacing_burst_frames * FULL_FRAME_WIRE_BYTES
+        for rail in rails:
+            self.nics[rail].set_pacing_rate(per_rail, burst)
+
+    def _process_ack_value(self, cum_ack: int, ece: bool = False) -> None:
         freed = self.window.on_ack(cum_ack)
+        if ece:
+            self.ecn_echoes_received += 1
         if self.monitor is not None:
             self.monitor.on_ack(self, cum_ack, freed)
         if not freed:
             return
+        cc = self._cc
+        if cc is not None:
+            # Karn's rule: an RTT sample only from a never-retransmitted
+            # frame (the newest of the freed batch).
+            rec = freed[-1]
+            rtt = None if rec.retransmits else self.sim.now - rec.last_sent_at
+            cc.on_ack(len(freed), ece, self.sim.now, rtt)
+            if self._pacing_on:
+                self._sync_pacing()
         self.retransmit_timer.on_progress()
         if self.window.inflight:
             self.retransmit_timer.arm()
@@ -850,6 +920,7 @@ class Connection:
         queued = set(self._retransmit_q)
         holdoff = self.params.retransmit.nack_holdoff_ns
         now = self.sim.now
+        enqueued = 0
         for seq in missing:
             rec = self.window.inflight.get(seq)
             if rec is None or seq in queued:
@@ -862,6 +933,13 @@ class Connection:
             rec.retransmits += 1
             self._retransmit_q.append(seq)
             self.stats.nack_retransmits += 1
+            enqueued += 1
+        if enqueued:
+            cc = self._cc
+            if cc is not None:
+                cc.on_loss(now)
+                if self._pacing_on:
+                    self._sync_pacing()
 
     def _send_explicit_ack(self) -> None:
         # Control frames ride a separate rotation: they must not charge the
@@ -870,11 +948,14 @@ class Connection:
         if rail is None:
             return  # rings full; the delayed-ack timer will try again
         cum = self.tracker.cum_ack
+        ece = self.ack_policy.echo_pending
         frame = make_ack_frame(
-            self.nics[rail].mac, self.peer_macs[rail], self.conn_id, cum
+            self.nics[rail].mac, self.peer_macs[rail], self.conn_id, cum, ece
         )
         self.nics[rail].transmit(frame)
         self.stats.explicit_acks_sent += 1
+        if ece:
+            self.ecn_echoes_sent += 1
         self.ack_policy.on_ack_emitted(cum, piggybacked=False)
         self._cancel_delayed_ack()
 
@@ -892,15 +973,20 @@ class Connection:
         rail = self.striping.control_rail()
         if rail is None:
             return
+        ece = self.ack_policy.echo_pending
         frame = make_nack_frame(
             self.nics[rail].mac,
             self.peer_macs[rail],
             self.conn_id,
             self.tracker.cum_ack,
             missing,
+            ece,
         )
         self.nics[rail].transmit(frame)
         self.stats.nacks_sent += 1
+        if ece:
+            self.ecn_echoes_sent += 1
+            self.ack_policy.note_echo_sent()
         for seq in missing:
             self._nacked_at[seq] = now
         expected = self.tracker.expected
@@ -961,6 +1047,11 @@ class Connection:
             rec.retransmits += 1
             self.stats.timeout_retransmits += 1
             self._retransmit_q.append(seq)
+            cc = self._cc
+            if cc is not None:
+                cc.on_timeout(self.sim.now)
+                if self._pacing_on:
+                    self._sync_pacing()
         self.sim.process(self._timer_pump())
         self.retransmit_timer.arm()
         if self.monitor is not None:

@@ -21,7 +21,7 @@ from __future__ import annotations
 import struct
 from typing import Optional, Sequence
 
-from ..ethernet import Frame, FrameType, MultiEdgeHeader
+from ..ethernet import ECN_ECHO, Frame, FrameType, MultiEdgeHeader
 
 __all__ = [
     "SCATTER_RECORD_HEADER",
@@ -141,11 +141,18 @@ def make_read_req_frame(
 
 
 def make_ack_frame(
-    src_mac: int, dst_mac: int, connection_id: int, ack: int
+    src_mac: int, dst_mac: int, connection_id: int, ack: int, ece: bool = False
 ) -> Frame:
-    """Explicit positive acknowledgement up to (not including) ``ack``."""
+    """Explicit positive acknowledgement up to (not including) ``ack``.
+
+    ``ece`` sets the ECN-echo bit: CE-marked frames arrived since the last
+    acknowledgement left this node.
+    """
     header = MultiEdgeHeader(
-        frame_type=FrameType.ACK, connection_id=connection_id, ack=ack
+        frame_type=FrameType.ACK,
+        flags=ECN_ECHO if ece else 0,
+        connection_id=connection_id,
+        ack=ack,
     )
     return Frame(src_mac=src_mac, dst_mac=dst_mac, header=header)
 
@@ -156,11 +163,13 @@ def make_nack_frame(
     connection_id: int,
     ack: int,
     missing: Sequence[int],
+    ece: bool = False,
 ) -> Frame:
     """Negative acknowledgement: cumulative ack plus missing sequences."""
     missing = list(missing)
     header = MultiEdgeHeader(
         frame_type=FrameType.NACK,
+        flags=ECN_ECHO if ece else 0,
         connection_id=connection_id,
         ack=ack,
         payload_length=len(missing) * NACK_ENTRY_BYTES,

@@ -51,6 +51,11 @@ class SendWindow:
             raise ValueError("window size must be >= 1")
         self.size = size
         self.next_seq = 0
+        # Congestion window (frames), set by a repro.congestion controller.
+        # None — the default, and the only value StaticWindow ever leaves
+        # here — means "no congestion limit": the arithmetic below reduces
+        # exactly to the fixed flow-control window.
+        self.cwnd: Optional[int] = None
         # seq -> InflightFrame; dict preserves insertion (= seq) order.
         self.inflight: dict[int, InflightFrame] = {}
 
@@ -59,13 +64,31 @@ class SendWindow:
         return len(self.inflight)
 
     @property
+    def limit(self) -> int:
+        """Effective send limit: min(flow window, congestion window)."""
+        cwnd = self.cwnd
+        if cwnd is None or cwnd >= self.size:
+            return self.size
+        return cwnd
+
+    @property
     def available(self) -> int:
         """How many new frames may enter the network right now."""
-        return self.size - len(self.inflight)
+        cwnd = self.cwnd
+        if cwnd is None:
+            return self.size - len(self.inflight)
+        limit = cwnd if cwnd < self.size else self.size
+        avail = limit - len(self.inflight)
+        # A controller may shrink cwnd below the in-flight count; the
+        # excess drains via acks rather than being clawed back.
+        return avail if avail > 0 else 0
 
     @property
     def can_send(self) -> bool:
-        return len(self.inflight) < self.size
+        cwnd = self.cwnd
+        if cwnd is None:
+            return len(self.inflight) < self.size
+        return len(self.inflight) < (cwnd if cwnd < self.size else self.size)
 
     def allocate_seq(self) -> int:
         """Claim the next sequence number (caller must then register)."""

@@ -1,6 +1,8 @@
 """Ethernet substrate: frames, links, NICs, and switches."""
 
 from .frame import (
+    ECN_CE,
+    ECN_ECHO,
     ETH_CRC_BYTES,
     ETH_HEADER_BYTES,
     ETH_IFG_BYTES,
@@ -27,6 +29,8 @@ __all__ = [
     "FrameType",
     "MultiEdgeHeader",
     "OpFlags",
+    "ECN_CE",
+    "ECN_ECHO",
     "max_payload_per_frame",
     "wire_time_ns",
     "Link",

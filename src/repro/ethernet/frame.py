@@ -31,6 +31,8 @@ __all__ = [
     "MULTIEDGE_HEADER_BYTES",
     "FrameType",
     "OpFlags",
+    "ECN_CE",
+    "ECN_ECHO",
     "MultiEdgeHeader",
     "Frame",
     "wire_time_ns",
@@ -75,6 +77,13 @@ class OpFlags(IntEnum):
     FENCE_BACKWARD = 1 << 1  # perform only after all previously issued ops
     FENCE_FORWARD = 1 << 2  # subsequent ops wait until this one is performed
     SCATTER = 1 << 3  # payload is a list of (address, length, data) records
+
+
+# ECN bits in the header flags byte (raw Ethernet has no IP ToS field, so
+# MultiEdge carries congestion signalling in its own header).  Bits 0-3
+# belong to OpFlags; ECN uses the top of the byte.
+ECN_CE = 1 << 6  # Congestion Experienced: set by a switch egress queue
+ECN_ECHO = 1 << 7  # receiver -> sender echo of CE on acknowledgements
 
 
 # MultiEdge protocol header, directly after the Ethernet header:

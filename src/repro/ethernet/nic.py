@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Callable, Deque, Optional
 
 from ..sim import RngRegistry, Simulator, Timer
-from .frame import Frame, wire_time_ns
+from .frame import ECN_CE, ETH_MTU, ETH_OVERHEAD_BYTES, Frame, wire_time_ns
 from .link import Link
 
 __all__ = ["NicParams", "Nic", "NicCounters"]
@@ -73,6 +73,8 @@ class NicCounters:
     rx_dropped_crc: int = 0
     irqs_raised: int = 0
     tx_irqs_raised: int = 0
+    # Nanoseconds frames spent waiting on the pacing token bucket.
+    pacing_stall_ns: int = 0
 
 
 class Nic:
@@ -115,6 +117,10 @@ class Nic:
         self.monitor = None
 
         self.interrupts_enabled = True
+        # Optional token-bucket pacer (repro.congestion.pacing.TokenBucket);
+        # None (the default) keeps the transmit path byte-identical to the
+        # unpaced NIC.  Installed via set_pacing_rate().
+        self.pacer = None
 
         self._tx_ring_used = 0
         self._line_free_at = 0
@@ -135,6 +141,28 @@ class Nic:
     def attach_link(self, link: Link) -> None:
         """Set the outgoing link (the incoming one calls :meth:`on_frame`)."""
         self.tx_link = link
+
+    def set_pacing_rate(
+        self, rate_bps: Optional[float], burst_bytes: Optional[int] = None
+    ) -> None:
+        """Install, retune, or remove (``rate_bps=None``) the TX pacer.
+
+        Rates above line rate are clamped: pacing spaces frames *below*
+        what serialisation would enforce anyway, never above it.
+        """
+        if rate_bps is None:
+            self.pacer = None
+            return
+        if rate_bps > self.params.speed_bps:
+            rate_bps = self.params.speed_bps
+        if burst_bytes is None:
+            burst_bytes = 8 * (ETH_MTU + ETH_OVERHEAD_BYTES)
+        if self.pacer is None:
+            from ..congestion.pacing import TokenBucket
+
+            self.pacer = TokenBucket(rate_bps, burst_bytes)
+        else:
+            self.pacer.set_rate(rate_bps, burst_bytes)
 
     # -- transmit path ---------------------------------------------------
 
@@ -157,8 +185,10 @@ class Nic:
         if self._tx_ring_used >= self.params.tx_ring_frames:
             return False
         # A (re)transmission is a fresh physical frame: any corruption that
-        # hit a previous copy on the wire does not persist.
+        # hit a previous copy on the wire does not persist, and neither does
+        # a CE mark a switch stamped on an earlier copy.
         frame.corrupted = False
+        frame.header.flags &= ~ECN_CE
         self._tx_ring_used += 1
         params = self.params
         ready_at = self.sim.now + params.dma_ns
@@ -172,8 +202,14 @@ class Nic:
                 self._jitter_buf = buf
                 self._jitter_bound = jitter
             ready_at += buf.pop()
-        begin = max(ready_at, self._line_free_at)
         wb = frame.wire_bytes
+        pacer = self.pacer
+        if pacer is not None:
+            depart = pacer.reserve(wb, ready_at)
+            if depart > ready_at:
+                self.counters.pacing_stall_ns += depart - ready_at
+                ready_at = depart
+        begin = max(ready_at, self._line_free_at)
         tx_time = self._wt_cache.get(wb)
         if tx_time is None:
             tx_time = wire_time_ns(wb, params.speed_bps)

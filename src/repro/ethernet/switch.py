@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Deque, Optional
 
 from ..sim import Simulator
-from .frame import Frame, wire_time_ns
+from .frame import ECN_CE, Frame, wire_time_ns
 from .link import Link
 
 __all__ = ["SwitchParams", "Switch", "SwitchPort"]
@@ -43,18 +43,27 @@ class SwitchParams:
     frames themselves).  The edge protocol then never sees congestion
     drops; the cost is unbounded fabric buffering and head-of-line
     queueing, which the statistics expose.
+
+    ``ecn_threshold_frames`` enables ECN: when an output queue already
+    holds at least this many frames, newly enqueued frames are marked
+    Congestion Experienced (the DCTCP-style single-threshold marking,
+    applied at enqueue).  ``None`` disables marking entirely — the
+    default, and byte-identical to the pre-ECN fabric.
     """
 
     ports: int = 24
     forwarding_latency_ns: int = 1_000
     output_queue_frames: int = 128
     lossless: bool = False
+    ecn_threshold_frames: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.ports < 2:
             raise ValueError("a switch needs at least 2 ports")
         if self.output_queue_frames < 1:
             raise ValueError("output_queue_frames must be >= 1")
+        if self.ecn_threshold_frames is not None and self.ecn_threshold_frames < 1:
+            raise ValueError("ecn_threshold_frames must be >= 1 (or None)")
 
 
 class SwitchPort:
@@ -76,6 +85,7 @@ class SwitchPort:
         self.paused_frames = 0
         self.peak_queue_depth = 0
         self.tx_frames = 0
+        self.ce_marked = 0
 
     def attach_link(self, link: Link, speed_bps: float) -> None:
         self.tx_link = link
@@ -109,10 +119,25 @@ class SwitchPort:
 
     # -- egress ----------------------------------------------------------
 
+    def _mark_ce(self, frame: Frame) -> None:
+        frame.header.flags |= ECN_CE
+        self.ce_marked += 1
+        self.switch.ce_marked_total += 1
+
     def enqueue(self, frame: Frame) -> bool:
-        if len(self._queue) >= self.switch.params.output_queue_frames:
-            if self.switch.params.lossless:
+        params = self.switch.params
+        ecn = params.ecn_threshold_frames
+        # Instantaneous-threshold CE marking at enqueue (DCTCP-style);
+        # only admitted frames carry a mark — drops leave none.
+        mark = (
+            ecn is not None
+            and len(self._queue) + len(self._paused) >= ecn
+        )
+        if len(self._queue) >= params.output_queue_frames:
+            if params.lossless:
                 # Core-assisted flow control: hold instead of dropping.
+                if mark:
+                    self._mark_ce(frame)
                 self._paused.append(frame)
                 self.paused_frames += 1
                 self._note_depth()
@@ -120,6 +145,8 @@ class SwitchPort:
             self.dropped_queue_full += 1
             self.switch.dropped_total += 1
             return False
+        if mark:
+            self._mark_ce(frame)
         self._queue.append(frame)
         self._note_depth()
         if not self._tx_running:
@@ -179,6 +206,7 @@ class Switch:
         self.forwarded = 0
         self.flooded = 0
         self.dropped_total = 0
+        self.ce_marked_total = 0
 
     def port(self, index: int) -> SwitchPort:
         return self.ports[index]

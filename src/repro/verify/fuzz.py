@@ -37,6 +37,7 @@ from ..control import (
     PermanentFailure,
     Repair,
 )
+from ..congestion import CongestionParams
 from ..core import ProtocolParams
 from ..ethernet import OpFlags
 from ..host import myri10g_params, tigon3_params
@@ -93,6 +94,12 @@ class Scenario:
     ops: tuple[OpSpec, ...]
     faults: tuple[object, ...]
     limit_ns: int = 2_000_000_000
+    # Congestion knobs (repro.congestion).  ECN marking is exercised even
+    # with the static policy: receivers still echo, senders still count,
+    # and the conservation invariants still apply.
+    congestion: str = "static"
+    ecn_threshold: Optional[int] = None
+    pacing: bool = False
 
     @property
     def rails(self) -> int:
@@ -285,6 +292,14 @@ def scenario_from_seed(
         striping = rng.choice(
             (None, "round_robin", "shortest_queue", "single_rail", "adaptive")
         )
+    # Congestion knobs come from their own stream so every draw above is
+    # byte-for-byte identical to what the pre-congestion fuzzer produced.
+    crng = random.Random(
+        f"multiedge-fuzz-congestion:{seed}:{workload}:{fault_profile}"
+    )
+    congestion = crng.choice(("static", "static", "aimd", "dctcp"))
+    ecn_threshold = crng.choice((None, 8, 16, 32))
+    pacing = congestion != "static" and crng.random() < 0.25
     return Scenario(
         seed=seed,
         config=config,
@@ -298,6 +313,9 @@ def scenario_from_seed(
         control_plane=rails > 1 and rng.random() < 0.5,
         ops=_gen_ops(rng, workload, pairs),
         faults=_gen_faults(rng, fault_profile, nodes, rails),
+        congestion=congestion,
+        ecn_threshold=ecn_threshold,
+        pacing=pacing,
     )
 
 
@@ -307,11 +325,16 @@ def scenario_from_seed(
 
 
 def _build_cluster(sc: Scenario, trace: bool) -> Cluster:
+    congestion_params = None
+    if sc.pacing:
+        congestion_params = CongestionParams(pacing=True)
     protocol = ProtocolParams(
         window_frames=sc.window_frames,
         pump_batch=sc.pump_batch,
         in_order_delivery=(sc.config == "2L-1G"),
         striping=sc.striping or "round_robin",
+        congestion=sc.congestion,
+        congestion_params=congestion_params,
     )
     overrides: dict = {"protocol": protocol}
     if sc.tx_ring_frames is not None:
@@ -319,6 +342,8 @@ def _build_cluster(sc: Scenario, trace: bool) -> Cluster:
         ring = sc.tx_ring_frames
         overrides["nic_factory"] = lambda: base(tx_ring_frames=ring)
     cluster = make_cluster(sc.config, nodes=sc.nodes, seed=sc.seed, **overrides)
+    if sc.ecn_threshold is not None:
+        cluster.set_ecn_threshold(sc.ecn_threshold)
     if trace:
         cluster.enable_frame_tracing()
     return cluster
@@ -533,6 +558,8 @@ def shrink_scenario(
             replace(sc, control_plane=False),
             replace(sc, striping=None),
             replace(sc, tx_ring_frames=None),
+            replace(sc, congestion="static", pacing=False),
+            replace(sc, ecn_threshold=None),
             replace(sc, nodes=2) if sc.nodes > 2 and all(
                 op.src < 2 and op.dst < 2 for op in sc.ops
             ) else sc,

@@ -40,6 +40,14 @@ Checked invariants (see docs/PROTOCOL.md "Protocol invariants"):
   * byte-deficit counters are non-negative and renormalised (bounded),
   * masked rails are in range.
 
+**Congestion (repro.congestion)**
+  * when a controller grants a cwnd, it stays within
+    ``[min_cwnd_frames, window.size]``; the static policy leaves
+    ``window.cwnd`` as ``None``,
+  * ECN conservation (final): a sender never receives more echoes than
+    its peer sent, and the cluster never receives more CE-marked frames
+    than its switches marked.
+
 **Wire (NIC tap)**
   * sequenced frames transmitted equals ``data_frames_sent +
     retransmitted_frames``; explicit ACK/NACK counts match stats; no
@@ -358,6 +366,28 @@ class ConnectionMonitor:
                 f"{s.data_bytes_received}",
             )
 
+        # -- congestion window bounds --
+        cc = conn.congestion
+        if cc.active:
+            lo = cc.params.min_cwnd_frames
+            cwnd = window.cwnd
+            if cwnd is None:
+                fail(
+                    "cwnd-unset",
+                    f"{cc.name} controller active but window.cwnd is None",
+                )
+            elif not lo <= cwnd <= window.size:
+                fail(
+                    "cwnd-out-of-bounds",
+                    f"cwnd {cwnd} outside [{lo}, {window.size}] "
+                    f"({cc.name})",
+                )
+        elif window.cwnd is not None:
+            fail(
+                "cwnd-static-clamped",
+                f"static policy but window.cwnd is {window.cwnd}",
+            )
+
         # -- striping --
         striping = conn.striping
         n = len(striping.nics)
@@ -522,6 +552,29 @@ class InvariantMonitor:
                     f"receiver expected {cm.conn.tracker.expected} > peer "
                     f"next_seq {peer.conn.window.next_seq}",
                     cm.where,
+                )
+            # ECN echoes are only ever reflections of marks the peer saw.
+            if cm.conn.ecn_echoes_received > peer.conn.ecn_echoes_sent:
+                self._violation(
+                    "ecn-echo-conservation",
+                    f"echoes received {cm.conn.ecn_echoes_received} > peer "
+                    f"echoes sent {peer.conn.ecn_echoes_sent}",
+                    cm.where,
+                )
+        if self.cluster is not None:
+            ce_marked = sum(
+                sw.ce_marked_total for sw in self.cluster.all_switches
+            )
+            ce_received = sum(
+                s.protocol.connections[c].ce_frames_received
+                for s in self.cluster.stacks
+                for c in s.protocol.connections
+            )
+            if ce_received > ce_marked:
+                self._violation(
+                    "ecn-mark-conservation",
+                    f"CE frames received {ce_received} > CE marks applied "
+                    f"by switches {ce_marked}",
                 )
         if self.cluster is not None:
             for node in self.cluster.nodes:

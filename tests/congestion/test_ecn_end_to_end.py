@@ -1,0 +1,149 @@
+"""End-to-end ECN: fabric marks, receiver echoes, sender reacts.
+
+Runs real incast traffic through a marking switch with the
+:class:`~repro.verify.InvariantMonitor` attached (including the new
+cwnd-bounds and ECN-conservation invariants) and checks the whole signal
+path: CE marks at the switch, echo bits on acks, echo counts at the
+sender, congestion-window reduction, and the analysis-layer roll-ups.
+"""
+
+import dataclasses
+
+from repro.analysis import CwndProbe, MarkedFractionProbe, summarize_cluster
+from repro.bench import make_cluster, run_incast
+from repro.congestion import CongestionParams
+from repro.core import ProtocolParams
+from repro.verify import InvariantMonitor
+
+SENDERS = 4
+SIZE = 120_000
+ECN_THRESHOLD = 16
+
+
+def run_marked_incast(congestion: str, params: CongestionParams = None):
+    """4-to-1 incast on a small marking queue; returns (cluster, monitor)."""
+    cluster = make_cluster(
+        "1L-1G",
+        nodes=SENDERS + 1,
+        protocol=ProtocolParams(
+            in_order_delivery=False,
+            congestion=congestion,
+            congestion_params=params,
+        ),
+    )
+    cluster.set_ecn_threshold(ECN_THRESHOLD)
+    receiver = SENDERS
+    payload = bytes(i % 241 for i in range(SIZE))
+    targets = []
+    procs = []
+    probes = []
+    for i in range(SENDERS):
+        a, b = cluster.connect(i, receiver)
+        src = a.node.memory.alloc(SIZE)
+        dst = b.node.memory.alloc(SIZE)
+        a.node.memory.write(src, payload)
+        targets.append((b, dst))
+
+        def app(a=a, src=src, dst=dst):
+            h = yield from a.rdma_write(src, dst, SIZE)
+            yield from h.wait()
+
+        procs.append(cluster.sim.process(app()))
+    monitor = InvariantMonitor.attach(cluster)
+    sender_conns = [
+        conn
+        for stack in cluster.stacks[:SENDERS]
+        for conn in stack.protocol.connections.values()
+    ]
+    probes.append(CwndProbe(cluster.sim, sender_conns[0]))
+    probes.append(MarkedFractionProbe(cluster.sim, targets[0][0].conn))
+    for p in procs:
+        cluster.sim.run_until_done(p, limit=60_000_000_000)
+    for probe in probes:
+        probe.stop()  # before run(): a live probe ticks forever
+    cluster.sim.run()
+    monitor.final_check()
+    intact = all(
+        b.node.memory.read(dst, SIZE) == payload for b, dst in targets
+    )
+    assert intact, "incast corrupted receiver memory"
+    return cluster, monitor, sender_conns, probes
+
+
+def test_dctcp_reacts_to_marks_under_monitor():
+    cluster, monitor, senders, (cwnd_probe, mark_probe) = run_marked_incast(
+        "dctcp"
+    )
+    assert monitor.ok and monitor.checks_run > 0
+
+    marked = sum(sw.ce_marked_total for sw in cluster.all_switches)
+    assert marked > 0, "queue never crossed the ECN threshold"
+
+    # Signal path: marks -> receiver CE counts -> echoes -> sender.
+    all_conns = [
+        c for s in cluster.stacks for c in s.protocol.connections.values()
+    ]
+    ce_received = sum(c.ce_frames_received for c in all_conns)
+    echoes_sent = sum(c.ecn_echoes_sent for c in all_conns)
+    echoes_received = sum(c.ecn_echoes_received for c in all_conns)
+    assert 0 < ce_received <= marked
+    assert 0 < echoes_received <= echoes_sent
+
+    # The controller actually closed the window below its starting point.
+    for conn in senders:
+        assert conn.congestion.name == "dctcp"
+        assert conn.window.cwnd is not None
+        assert conn.window.cwnd < conn.window.size
+        assert conn.congestion.marked_fraction > 0.0
+
+    # Probes saw the window move and marks arrive.
+    assert min(cwnd_probe.values) < max(cwnd_probe.values)
+    assert max(mark_probe.values) > 0.0
+
+    # Analysis roll-up exposes the same counters.
+    summary = summarize_cluster(cluster)
+    assert summary.ce_marked == marked
+    assert summary.ce_received == ce_received
+    assert summary.ecn_echoes_sent == echoes_sent
+    assert summary.ecn_echoes_received == echoes_received
+    assert summary.congestion_controllers == ["dctcp"]
+    assert 0 < summary.cwnd_final_mean < senders[0].window.size
+
+
+def test_static_controller_echoes_but_never_reacts():
+    """ECN marking with the static policy: the echo plumbing still works,
+    the window never moves, and every invariant still holds."""
+    cluster, monitor, senders, _probes = run_marked_incast("static")
+    assert monitor.ok
+    marked = sum(sw.ce_marked_total for sw in cluster.all_switches)
+    all_conns = [
+        c for s in cluster.stacks for c in s.protocol.connections.values()
+    ]
+    assert marked > 0
+    assert sum(c.ecn_echoes_sent for c in all_conns) > 0
+    for conn in senders:
+        assert conn.window.cwnd is None  # never clamped
+        assert conn.congestion.cwnd_frames == conn.window.size
+
+
+def test_pacing_delays_departures_end_to_end():
+    r = run_incast(
+        senders=8,
+        congestion="dctcp",
+        ecn_threshold_frames=32,
+        congestion_params=CongestionParams(pacing=True),
+    )
+    assert r.pacing_stall_ns > 0, "token bucket never delayed a frame"
+    assert r.data_intact
+
+
+def test_inactive_congestion_params_change_nothing():
+    """Passing an explicit params object with the static controller is
+    byte-identical to the all-defaults path."""
+    base = run_incast(senders=4, congestion="static")
+    explicit = run_incast(
+        senders=4,
+        congestion="static",
+        congestion_params=CongestionParams(min_cwnd_frames=4, pacing=False),
+    )
+    assert dataclasses.asdict(base) == dataclasses.asdict(explicit)

@@ -1,0 +1,87 @@
+"""Token-bucket arithmetic: exact integer-nanosecond departure times."""
+
+import pytest
+
+from repro.congestion import TokenBucket
+
+GBPS = 1e9
+FRAME = 1250  # bytes; 10 us on the wire at 1 Gb/s
+
+
+def test_cost_arithmetic():
+    tb = TokenBucket(rate_bps=GBPS, burst_bytes=10 * FRAME)
+    assert tb._cost_ns(FRAME) == 10_000
+    assert tb._cost_ns(0) == 0
+
+
+def test_burst_passes_then_paces():
+    tb = TokenBucket(rate_bps=GBPS, burst_bytes=10 * FRAME)
+    departs = [tb.reserve(FRAME, now=0) for _ in range(13)]
+    # The first 10 frames ride the initial burst credit unpaced.
+    assert departs[:10] == [0] * 10
+    # From then on departures space out at exactly one frame time.
+    assert departs[10:] == [10_000, 20_000, 30_000]
+
+
+def test_sustained_rate_is_exact():
+    tb = TokenBucket(rate_bps=GBPS, burst_bytes=2 * FRAME)
+    last = 0
+    for _ in range(100):
+        last = tb.reserve(FRAME, now=0)
+    # 100 frames, 2 free from the burst: 98 frame times of spacing.
+    assert last == 98 * 10_000
+
+
+def test_idle_refill_restores_burst_but_never_exceeds_it():
+    tb = TokenBucket(rate_bps=GBPS, burst_bytes=2 * FRAME)
+    for _ in range(10):
+        tb.reserve(FRAME, now=0)
+    # After a long idle gap the bucket is full again — but only to
+    # burst_bytes, so the 3rd frame of the new burst is paced.
+    t = 1_000_000
+    assert tb.reserve(FRAME, now=t) == t
+    assert tb.reserve(FRAME, now=t) == t
+    assert tb.reserve(FRAME, now=t) == t + 10_000
+
+
+def test_oversize_frame_widens_burst_instead_of_blocking():
+    tb = TokenBucket(rate_bps=GBPS, burst_bytes=FRAME)
+    big = 5 * FRAME  # could never fit the configured burst
+    assert tb.reserve(big, now=0) == 0  # full bucket: departs at once
+    # The debt is still charged at the frame's true cost: the bucket is
+    # empty until t=50000 and the next frame waits for its own refill.
+    assert tb.reserve(FRAME, now=0) == 5 * 10_000
+
+
+def test_set_rate_rescales_future_costs():
+    tb = TokenBucket(rate_bps=GBPS, burst_bytes=FRAME)
+    tb.reserve(FRAME, now=0)
+    tb.set_rate(GBPS / 2)
+    assert tb._cost_ns(FRAME) == 20_000
+    tb.set_rate(GBPS, burst_bytes=3 * FRAME)
+    assert tb.burst_bytes == 3 * FRAME
+
+
+def test_departures_are_monotone_integers():
+    tb = TokenBucket(rate_bps=123_456_789, burst_bytes=4 * FRAME)
+    prev = 0
+    now = 0
+    for k in range(50):
+        now += 1_000 * (k % 7)
+        t = tb.reserve(FRAME, now=now)
+        assert isinstance(t, int)
+        assert t >= now
+        assert t >= prev
+        prev = t
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TokenBucket(rate_bps=0, burst_bytes=1)
+    with pytest.raises(ValueError):
+        TokenBucket(rate_bps=1e9, burst_bytes=0)
+    tb = TokenBucket(rate_bps=1e9, burst_bytes=1)
+    with pytest.raises(ValueError):
+        tb.set_rate(-1)
+    with pytest.raises(ValueError):
+        tb.set_rate(1e9, burst_bytes=-5)

@@ -83,6 +83,17 @@ def test_microbench_suite():
     assert "throughput" in out
 
 
+def test_incast():
+    mod = load_example("incast")
+    mod.SENDERS = 8  # shrink the fan-in: same code paths, less wall time
+    mod.CHUNKS = 4
+    out = run_main(mod)
+    # All three policies must deliver every byte intact.
+    assert out.count("data intact=True") == 3
+    for policy in ("static", "aimd", "dctcp"):
+        assert policy in out
+
+
 def test_dsm_matrix():
     mod = load_example("dsm_matrix")
     mod.N = 32  # shrink the matrix: same code paths, fraction of the wall time

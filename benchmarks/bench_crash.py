@@ -1,0 +1,165 @@
+"""Crash benchmarks: whole-node failure, reconnect latency, exactly-once.
+
+Measures what the crash recovery subsystem (``repro.recovery``) delivers
+when the receiver of an exactly-once message stream dies mid-run and
+reboots, recorded to ``BENCH_crash.json`` at the repo root:
+
+* **recovery timeline** — crash, restart, sender-side PEER_DOWN
+  detection, and reconnect-established times for one run;
+* **reconnect latency** — detection to re-established connection, vs the
+  parameter-derived bound
+  (:meth:`~repro.recovery.RecoveryParams.reconnect_bound_ns`);
+* **recovered goodput** — post-reconnect delivery goodput as a fraction
+  of the pre-crash baseline (floor: 95%);
+* **exactly-once accounting** — journal redeliveries, receiver-side
+  duplicate suppression, and a receiver log holding each message exactly
+  once.
+
+Invocations:
+
+* smoke —
+  ``PYTHONPATH=src python -m pytest benchmarks/bench_crash.py -k smoke``
+  (seconds; asserts the acceptance floors on 2Lu-1G);
+* full —
+  ``PYTHONPATH=src python -m pytest benchmarks/bench_crash.py -m slow``
+  (adds 2L-1G in-order, a long boot delay, and a double-crash run).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.crash import run_crash
+from repro.verify.fuzz import run_crash_scenario, run_incarnation_scenario
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_crash.json"
+
+MS = 1_000_000
+
+# Acceptance floors (ISSUE acceptance criteria).
+MIN_RECOVERED_FRACTION = 0.95
+
+
+def _merge_bench_json(update: dict) -> dict:
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data.update(update)
+    BENCH_JSON.write_text(json.dumps(data, indent=2) + "\n")
+    return data
+
+
+def _point(config: str, restart_delay_ns: int = 5 * MS, **kw) -> dict:
+    result = run_crash(
+        config=config, restart_delay_ns=restart_delay_ns, **kw
+    )
+    assert result.violations == (), f"{config}: {result.violations}"
+    assert result.exactly_once, (
+        f"{config}: {result.messages_sent} sent, "
+        f"{result.messages_delivered} delivered"
+    )
+    assert result.reconnected_ns is not None, f"{config}: never reconnected"
+    return {
+        "config": config,
+        "messages_sent": result.messages_sent,
+        "redeliveries": result.redeliveries,
+        "duplicates_suppressed": result.duplicates_suppressed,
+        "stale_frames_rejected": result.stale_frames_rejected,
+        "timeline_ns": dict(result.timeline),
+        "reconnect_latency_ns": result.reconnect_latency_ns,
+        "reconnect_bound_ns": result.reconnect_bound_ns,
+        "pre_crash_goodput_mbps": round(result.pre_crash_goodput_bps / 1e6, 1),
+        "recovered_goodput_mbps": round(
+            result.recovered_goodput_bps / 1e6, 1
+        ),
+        "recovered_fraction": round(result.recovered_fraction, 3),
+    }
+
+
+def test_crash_smoke():
+    """Acceptance floors on the out-of-order two-rail configuration."""
+    point = _point("2Lu-1G")
+    report = {"crash_2Lu_1G": point}
+    _merge_bench_json(report)
+    print(json.dumps(report, indent=2))
+    assert point["reconnect_latency_ns"] <= point["reconnect_bound_ns"], (
+        f"reconnect took {point['reconnect_latency_ns']} ns, "
+        f"over the {point['reconnect_bound_ns']} ns bound"
+    )
+    assert point["recovered_fraction"] >= MIN_RECOVERED_FRACTION, (
+        f"recovered goodput {point['recovered_fraction']:.1%} of baseline, "
+        f"below the {MIN_RECOVERED_FRACTION:.0%} floor"
+    )
+
+
+def test_crash_fuzz():
+    """200 randomized crash scenarios: exactly-once, zero stale accepted.
+
+    150 whole-node crash/reboot runs (journal redelivery + dedup) plus 50
+    incarnation-collision runs (same connection id re-dialed by a fresh
+    incarnation while dead-incarnation frames are still in the fabric).
+    Every run carries the invariant monitor, whose stale-frame-accepted
+    and journal-conservation checks must stay silent.
+    """
+    failures = []
+    redeliveries = dups = stale = 0
+    for seed in range(150):
+        r = run_crash_scenario(seed)
+        redeliveries += r.redeliveries
+        dups += r.duplicates_suppressed
+        stale += r.stale_frames_rejected
+        if not r.ok:
+            failures.append(
+                f"crash seed={seed}: exactly_once={r.exactly_once} "
+                f"reconnected={r.reconnected_ns} violations={r.violations}"
+            )
+    incarnation_stale = 0
+    for seed in range(50):
+        r = run_incarnation_scenario(seed)
+        incarnation_stale += r.stale_frames_rejected
+        dups += r.duplicates_suppressed
+        if not r.ok:
+            failures.append(f"incarnation seed={seed}: {r.violations}")
+    assert not failures, "\n".join(failures)
+    # The suppression paths must actually be exercised, not just silent.
+    assert redeliveries > 0, "no crash scenario redelivered anything"
+    assert dups > 0, "duplicate suppression never triggered"
+    assert incarnation_stale > 0, "stale-incarnation rejection never triggered"
+    _merge_bench_json(
+        {
+            "crash_fuzz": {
+                "crash_scenarios": 150,
+                "incarnation_scenarios": 50,
+                "redeliveries": redeliveries,
+                "duplicates_suppressed": dups,
+                "stale_frames_rejected": stale + incarnation_stale,
+                "failures": 0,
+            }
+        }
+    )
+
+
+@pytest.mark.slow
+def test_crash_full():
+    """All two-rail variants plus a slow-boot run."""
+    report = {}
+    for config in ("2Lu-1G", "2L-1G"):
+        point = _point(config)
+        report[f"crash_{config.replace('-', '_')}"] = point
+        assert point["reconnect_latency_ns"] <= point["reconnect_bound_ns"]
+        assert point["recovered_fraction"] >= MIN_RECOVERED_FRACTION, config
+
+    # Long boot: the reconnect dial must ride its backoff until the peer
+    # is actually listening again.
+    slow_boot = _point("2Lu-1G", restart_delay_ns=20 * MS, run_ns=80 * MS)
+    report["crash_slow_boot"] = slow_boot
+    assert slow_boot["reconnect_latency_ns"] <= slow_boot["reconnect_bound_ns"]
+    assert slow_boot["recovered_fraction"] >= MIN_RECOVERED_FRACTION
+
+    _merge_bench_json(report)
+    print(json.dumps(report, indent=2))

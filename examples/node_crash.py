@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Whole-node crash and recovery under an exactly-once message stream.
+
+A sender on node 0 streams journaled messages to node 1 over a two-rail
+cluster.  At 10 ms node 1 *dies* — connections, journals, and NIC rings
+evaporate — and reboots 5 ms later under a new incarnation number.  The
+sender's edge lifecycle control plane escalates to PEER_DOWN, the
+recovery layer re-dials with backoff, and the message journal replays
+every unacked message; the receiver's dedup log suppresses the ones that
+had already landed.  The printed timeline shows detect -> reconnect ->
+replay, and the accounting shows each message delivered exactly once.
+
+Run:  python examples/node_crash.py
+"""
+
+from repro.bench.crash import run_crash
+
+MS = 1_000_000
+
+# Shrunk by the smoke test; the defaults here match the benchmark.
+CRASH_NS = 10 * MS
+RESTART_DELAY_NS = 5 * MS
+RUN_NS = 60 * MS
+
+
+def main() -> None:
+    result = run_crash(
+        config="2Lu-1G",
+        crash_ns=CRASH_NS,
+        restart_delay_ns=RESTART_DELAY_NS,
+        run_ns=RUN_NS,
+    )
+
+    print("recovery timeline:")
+    for label, at_ns in result.timeline:
+        print(f"    {at_ns / MS:7.3f}ms  {label}")
+    latency = result.reconnect_latency_ns or 0
+    print(
+        f"reconnect    : {latency / MS:.3f}ms after detection "
+        f"(bound {result.reconnect_bound_ns / MS:.0f}ms)"
+    )
+    print(
+        f"goodput      : {result.pre_crash_goodput_bps / 1e6:.0f}Mb/s before "
+        f"the crash, {result.recovered_goodput_bps / 1e6:.0f}Mb/s recovered "
+        f"({result.recovered_fraction:.0%})"
+    )
+    print(
+        f"exactly-once : delivered exactly once={result.exactly_once}  "
+        f"sent={result.messages_sent}  redelivered={result.redeliveries}  "
+        f"duplicates suppressed={result.duplicates_suppressed}"
+    )
+    print(
+        f"incarnations : stale frames rejected={result.stale_frames_rejected}  "
+        f"invariant violations={len(result.violations)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

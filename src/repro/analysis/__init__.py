@@ -7,6 +7,7 @@ from .probes import (
     MarkedFractionProbe,
     PacingStallProbe,
     QueueProbe,
+    ReconnectLatencyProbe,
     Sample,
     ThroughputProbe,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "CwndProbe",
     "MarkedFractionProbe",
     "PacingStallProbe",
+    "ReconnectLatencyProbe",
     "Sample",
     "ClusterSummary",
     "RailCounters",

@@ -15,10 +15,12 @@ kind of analysis:
 * :class:`MarkedFractionProbe` — per-interval fraction of received data
   frames that arrived CE-marked (receiver-side ECN visibility),
 * :class:`PacingStallProbe` — per-interval nanoseconds a NIC's frames
-  spent waiting on the pacing token bucket.
+  spent waiting on the pacing token bucket,
+* :class:`ReconnectLatencyProbe` — detection-to-reconnect latency of each
+  crash-recovery reconnect (event-driven, not periodic).
 
-Each probe runs as a simulation process; call :meth:`stop` (or let the
-simulation end) and read ``samples``.
+Each periodic probe runs as a simulation process; call :meth:`stop` (or
+let the simulation end) and read ``samples``.
 """
 
 from __future__ import annotations
@@ -38,6 +40,7 @@ __all__ = [
     "CwndProbe",
     "MarkedFractionProbe",
     "PacingStallProbe",
+    "ReconnectLatencyProbe",
     "Sample",
 ]
 
@@ -187,6 +190,44 @@ class PacingStallProbe(_Probe):
         delta = stall - self._last_stall
         self._last_stall = stall
         return float(delta)
+
+
+class ReconnectLatencyProbe:
+    """Detection-to-reconnect latency of each crash-recovery reconnect.
+
+    Unlike the periodic probes, this one is event-driven: it registers a
+    watcher on a :class:`~repro.recovery.ClusterRecovery` and records one
+    sample per successful reconnect, stamped with the reconnect completion
+    time and valued at the detection-to-established latency in
+    nanoseconds.  It exposes the same ``samples``/``values``/``mean``/
+    ``peak`` surface as the periodic probes so plotting code is shared.
+    """
+
+    def __init__(self, recovery) -> None:
+        self.samples: list[Sample] = []
+        self._running = True
+        recovery.add_reconnect_watcher(self._on_reconnect)
+
+    def _on_reconnect(self, time_ns: int, latency_ns: int) -> None:
+        if self._running:
+            self.samples.append(Sample(time_ns, float(latency_ns)))
+
+    def stop(self) -> None:
+        self._running = False
+
+    @property
+    def values(self) -> list[float]:
+        return [s.value for s in self.samples]
+
+    @property
+    def times_us(self) -> list[float]:
+        return [s.time_ns / 1000.0 for s in self.samples]
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.samples) if self.samples else 0.0
+
+    def peak(self) -> float:
+        return max(self.values) if self.samples else 0.0
 
 
 class EdgeScoreProbe(_Probe):

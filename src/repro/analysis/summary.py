@@ -81,6 +81,18 @@ class ClusterSummary:
     edges_failed: int = 0  # transitions into DOWN
     edges_recovered: int = 0  # DOWN/RECOVERING -> UP transitions
     frames_migrated: int = 0  # in-flight frames re-striped off dead rails
+    # Crash recovery (repro.recovery; all zero without crash faults).
+    node_crashes: int = 0
+    node_restarts: int = 0
+    peer_down_events: int = 0  # all-edges-DOWN escalations
+    reconnects: int = 0
+    reconnects_failed: int = 0
+    reconnect_latency_mean_ns: float = 0.0
+    reconnect_latency_max_ns: int = 0
+    stale_frames_rejected: int = 0  # dead-incarnation frames dropped
+    duplicate_msgs_suppressed: int = 0  # journal redeliveries deduped
+    messages_journaled: int = 0
+    messages_redelivered: int = 0
 
     @property
     def fastlane_fraction(self) -> float:
@@ -153,6 +165,30 @@ def summarize_cluster(
                 ring_drops=ring_d, crc_drops=crc_d, irqs=rail_irqs,
             )
         )
+    stale_rejected = dup_suppressed = 0
+    for stack in cluster.stacks:
+        for conn in stack.protocol.connections.values():
+            stale_rejected += conn.stale_frames_rejected
+            dup_suppressed += conn.duplicate_msgs_suppressed
+    recovery = getattr(cluster, "recovery", None)
+    crashes = restarts = peer_down = reconnects = reconnects_failed = 0
+    rc_mean = 0.0
+    rc_max = 0
+    journaled = redelivered = 0
+    if recovery is not None:
+        crashes = recovery.crashes
+        restarts = recovery.restarts
+        peer_down = recovery.peer_down_events
+        reconnects = recovery.reconnects
+        reconnects_failed = recovery.reconnects_failed
+        stale_rejected += recovery.stale_frames_rejected_destroyed
+        dup_suppressed += recovery.duplicate_msgs_suppressed_destroyed
+        latencies = [ns for _, ns in recovery.reconnect_latencies]
+        if latencies:
+            rc_mean = sum(latencies) / len(latencies)
+            rc_max = max(latencies)
+        journaled = sum(ch.messages_sent for ch in recovery.channels)
+        redelivered = sum(ch.redeliveries for ch in recovery.channels)
     edge_history = sorted(
         (t for mgr in cluster.control_planes.values() for t in mgr.history),
         key=lambda t: (t.time_ns, t.rail),
@@ -205,6 +241,17 @@ def summarize_cluster(
         edges_failed=edges_failed,
         edges_recovered=edges_recovered,
         frames_migrated=stats.migrated_frames,
+        node_crashes=crashes,
+        node_restarts=restarts,
+        peer_down_events=peer_down,
+        reconnects=reconnects,
+        reconnects_failed=reconnects_failed,
+        reconnect_latency_mean_ns=rc_mean,
+        reconnect_latency_max_ns=rc_max,
+        stale_frames_rejected=stale_rejected,
+        duplicate_msgs_suppressed=dup_suppressed,
+        messages_journaled=journaled,
+        messages_redelivered=redelivered,
     )
 
 

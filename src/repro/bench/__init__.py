@@ -1,6 +1,7 @@
 """Benchmark harness: cluster builders, micro-benchmarks, runners, reports."""
 
 from .cluster import CONFIG_NAMES, Cluster, ClusterConfig, make_cluster
+from .crash import CrashResult, run_crash
 from .failover import FailoverResult, run_failover
 from .incast import IncastResult, run_incast
 from .micro import MicroResult, run_micro, run_one_way, run_ping_pong, run_two_way
@@ -20,6 +21,8 @@ __all__ = [
     "ClusterConfig",
     "make_cluster",
     "CONFIG_NAMES",
+    "CrashResult",
+    "run_crash",
     "FailoverResult",
     "run_failover",
     "IncastResult",

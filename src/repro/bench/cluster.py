@@ -192,6 +192,10 @@ class Cluster:
         self._connections: dict[tuple[int, int], tuple[ConnectionHandle, ConnectionHandle]] = {}
         # (node_id, peer_node_id) -> that endpoint's lifecycle manager.
         self.control_planes: dict[tuple[int, int], EdgeLifecycleManager] = {}
+        # Crash/restart coordinator (repro.recovery); None until a crash
+        # fault or an explicit enable_crash_recovery() asks for it, so the
+        # default path carries zero recovery state.
+        self.recovery = None
 
     def _wire_flat(self, nodes) -> None:
         config = self.config
@@ -348,8 +352,24 @@ class Cluster:
                     tracer=self.tracer,
                 )
                 self.control_planes[key] = mgr
+                if self.recovery is not None:
+                    self.recovery.watch_manager(mgr)
             managers.append(mgr)
         return managers[0], managers[1]
+
+    def enable_crash_recovery(self, params=None):
+        """Attach the whole-node crash/recovery coordinator (idempotent).
+
+        Returns the cluster's :class:`~repro.recovery.ClusterRecovery`.
+        Called automatically when a :class:`~repro.control.FaultSchedule`
+        contains :class:`~repro.control.Crash` / \
+        :class:`~repro.control.Restart` events.
+        """
+        if self.recovery is None:
+            from ..recovery import ClusterRecovery
+
+            self.recovery = ClusterRecovery(self, params)
+        return self.recovery
 
     def set_ecn_threshold(self, frames: Optional[int]) -> None:
         """Enable (or disable with None) ECN marking on every switch.

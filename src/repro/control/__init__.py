@@ -20,12 +20,14 @@ from .adaptive import AdaptiveStriping
 from .detector import DetectorParams, EdgeFailureDetector, EdgeState, EdgeTransition
 from .faults import (
     BitErrorRamp,
+    Crash,
     FaultEvent,
     FaultSchedule,
     Flap,
     Outage,
     PermanentFailure,
     Repair,
+    Restart,
 )
 from .health import EdgeHealthMonitor, HealthParams
 from .lifecycle import EdgeLifecycleManager
@@ -46,4 +48,6 @@ __all__ = [
     "BitErrorRamp",
     "PermanentFailure",
     "Repair",
+    "Crash",
+    "Restart",
 ]

@@ -33,6 +33,8 @@ __all__ = [
     "BitErrorRamp",
     "PermanentFailure",
     "Repair",
+    "Crash",
+    "Restart",
     "FaultEvent",
     "FaultSchedule",
 ]
@@ -108,7 +110,42 @@ class Repair:
     rail: int
 
 
-FaultEvent = Union[Outage, Flap, BitErrorRamp, PermanentFailure, Repair]
+@dataclass(frozen=True)
+class Crash:
+    """Whole-node fail-stop crash at ``at_ns`` (all rails, all state).
+
+    Handled by :class:`repro.recovery.ClusterRecovery` (enabled on the
+    cluster automatically when a schedule contains crash events): every
+    connection endpoint at the node is destroyed, its NICs lose power and
+    their rings, and pending operations fail with
+    :class:`~repro.core.PeerCrashed`.
+    """
+
+    at_ns: int
+    node: int
+
+
+@dataclass(frozen=True)
+class Restart:
+    """Reboot a crashed node ``delay_ns`` after ``at_ns``.
+
+    The node comes back as a *new incarnation*: its incarnation number is
+    bumped, so surviving peers reject any frame still in flight from the
+    dead incarnation.  ``delay_ns`` models boot time.
+    """
+
+    at_ns: int
+    node: int
+    delay_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.delay_ns < 0:
+            raise ValueError("delay_ns must be >= 0")
+
+
+FaultEvent = Union[
+    Outage, Flap, BitErrorRamp, PermanentFailure, Repair, Crash, Restart
+]
 
 
 class FaultSchedule:
@@ -131,6 +168,15 @@ class FaultSchedule:
         self._applied = True
         sim = cluster.sim
         for ev in self.events:
+            # Node-scoped events first: they have no rail and no cable.
+            if isinstance(ev, Crash):
+                recovery = cluster.enable_crash_recovery()
+                sim.schedule(ev.at_ns, recovery.crash, ev.node)
+                continue
+            if isinstance(ev, Restart):
+                recovery = cluster.enable_crash_recovery()
+                sim.schedule(ev.at_ns + ev.delay_ns, recovery.restart, ev.node)
+                continue
             cable = cluster.cable(ev.node, ev.rail)
             if isinstance(ev, Outage):
                 sim.schedule(ev.at_ns, cable.fail_for, ev.duration_ns)

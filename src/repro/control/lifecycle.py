@@ -55,6 +55,12 @@ class EdgeLifecycleManager:
         # Opt-in invariant monitor (repro.verify); validates state-machine
         # transition legality.  None in normal runs.
         self.invariant_monitor = None
+        # Opt-in PEER_DOWN escalation (repro.recovery): called with this
+        # manager exactly once when every edge of the peer is DOWN (or the
+        # coarse retransmit timer declares the connection dead).  None in
+        # normal runs — per-edge failover then remains the only response.
+        self.peer_down_handler = None
+        self._peer_down_fired = False
         for rail in range(len(connection.nics)):
             self._make_edge(rail, health_params)
         connection.control_plane = self
@@ -125,6 +131,7 @@ class EdgeLifecycleManager:
                 {"conn": self.conn.conn_id, "rail": -1, "old": "up",
                  "new": "dead", "reason": "all rails silent"},
             )
+        self._fire_peer_down()
 
     # -- detector transition handling --------------------------------------
 
@@ -140,13 +147,24 @@ class EdgeLifecycleManager:
                 {"conn": self.conn.conn_id, "rail": rail, "old": str(old),
                  "new": str(new), "reason": reason},
             )
-        if not self.auto_failover:
+        if self.auto_failover:
+            if new is EdgeState.DOWN:
+                self.conn.remove_edge(rail)
+            elif new is EdgeState.UP and old is not EdgeState.SUSPECT:
+                # SUSPECT→UP never masked the rail, so nothing to undo.
+                self.conn.add_edge(rail)
+        if new is EdgeState.DOWN and all(
+            d.state is EdgeState.DOWN for d in self.detectors
+        ):
+            # Every edge of the peer is gone: per-edge failover has run
+            # out of survivors.  Escalate to PEER_DOWN.
+            self._fire_peer_down()
+
+    def _fire_peer_down(self) -> None:
+        if self._peer_down_fired or self.peer_down_handler is None:
             return
-        if new is EdgeState.DOWN:
-            self.conn.remove_edge(rail)
-        elif new is EdgeState.UP and old is not EdgeState.SUSPECT:
-            # SUSPECT→UP never masked the rail, so nothing to undo.
-            self.conn.add_edge(rail)
+        self._peer_down_fired = True
+        self.peer_down_handler(self)
 
     def _push_score(self, rail: int) -> None:
         striping = self.conn.striping

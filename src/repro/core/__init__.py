@@ -3,11 +3,12 @@
 from .ack import AckPolicy, AckPolicyParams
 from .api import ConnectionHandle, MultiEdgeStack, OpHandle, establish
 from .connection import Connection, Notification, Operation, ProtocolParams
+from .errors import MultiEdgeError, PeerCrashed, RetransmitExhausted
 from .handshake import HandshakeError, close_connection, dial, enable_listener
 from .messages import SEQUENCED_TYPES
 from .ordering import FenceDelivery, InOrderDelivery, OrderingManager, RxOpState
 from .protocol import MultiEdgeProtocol
-from .retransmit import RetransmitParams, RetransmitTimer
+from .retransmit import BackoffPolicy, RetransmitParams, RetransmitTimer
 from .stats import ConnectionStats, merge_stats
 from .striping import (
     RoundRobinStriping,
@@ -28,6 +29,9 @@ __all__ = [
     "enable_listener",
     "close_connection",
     "HandshakeError",
+    "MultiEdgeError",
+    "RetransmitExhausted",
+    "PeerCrashed",
     "MultiEdgeProtocol",
     "Connection",
     "Operation",
@@ -35,6 +39,7 @@ __all__ = [
     "ProtocolParams",
     "AckPolicy",
     "AckPolicyParams",
+    "BackoffPolicy",
     "RetransmitParams",
     "RetransmitTimer",
     "SendWindow",

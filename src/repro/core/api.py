@@ -36,14 +36,26 @@ class OpHandle:
         return self._op.op_id
 
     def test(self) -> bool:
-        """Non-blocking completion probe."""
+        """Non-blocking completion probe.
+
+        Raises the operation's typed error (:class:`RetransmitExhausted`,
+        :class:`PeerCrashed`) if it terminated in failure.
+        """
+        if self._op.error is not None:
+            raise self._op.error
         return self._op.completed
 
     def wait(self) -> Generator[Any, Any, "OpHandle"]:
-        """Block the calling process until the operation completes."""
+        """Block the calling process until the operation completes.
+
+        Raises the operation's typed error if it terminated in failure
+        (retry exhaustion or a peer crash) instead of succeeding.
+        """
         if not self._op.completed:
             yield self._op.done
             yield from self._owner._wakeup_cost()
+        if self._op.error is not None:
+            raise self._op.error
         return self
 
     @property

@@ -53,6 +53,7 @@ from .messages import (
     make_probe_ack_frame,
     make_read_req_frame,
 )
+from .errors import PeerCrashed, RetransmitExhausted
 from .ordering import FenceDelivery, InOrderDelivery, RxOpState
 from .retransmit import RetransmitParams, RetransmitTimer
 from .stats import ConnectionStats
@@ -128,10 +129,18 @@ class Operation:
         self.submitted_at = sim.now
         self.completed_at: Optional[int] = None
         self.done = Event(sim)
+        # Terminal failure (RetransmitExhausted / PeerCrashed).  A failed
+        # op counts as completed so waiters wake exactly once; the API
+        # layer re-raises the error from wait()/test().
+        self.error: Optional[BaseException] = None
 
     @property
     def completed(self) -> bool:
         return self.completed_at is not None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
     @property
     def forward_fenced(self) -> bool:
@@ -217,6 +226,15 @@ class Connection:
         self.ce_frames_received = 0
         self.ecn_echoes_sent = 0
         self.ecn_echoes_received = 0
+        # Crash recovery (repro.recovery).  ``recovery`` is None unless the
+        # cluster enabled whole-node crash faults; the incarnation pair then
+        # fences off frames from dead incarnations of the peer.  Counters
+        # are plain attributes for the same fingerprint reason as ECN.
+        self.recovery: Optional[Any] = None
+        self.local_incarnation = 0
+        self.peer_incarnation = 0
+        self.stale_frames_rejected = 0
+        self.duplicate_msgs_suppressed = 0
         self._next_op_seq = 0
         self._forward_fences: Deque[Operation] = deque()
         self._pending_reads: dict[int, Operation] = {}  # op_id -> read op
@@ -545,6 +563,8 @@ class Connection:
                 rec.frame.header.flags &= ~ECN_ECHO
             rec.last_sent_at = self.sim.now
             rec.last_rail = rail
+            if self.recovery is not None:
+                rec.frame.incarnation = self.local_incarnation
             self.nics[rail].transmit(rec.frame)
             self.stats.retransmitted_frames += 1
             self.retransmit_timer.arm()
@@ -594,6 +614,8 @@ class Connection:
         if self.ack_policy.echo_pending:
             frame.header.flags |= ECN_ECHO
             self.ecn_echoes_sent += 1
+        if self.recovery is not None:
+            frame.incarnation = self.local_incarnation
         window.register(frame, desc.op.op_id, self.sim.now, rail=rail)
         self._frame_op[seq] = desc.op
         nic.transmit(frame)
@@ -618,6 +640,15 @@ class Connection:
 
     def handle_rx_frame(self, frame: Frame, cpu: Cpu) -> Generator[Any, Any, None]:
         h = frame.header
+        if self.recovery is not None and frame.incarnation != self.peer_incarnation:
+            # Frame (or ack) from a dead incarnation of the peer: reject it
+            # before it can corrupt the resurrected connection's windows.
+            self.stale_frames_rejected += 1
+            return
+        if self.monitor is not None:
+            # No-stale-frame-accepted invariant: every frame that passes
+            # the guard above must match the expected peer incarnation.
+            self.monitor.on_rx_frame(self, frame)
         if self.closed and h.frame_type in (
             FrameType.DATA, FrameType.READ_REQ, FrameType.READ_RESP
         ):
@@ -762,6 +793,15 @@ class Connection:
 
     def _on_rx_op_complete(self, rx_op: RxOpState) -> None:
         rx_op.src_node = self.peer_node_id
+        if (
+            self.recovery is not None
+            and rx_op.flags & OpFlags.JOURNALED
+            and not self.recovery.accept_delivery(self, rx_op)
+        ):
+            # Journal replay re-sent a message this node already delivered
+            # (same peer incarnation + journal seq): suppress the duplicate.
+            self.duplicate_msgs_suppressed += 1
+            return
         if rx_op.wants_notification() and not rx_op.is_read_request:
             self.notifications.put(
                 Notification(
@@ -785,9 +825,12 @@ class Connection:
             return
         yield from cpu.run(self.node.params.per_frame_send_ns, "protocol.send")
         nic = self.nics[rail]
-        nic.transmit(
-            make_probe_ack_frame(nic.mac, self.peer_macs[rail], self.conn_id, frame)
+        probe_ack = make_probe_ack_frame(
+            nic.mac, self.peer_macs[rail], self.conn_id, frame
         )
+        if self.recovery is not None:
+            probe_ack.incarnation = self.local_incarnation
+        nic.transmit(probe_ack)
         self.stats.probes_answered += 1
 
     def remove_edge(self, rail: int, migrate: bool = True) -> int:
@@ -853,8 +896,70 @@ class Connection:
 
     def _on_coarse_dead(self) -> None:
         """Retransmit retries exhausted: every rail is silent."""
+        self.fail_pending_ops(
+            RetransmitExhausted(
+                self.conn_id, self.retransmit_timer.consecutive_timeouts
+            )
+        )
         if self.control_plane is not None:
             self.control_plane.on_connection_dead()
+
+    def fail_pending_ops(self, exc: BaseException) -> int:
+        """Terminate every incomplete operation with a typed error.
+
+        Failed ops count as completed (waiters wake exactly once and the
+        API layer re-raises ``exc``); send queues and window state are left
+        untouched so accounting invariants still hold — :meth:`destroy`
+        clears them for the whole-node crash case.  Returns the number of
+        ops failed.
+        """
+        pending: dict[int, Operation] = {}
+        for op in self._frame_op.values():
+            pending[id(op)] = op
+        for desc in self.unsent:
+            pending[id(desc.op)] = desc.op
+        for op in self._pending_reads.values():
+            pending[id(op)] = op
+        for op in self._forward_fences:
+            pending[id(op)] = op
+        failed = 0
+        for op in pending.values():
+            if op.completed:
+                continue
+            op.error = exc
+            op.completed_at = self.sim.now
+            if not op.done.triggered:
+                op.done.trigger(op)
+            failed += 1
+        return failed
+
+    def destroy(self, exc: Optional[BaseException] = None) -> int:
+        """Atomically discard this endpoint's volatile state (crash model).
+
+        Fails every pending op (default :class:`PeerCrashed`), cancels all
+        timers, drops the send/receive queues and in-flight window records,
+        and removes the connection from the protocol's dispatch table.
+        Frames still in the fabric hit ``unknown_connection_frames`` (or
+        the stale-incarnation guard of a successor connection).  Returns
+        the number of ops failed.
+        """
+        if exc is None:
+            exc = PeerCrashed(self.conn_id, self.peer_node_id)
+        failed = self.fail_pending_ops(exc)
+        self.closed = True
+        self.retransmit_timer.cancel()
+        self.retransmit_timer.exhausted = True  # never re-arm
+        self._cancel_delayed_ack()
+        self._cancel_nack_timer()
+        self.unsent.clear()
+        self._retransmit_q.clear()
+        self.window.inflight.clear()
+        self._frame_op.clear()
+        self._pending_reads.clear()
+        self._forward_fences.clear()
+        if self.protocol.connections.get(self.conn_id) is self:
+            del self.protocol.connections[self.conn_id]
+        return failed
 
     # ------------------------------------------------------------------
     # Ack / NACK machinery
@@ -952,6 +1057,8 @@ class Connection:
         frame = make_ack_frame(
             self.nics[rail].mac, self.peer_macs[rail], self.conn_id, cum, ece
         )
+        if self.recovery is not None:
+            frame.incarnation = self.local_incarnation
         self.nics[rail].transmit(frame)
         self.stats.explicit_acks_sent += 1
         if ece:
@@ -982,6 +1089,8 @@ class Connection:
             missing,
             ece,
         )
+        if self.recovery is not None:
+            frame.incarnation = self.local_incarnation
         self.nics[rail].transmit(frame)
         self.stats.nacks_sent += 1
         if ece:

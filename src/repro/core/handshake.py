@@ -21,6 +21,7 @@ rail r always owns MAC ``mac_address(n, r)`` — standing in for ARP.
 
 from __future__ import annotations
 
+import random
 from typing import Any, Generator, Optional
 
 from ..ethernet import FrameType, mac_address
@@ -28,11 +29,33 @@ from ..sim import Event
 from .api import ConnectionHandle, MultiEdgeStack
 from .connection import Connection, ProtocolParams
 from .messages import make_syn_ack_frame, make_syn_frame
+from .retransmit import BackoffPolicy
 
 __all__ = ["dial", "enable_listener", "close_connection", "HandshakeError"]
 
 SYN_RETRY_NS = 3_000_000
 MAX_RETRIES = 10
+
+# Capped exponential backoff with seeded jitter for handshake retries
+# (shared shape with the crash-recovery reconnect loop).  The first retry
+# waits SYN_RETRY_NS like the old fixed schedule; subsequent retries back
+# off so a dead or partitioned peer is not hammered on a fixed beat.
+HANDSHAKE_BACKOFF = BackoffPolicy(
+    base_ns=SYN_RETRY_NS,
+    factor=2,
+    cap_ns=48_000_000,
+    jitter_frac=0.1,
+    max_attempts=MAX_RETRIES,
+)
+
+
+def _handshake_rng(protocol) -> random.Random:
+    """Per-stack jitter stream, seeded by node id for determinism."""
+    rng = getattr(protocol, "_handshake_rng", None)
+    if rng is None:
+        rng = random.Random(f"multiedge-handshake:{protocol.node.node_id}")
+        protocol._handshake_rng = rng
+    return rng
 
 
 class HandshakeError(RuntimeError):
@@ -59,13 +82,15 @@ def enable_listener(stack: MultiEdgeStack) -> None:
         if h.frame_type == FrameType.SYN:
             yield from cpu.run(stack.node.params.per_frame_recv_ns, "protocol.recv")
             _accept(stack, h.connection_id, peer_node=h.op_id,
-                    peer_rails=h.op_length)
+                    peer_rails=h.op_length,
+                    peer_incarnation=h.remote_address)
             return
         if h.frame_type == FrameType.SYN_ACK:
             yield from cpu.run(stack.node.params.per_frame_recv_ns, "protocol.recv")
             pending = protocol._pending_dials.pop(h.connection_id, None)
             if pending is not None and not pending["event"].triggered:
                 pending["peer_rails"] = h.op_length
+                pending["peer_incarnation"] = h.remote_address
                 pending["event"].trigger(h.op_length)
             return
         if h.frame_type == FrameType.FIN:
@@ -84,19 +109,42 @@ def _rails_between(stack: MultiEdgeStack, peer_rails: int) -> int:
 
 
 def _accept(
-    stack: MultiEdgeStack, conn_id: int, peer_node: int, peer_rails: int
+    stack: MultiEdgeStack,
+    conn_id: int,
+    peer_node: int,
+    peer_rails: int,
+    peer_incarnation: int = 0,
 ) -> None:
     protocol = stack.protocol
     rails = _rails_between(stack, peer_rails)
-    if conn_id not in protocol.connections:
+    existing = protocol.connections.get(conn_id)
+    if existing is not None and existing.peer_incarnation != peer_incarnation:
+        # A new incarnation of the peer is re-dialing a connection id we
+        # still hold: the old endpoint belongs to a dead incarnation and
+        # must not absorb the fresh handshake.  Route the destruction
+        # through the recovery layer when present so monitors detach and
+        # counters are salvaged.
+        recovery = getattr(protocol, "recovery", None)
+        if recovery is not None:
+            from .errors import PeerCrashed
+
+            recovery._teardown_connection(
+                existing, PeerCrashed(conn_id, peer_node)
+            )
+        else:
+            existing.destroy()
+        existing = None
+    if existing is None:
         peer_macs = [mac_address(peer_node, r) for r in range(rails)]
-        protocol.create_connection(conn_id, peer_node, peer_macs)
+        conn = protocol.create_connection(conn_id, peer_node, peer_macs)
+        conn.peer_incarnation = peer_incarnation
     # Always answer — duplicate SYNs mean our previous SYN_ACK was lost.
     nic = stack.node.nics[0]
     reply = make_syn_ack_frame(
         nic.mac, mac_address(peer_node, 0), conn_id, stack.node_id
     )
     reply.header.op_length = len(stack.node.nics)
+    reply.header.remote_address = getattr(protocol, "incarnation", 0)
     nic.transmit(reply)
 
 
@@ -104,11 +152,14 @@ def dial(
     stack: MultiEdgeStack,
     peer_node_id: int,
     params: Optional[ProtocolParams] = None,
+    backoff: Optional[BackoffPolicy] = None,
 ) -> Generator[Any, Any, ConnectionHandle]:
     """Open a connection to ``peer_node_id`` with a SYN/SYN_ACK handshake.
 
     Run from a simulation process: ``handle = yield from dial(stack, 3)``.
-    The peer must have called :func:`enable_listener`.
+    The peer must have called :func:`enable_listener`.  SYN retries follow
+    ``backoff`` (default :data:`HANDSHAKE_BACKOFF`): capped exponential
+    delays with seeded jitter.
     """
     enable_listener(stack)  # to receive the SYN_ACK and future FINs
     protocol = stack.protocol
@@ -116,19 +167,24 @@ def dial(
     protocol._dial_counter = counter + 1
     conn_id = _conn_id_for(stack.node_id, counter)
     sim = stack.node.sim
+    policy = backoff or HANDSHAKE_BACKOFF
+    rng = _handshake_rng(protocol)
+    incarnation = getattr(protocol, "incarnation", 0)
 
     done = Event(sim)
-    protocol._pending_dials[conn_id] = {"event": done, "peer_rails": 0}
+    pending = {"event": done, "peer_rails": 0, "peer_incarnation": 0}
+    protocol._pending_dials[conn_id] = pending
 
     nic = stack.node.nics[0]
-    for attempt in range(MAX_RETRIES):
+    for attempt in range(policy.max_attempts):
         syn = make_syn_frame(
             nic.mac, mac_address(peer_node_id, 0), conn_id, stack.node_id
         )
         syn.header.op_length = len(stack.node.nics)
+        syn.header.remote_address = incarnation
         nic.transmit(syn)
         timeout = Event(sim)
-        timer = sim.timer(SYN_RETRY_NS, timeout.trigger)
+        timer = sim.timer(policy.delay_ns(attempt, rng), timeout.trigger)
         from ..sim import any_of
 
         winner = yield any_of(sim, [done, timeout])
@@ -139,12 +195,13 @@ def dial(
         protocol._pending_dials.pop(conn_id, None)
         raise HandshakeError(
             f"node {stack.node_id}: no SYN_ACK from node {peer_node_id} "
-            f"after {MAX_RETRIES} attempts"
+            f"after {policy.max_attempts} attempts"
         )
     peer_rails = done.value
     rails = _rails_between(stack, peer_rails)
     peer_macs = [mac_address(peer_node_id, r) for r in range(rails)]
     conn = protocol.create_connection(conn_id, peer_node_id, peer_macs, params)
+    conn.peer_incarnation = pending["peer_incarnation"]
     return ConnectionHandle(conn, stack.node)
 
 
@@ -192,12 +249,14 @@ def close_connection(
             raise HandshakeError("close(): send window never drained")
     conn._fin_event = getattr(conn, "_fin_event", None) or Event(sim)
     conn.fin_sent = True
-    for attempt in range(MAX_RETRIES):
+    policy = HANDSHAKE_BACKOFF
+    rng = _handshake_rng(stack.protocol)
+    for attempt in range(policy.max_attempts):
         _send_fin(stack, conn)
         if getattr(conn, "fin_received", False):
             break
         timeout = Event(sim)
-        timer = sim.timer(SYN_RETRY_NS, timeout.trigger)
+        timer = sim.timer(policy.delay_ns(attempt, rng), timeout.trigger)
         from ..sim import any_of
 
         winner = yield any_of(sim, [conn._fin_event, timeout])

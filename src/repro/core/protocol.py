@@ -27,6 +27,12 @@ class MultiEdgeProtocol:
         self.connections: dict[int, Connection] = {}
         self._next_op_id = 1
         self.unknown_connection_frames = 0
+        # Crash recovery (repro.recovery): the node's monotonically
+        # increasing incarnation number, bumped on every restart, and the
+        # cluster-level recovery coordinator (None when crashes are not
+        # modelled — the default path must not change).
+        self.incarnation = 0
+        self.recovery: Optional[Any] = None
         node.kernel.attach_client(self)
 
     # -- connection management -------------------------------------------
@@ -45,6 +51,8 @@ class MultiEdgeProtocol:
             self, conn_id, peer_node_id, peer_macs, params or self.params
         )
         self.connections[conn_id] = conn
+        if self.recovery is not None:
+            self.recovery.on_connection_created(self, conn)
         return conn
 
     def allocate_op_id(self) -> int:

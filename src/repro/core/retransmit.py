@@ -17,12 +17,61 @@ supplies the actual send hook.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..sim import Simulator, Timer
 
-__all__ = ["RetransmitParams", "RetransmitTimer"]
+__all__ = ["BackoffPolicy", "RetransmitParams", "RetransmitTimer"]
+
+
+@dataclass
+class BackoffPolicy:
+    """Capped exponential backoff with seeded jitter.
+
+    Shared by the handshake retries (SYN / FIN) and the crash-recovery
+    reconnect loop: ``delay_ns(attempt)`` grows geometrically from
+    ``base_ns`` up to ``cap_ns``, plus a uniform jitter fraction drawn
+    from the supplied RNG so that concurrent retriers de-synchronise
+    deterministically (the RNG is a named stream, so runs stay
+    reproducible).
+    """
+
+    base_ns: int
+    factor: int = 2
+    cap_ns: int = 48_000_000
+    jitter_frac: float = 0.1
+    max_attempts: int = 10
+
+    def __post_init__(self) -> None:
+        if self.base_ns <= 0:
+            raise ValueError("base_ns must be positive")
+        if self.factor < 1:
+            raise ValueError("factor must be >= 1")
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise ValueError("jitter_frac must be in [0, 1)")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def delay_ns(self, attempt: int, rng: Optional[random.Random] = None) -> int:
+        """Delay before retry number ``attempt`` (0-based)."""
+        base = min(self.base_ns * self.factor**attempt, self.cap_ns)
+        if rng is None or self.jitter_frac == 0.0:
+            return base
+        return base + int(base * self.jitter_frac * rng.random())
+
+    def worst_case_total_ns(self) -> int:
+        """Upper bound on the summed delay across all attempts.
+
+        Used to derive the reconnect-latency bound checked by
+        ``bench_crash``: detection bound + restart delay + this total.
+        """
+        total = 0
+        for attempt in range(self.max_attempts):
+            base = min(self.base_ns * self.factor**attempt, self.cap_ns)
+            total += base + int(base * self.jitter_frac)
+        return total
 
 
 @dataclass
@@ -58,6 +107,7 @@ class RetransmitTimer:
         self._current_timeout = params.coarse_timeout_ns
         self._consecutive = 0
         self.timeouts_fired = 0
+        self.exhausted = False
 
     @property
     def armed(self) -> bool:
@@ -74,7 +124,15 @@ class RetransmitTimer:
         return self._consecutive
 
     def arm(self) -> None:
-        """Start (or restart) the timer if not already running."""
+        """Start (or restart) the timer if not already running.
+
+        A no-op once exhausted: after ``on_dead`` fires, the timer stays
+        down until :meth:`on_progress` observes fresh ack progress — the
+        connection is presumed dead and retransmitting into it would only
+        re-trigger the death callback.
+        """
+        if self.exhausted:
+            return
         if not self.armed:
             self._timer = self.sim.timer(self._current_timeout, self._fire)
 
@@ -82,6 +140,7 @@ class RetransmitTimer:
         """Positive ack progress: reset backoff and restart the clock."""
         self._consecutive = 0
         self._current_timeout = self.params.coarse_timeout_ns
+        self.exhausted = False
         self.cancel()
 
     def cancel(self) -> None:
@@ -94,6 +153,7 @@ class RetransmitTimer:
         self.timeouts_fired += 1
         self._consecutive += 1
         if self._consecutive > self.params.max_retries:
+            self.exhausted = True
             if self.on_dead is not None:
                 self.on_dead()
             return

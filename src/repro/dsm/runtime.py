@@ -115,10 +115,32 @@ class DsmRuntime:
         self.nodes = [DsmNode(self, rank) for rank in range(self.n)]
         for node in self.nodes:
             node._wire_peers()
+        recovery = getattr(cluster, "recovery", None)
+        if recovery is not None:
+            self.attach_recovery(recovery)
         # Measurement window.
         self._measure_votes = 0
         self.t_start = 0
         self._node_end: list[int] = [0] * self.n
+
+    def attach_recovery(self, recovery) -> None:
+        """Propagate node crashes into page-cache recovery hooks.
+
+        The crashed node's own page cache (twins, dirty set, cached
+        copies) is volatile and dropped; every survivor invalidates its
+        cached copies of pages *homed* at the crashed node, so the next
+        access refetches instead of trusting a copy that may predate
+        diffs lost in the crash.
+        """
+
+        def on_crash(node_id: int) -> None:
+            for node in self.nodes:
+                if node.rank == node_id:
+                    node.on_self_crashed()
+                else:
+                    node.on_peer_crashed(node_id)
+
+        recovery.subscribe_crash(on_crash)
 
     # -- region management -------------------------------------------------
 
@@ -296,6 +318,40 @@ class DsmNode:
             for peer in self.conns:
                 self.sim.process(
                     self._listener(peer), name=f"dsm.listen{self.rank}-{peer}"
+                )
+
+    # ------------------------------------------------------------------
+    # Crash recovery hooks (repro.recovery)
+    # ------------------------------------------------------------------
+
+    def on_peer_crashed(self, peer: int) -> int:
+        """Survivor-side hook: refetch rather than trust crash-era copies.
+
+        Cached (non-home, non-dirty) copies of pages homed at ``peer``
+        are invalidated; the next access fetches from the home's restored
+        authoritative copy.  Returns the number of pages dropped.
+        """
+        dropped = 0
+        for pt in self.page_tables.values():
+            region = pt.region
+            for page in range(region.n_pages):
+                if (
+                    region.home_of(page) == peer
+                    and not pt.is_home(page)
+                    and pt.state[page] is PageState.VALID
+                ):
+                    pt.state[page] = PageState.INVALID
+                    dropped += 1
+        return dropped
+
+    def on_self_crashed(self) -> None:
+        """The node's page cache is volatile: drop everything non-home."""
+        for pt in self.page_tables.values():
+            pt.twins.clear()
+            pt.dirty.clear()
+            for page in range(pt.region.n_pages):
+                pt.state[page] = (
+                    PageState.VALID if pt.is_home(page) else PageState.INVALID
                 )
 
     # ------------------------------------------------------------------

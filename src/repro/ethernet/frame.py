@@ -77,6 +77,7 @@ class OpFlags(IntEnum):
     FENCE_BACKWARD = 1 << 1  # perform only after all previously issued ops
     FENCE_FORWARD = 1 << 2  # subsequent ops wait until this one is performed
     SCATTER = 1 << 3  # payload is a list of (address, length, data) records
+    JOURNALED = 1 << 4  # message rides a journaled channel: dedup on delivery
 
 
 # ECN bits in the header flags byte (raw Ethernet has no IP ToS field, so
@@ -201,6 +202,7 @@ class Frame:
         "corrupted",
         "uid",
         "control",
+        "incarnation",
         "mac_payload_bytes",
         "wire_bytes",
     )
@@ -227,6 +229,10 @@ class Frame:
         self.corrupted = corrupted
         self.uid = _frame_counter
         self.control = control
+        # Sender-node incarnation number (crash recovery).  0 until the
+        # recovery subsystem stamps it; on the wire it would ride in a
+        # reserved header field, so frame sizes are unchanged.
+        self.incarnation = 0
         payload_length = header.payload_length
         if payload is not None and len(payload) != payload_length:
             raise ValueError(

@@ -71,6 +71,8 @@ class NicCounters:
     rx_frames: int = 0
     rx_dropped_ring_full: int = 0
     rx_dropped_crc: int = 0
+    # Frames that arrived while the NIC was powered off (node crashed).
+    rx_dropped_powered_off: int = 0
     irqs_raised: int = 0
     tx_irqs_raised: int = 0
     # Nanoseconds frames spent waiting on the pacing token bucket.
@@ -121,6 +123,13 @@ class Nic:
         # None (the default) keeps the transmit path byte-identical to the
         # unpaced NIC.  Installed via set_pacing_rate().
         self.pacer = None
+
+        # Power state (whole-node crash model).  The epoch invalidates
+        # in-flight DMA/serialisation callbacks scheduled before a crash:
+        # sim.at entries cannot be cancelled, so each carries the epoch it
+        # was scheduled under and no-ops if the NIC power-cycled since.
+        self.powered = True
+        self._power_epoch = 0
 
         self._tx_ring_used = 0
         self._line_free_at = 0
@@ -182,6 +191,8 @@ class Nic:
         (plus scheduling jitter) delays a frame only while the line is idle
         (pipeline fill); under back-to-back load the line runs at full rate.
         """
+        if not self.powered:
+            return False
         if self._tx_ring_used >= self.params.tx_ring_frames:
             return False
         # A (re)transmission is a fresh physical frame: any corruption that
@@ -215,12 +226,14 @@ class Nic:
             tx_time = wire_time_ns(wb, params.speed_bps)
             self._wt_cache[wb] = tx_time
         self._line_free_at = begin + tx_time
-        self.sim.at(self._line_free_at, self._tx_done, frame)
+        self.sim.at(self._line_free_at, self._tx_done, frame, self._power_epoch)
         if self.monitor is not None:
             self.monitor.on_nic_tx(self, frame)
         return True
 
-    def _tx_done(self, frame: Frame) -> None:
+    def _tx_done(self, frame: Frame, epoch: int = 0) -> None:
+        if epoch != self._power_epoch:
+            return  # scheduled before a crash: the frame died in the NIC
         if self.tx_link is None:
             raise RuntimeError(f"{self.name}: transmit with no link attached")
         self.tx_link.deliver(frame)
@@ -260,6 +273,9 @@ class Nic:
 
     def on_frame(self, frame: Frame) -> None:
         """Link delivery callback: last bit of ``frame`` has arrived."""
+        if not self.powered:
+            self.counters.rx_dropped_powered_off += 1
+            return
         if frame.corrupted:
             self.counters.rx_dropped_crc += 1
             return
@@ -268,7 +284,8 @@ class Nic:
             return
         # DMA the frame into host memory, then make it host-visible.
         self._rx_inflight += 1
-        self.sim.schedule(self.params.dma_ns, self._rx_visible, frame)
+        self.sim.schedule(self.params.dma_ns, self._rx_visible, frame,
+                          self._power_epoch)
 
     def deliver_fold(self, frame: Frame, arrival: int) -> bool:
         """Fold link arrival + RX admission into one scheduled event.
@@ -279,6 +296,8 @@ class Nic:
         guaranteed to pass and deciding it early is timing-identical.
         Corrupted frames and near-full rings use the exact two-step path.
         """
+        if not self.powered:
+            return False  # fall back to on_frame, which counts the drop
         if frame.corrupted:
             return False
         if (
@@ -287,10 +306,13 @@ class Nic:
         ):
             return False
         self._rx_inflight += 1
-        self.sim.at(arrival + self.params.dma_ns, self._rx_visible, frame)
+        self.sim.at(arrival + self.params.dma_ns, self._rx_visible, frame,
+                    self._power_epoch)
         return True
 
-    def _rx_visible(self, frame: Frame) -> None:
+    def _rx_visible(self, frame: Frame, epoch: int = 0) -> None:
+        if epoch != self._power_epoch:
+            return  # DMA'd into a ring that no longer exists
         self._rx_inflight -= 1
         self._rx_pending.append(frame)
         self.counters.rx_frames += 1
@@ -329,6 +351,39 @@ class Nic:
             self.counters.tx_irqs_raised += 1
         if self.on_irq is not None:
             self.on_irq(self)
+
+    # -- power (whole-node crash model) -----------------------------------
+
+    def power_off(self) -> None:
+        """Crash: drop every frame in the TX/RX rings and DMA windows.
+
+        Bumping the power epoch orphans every already-scheduled
+        ``_tx_done`` / ``_rx_visible`` callback (``sim.at`` entries cannot
+        be cancelled), so in-flight frames silently vanish — exactly what
+        losing NIC ring memory means.  Idempotent.
+        """
+        if not self.powered:
+            return
+        self.powered = False
+        self._power_epoch += 1
+        self._rx_pending.clear()
+        self._tx_ring_used = 0
+        self._rx_inflight = 0
+        self._tx_completions = 0
+        self._rx_since_irq = 0
+        self._tx_since_irq = 0
+        self._line_free_at = 0
+        if self._coalesce_timer is not None:
+            self._coalesce_timer.cancel()
+            self._coalesce_timer = None
+        self.pacer = None
+
+    def power_on(self) -> None:
+        """Restart: rings were already cleared at power-off."""
+        if self.powered:
+            return
+        self.powered = True
+        self.interrupts_enabled = True
 
     # -- host interface ---------------------------------------------------
 

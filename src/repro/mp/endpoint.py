@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
 from ..bench.cluster import Cluster
-from ..core import ConnectionHandle
+from ..core import ConnectionHandle, PeerCrashed
 from ..ethernet import OpFlags
 from ..sim import Event, Simulator, Store
 
@@ -95,6 +95,7 @@ class _PendingRendezvous:
 
     data: bytes
     done: Event
+    dest: int = -1
 
 
 class MpEndpoint:
@@ -167,7 +168,9 @@ class MpEndpoint:
         """Write envelope+payload into the peer's next ring slot."""
         while ps.send_seq - ps.peer_consumed >= RING_SLOTS - 2:
             ps.credit_event = Event(self.sim)
-            yield ps.credit_event
+            got = yield ps.credit_event
+            if isinstance(got, PeerCrashed):
+                raise got
         slot = ps.send_seq % RING_SLOTS
         memory = self.stack.node.memory
         blob = envelope + payload
@@ -195,7 +198,7 @@ class MpEndpoint:
     ) -> Generator[Any, Any, None]:
         msg_id = self._next_msg_id
         self._next_msg_id += 1
-        pending = _PendingRendezvous(data=data, done=Event(self.sim))
+        pending = _PendingRendezvous(data=data, done=Event(self.sim), dest=dest)
         self._rdv_out[msg_id] = pending
         envelope = _ENVELOPE.pack(
             KIND_RTS, self.rank, tag, msg_id, len(data), 0
@@ -203,7 +206,9 @@ class MpEndpoint:
         yield from self._slot_write(ps, envelope)
         # CTS handling (in the listener) performs the bulk write; we wait
         # until the payload has been pushed and acknowledged.
-        yield pending.done
+        got = yield pending.done
+        if isinstance(got, PeerCrashed):
+            raise got
 
     # -- receive path ----------------------------------------------------------
 
@@ -225,6 +230,8 @@ class MpEndpoint:
         waiter = _PendingRecv(source, tag, Event(self.sim))
         self._waiting.append(waiter)
         msg = yield waiter.event
+        if isinstance(msg, PeerCrashed):  # the only matching sender died
+            raise msg
         if isinstance(msg, tuple):  # an RTS matched this waiter
             msg = yield from self._accept_rendezvous(*msg)
         self.stats_received += 1
@@ -254,7 +261,9 @@ class MpEndpoint:
         ps = self._peers[src]
         envelope = _ENVELOPE.pack(KIND_CTS, self.rank, tag, msg_id, size, dest)
         yield from self._slot_write(ps, envelope)
-        yield fin
+        got = yield fin
+        if isinstance(got, PeerCrashed):
+            raise got
         return MpMessage(source=src, tag=tag, data=memory.read(dest, size))
 
     # -- listener ---------------------------------------------------------------
@@ -345,6 +354,37 @@ class MpEndpoint:
                 return
         self._unexpected.append(msg)
 
+    # -- crash recovery hook ----------------------------------------------
+
+    def on_peer_crashed(self, peer: int) -> None:
+        """Fail every wait that only ``peer`` could satisfy.
+
+        Called by the recovery layer when ``peer`` crashes.  Receives
+        posted with ``source == peer``, rendezvous sends targeting the
+        peer, and credit waits on its inbox all raise a typed
+        :class:`~repro.core.PeerCrashed` instead of hanging forever.
+        ``ANY_SOURCE`` receives are left alone — a surviving rank may
+        still satisfy them.
+        """
+        exc = PeerCrashed(-1, peer)
+        ps = self._peers.get(peer)
+        if ps is not None and ps.credit_event is not None:
+            ev, ps.credit_event = ps.credit_event, None
+            if not ev.triggered:
+                ev.trigger(exc)
+        for waiter in [w for w in self._waiting if w.source == peer]:
+            self._waiting.remove(waiter)
+            waiter.event.trigger(exc)
+        for msg_id in [m for m, p in self._rdv_out.items() if p.dest == peer]:
+            pending = self._rdv_out.pop(msg_id)
+            if not pending.done.triggered:
+                pending.done.trigger(exc)
+        for entry in [e for e in self._posted_rdv if e[0] == peer]:
+            self._posted_rdv.remove(entry)
+            fin = entry[4]
+            if not fin.triggered:
+                fin.trigger(exc)
+
     def _deliver_rts(self, src: int, tag: int, msg_id: int, size: int) -> None:
         for i, waiter in enumerate(self._waiting):
             if (waiter.source in (ANY_SOURCE, src)) and (
@@ -365,6 +405,19 @@ class MpWorld:
         self.endpoints = [MpEndpoint(self, rank) for rank in range(self.size)]
         for ep in self.endpoints:
             ep._wire()
+        recovery = getattr(cluster, "recovery", None)
+        if recovery is not None:
+            self.attach_recovery(recovery)
+
+    def attach_recovery(self, recovery) -> None:
+        """Propagate node crashes into typed ``PeerCrashed`` failures."""
+
+        def on_crash(node_id: int) -> None:
+            for ep in self.endpoints:
+                if ep.rank != node_id:
+                    ep.on_peer_crashed(node_id)
+
+        recovery.subscribe_crash(on_crash)
 
     def run(self, program, limit_ms: int = 600_000) -> list:
         """Run ``program(endpoint)`` on every rank; returns their results."""

@@ -1,0 +1,335 @@
+"""Cluster-level crash/restart coordinator.
+
+:class:`ClusterRecovery` owns everything about node failure that is wider
+than one connection:
+
+* **Incarnations.**  Each node carries a monotonically increasing
+  incarnation number, bumped on every restart and mirrored into
+  ``protocol.incarnation``.  The SYN/SYN_ACK handshake exchanges it, every
+  frame is stamped with the sender's current value, and the receive path
+  rejects frames whose incarnation does not match what the endpoint
+  negotiated — so traffic from a dead incarnation can never be absorbed by
+  a connection belonging to a live one.
+* **Crash.**  :meth:`crash` atomically destroys a node's volatile state:
+  every connection endpoint (pending operations fail with
+  :class:`~repro.core.PeerCrashed`), its control planes, its handshake
+  scratch state (dial counter, pending dials), its sender-side journals,
+  and its NICs (rings cleared, in-flight DMA dropped, power off).  The
+  per-node *delivery log* — the ``(sender, incarnation, seq)`` dedup set —
+  survives, modelling an application-durable log.
+* **Restart.**  :meth:`restart` bumps the incarnation, powers the NICs
+  back on and re-enables the SYN listener.
+* **PEER_DOWN escalation.**  When a watched
+  :class:`~repro.control.EdgeLifecycleManager` reports every edge of a
+  peer DOWN, the surviving endpoint is torn down and a reconnect loop
+  dials the peer with capped exponential backoff + seeded jitter.  On
+  success the cluster's cached handles are refreshed, edge control is
+  re-armed, and any :class:`~repro.recovery.ReliableChannel` bound to the
+  pair replays its unacked suffix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from ..core.api import ConnectionHandle
+from ..core.errors import PeerCrashed
+from ..core.handshake import HandshakeError, dial, enable_listener
+from ..core.retransmit import BackoffPolicy
+from .journal import ReliableChannel
+
+__all__ = ["RecoveryParams", "NodeRecoveryState", "ClusterRecovery"]
+
+
+def _default_reconnect_backoff() -> BackoffPolicy:
+    return BackoffPolicy(
+        base_ns=1_000_000,
+        factor=2,
+        cap_ns=50_000_000,
+        jitter_frac=0.1,
+        max_attempts=16,
+    )
+
+
+@dataclass
+class RecoveryParams:
+    """Tunables for peer-down escalation and reconnection."""
+
+    reconnect_backoff: BackoffPolicy = field(
+        default_factory=_default_reconnect_backoff
+    )
+    # Re-create the edge lifecycle control plane on the reconnected pair
+    # so a *second* crash of the same peer is detected too.
+    reattach_edge_control: bool = True
+    # Slack added to the derived reconnect bound: one handshake RTT plus
+    # scheduling noise.
+    margin_ns: int = 2_000_000
+
+    def reconnect_bound_ns(self, restart_delay_ns: int = 0) -> int:
+        """Worst-case detection-to-reconnected time, from parameters.
+
+        The reconnect dial must outlast the peer's remaining boot time
+        (``restart_delay_ns``) and then land one more SYN; the backoff
+        policy's worst-case total bounds the dial itself.
+        """
+        return (
+            restart_delay_ns
+            + self.reconnect_backoff.worst_case_total_ns()
+            + self.margin_ns
+        )
+
+
+class NodeRecoveryState:
+    """Per-node recovery bookkeeping."""
+
+    __slots__ = (
+        "node_id",
+        "incarnation",
+        "crashed",
+        "crash_count",
+        "restart_count",
+        "delivered",
+    )
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.incarnation = 0
+        self.crashed = False
+        self.crash_count = 0
+        self.restart_count = 0
+        # Durable delivery log of this node *as a receiver*:
+        # (sender_node, sender_incarnation, op_seq) for every journaled
+        # message ever applied.  Survives crashes — redelivered messages
+        # from any past epoch are suppressed exactly once.
+        self.delivered: set[tuple[int, int, int]] = set()
+
+
+class ClusterRecovery:
+    """Crash, restart, and reconnect coordination for one cluster."""
+
+    def __init__(self, cluster, params: Optional[RecoveryParams] = None) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.params = params or RecoveryParams()
+        self.nodes: dict[int, NodeRecoveryState] = {
+            s.node_id: NodeRecoveryState(s.node_id) for s in cluster.stacks
+        }
+        self.channels: list[ReliableChannel] = []
+        # Optional repro.verify.InvariantMonitor; set by its attach() so
+        # connections created mid-run (reconnects) are monitored too.
+        self.monitor: Optional[Any] = None
+
+        self.crashes = 0
+        self.restarts = 0
+        self.peer_down_events = 0
+        self.reconnects = 0
+        self.reconnects_failed = 0
+        self.reconnect_latencies: list[tuple[int, int]] = []  # (at_ns, ns)
+        # Counters salvaged from destroyed connections, so cluster-wide
+        # totals survive the endpoints' destruction.
+        self.stale_frames_rejected_destroyed = 0
+        self.duplicate_msgs_suppressed_destroyed = 0
+
+        self._reconnect_watchers: list[Callable[[int, int], None]] = []
+        self._crash_subscribers: list[Callable[[int], None]] = []
+        self._restart_subscribers: list[Callable[[int], None]] = []
+        # (node, peer) -> DetectorParams used before the crash, for re-arm.
+        self._edge_params: dict[tuple[int, int], Any] = {}
+
+        for stack in cluster.stacks:
+            stack.protocol.recovery = self
+            stack.protocol.incarnation = self.nodes[stack.node_id].incarnation
+            for conn in list(stack.protocol.connections.values()):
+                self.on_connection_created(stack.protocol, conn)
+        for mgr in list(cluster.control_planes.values()):
+            self.watch_manager(mgr)
+
+    # -- wiring ------------------------------------------------------------
+
+    def state(self, node_id: int) -> NodeRecoveryState:
+        return self.nodes[node_id]
+
+    def on_connection_created(self, protocol, conn) -> None:
+        """Hook from ``MultiEdgeProtocol.create_connection``."""
+        conn.recovery = self
+        conn.local_incarnation = protocol.incarnation
+        peer_state = self.nodes.get(conn.peer_node_id)
+        if peer_state is not None:
+            # Cluster-level knowledge stands in for the handshake when the
+            # endpoint is wired out of band (establish()); a real dial or
+            # accept overwrites this with the value from the wire — which
+            # is the same number.
+            conn.peer_incarnation = peer_state.incarnation
+        if self.monitor is not None:
+            attach = getattr(self.monitor, "attach_connection", None)
+            if attach is not None:
+                attach(conn)
+
+    def watch_manager(self, mgr) -> None:
+        """Escalate this lifecycle manager's all-edges-DOWN into PEER_DOWN."""
+        node_id = mgr.conn.node.node_id
+        peer = mgr.conn.peer_node_id
+        self._edge_params[(node_id, peer)] = mgr.detector_params
+        mgr.peer_down_handler = self._on_peer_down
+
+    def channel(self, src: int, dst: int) -> ReliableChannel:
+        """Create a journaled exactly-once channel from ``src`` to ``dst``."""
+        return ReliableChannel(self, src, dst)  # registers itself
+
+    def subscribe_crash(self, cb: Callable[[int], None]) -> None:
+        """Run ``cb(node_id)`` whenever a node crashes (DSM/MP hooks)."""
+        self._crash_subscribers.append(cb)
+
+    def subscribe_restart(self, cb: Callable[[int], None]) -> None:
+        self._restart_subscribers.append(cb)
+
+    def add_reconnect_watcher(self, cb: Callable[[int, int], None]) -> None:
+        """Run ``cb(now_ns, latency_ns)`` after every successful reconnect."""
+        self._reconnect_watchers.append(cb)
+
+    # -- receiver-side dedup ----------------------------------------------
+
+    def accept_delivery(self, conn, rx_op) -> bool:
+        """Exactly-once filter for journaled messages (see Connection)."""
+        log = self.nodes[conn.node.node_id].delivered
+        key = (conn.peer_node_id, conn.peer_incarnation, rx_op.op_seq)
+        if key in log:
+            return False
+        log.add(key)
+        return True
+
+    # -- crash / restart ----------------------------------------------------
+
+    def crash(self, node_id: int) -> None:
+        """Atomically destroy the node's volatile state (fail-stop)."""
+        st = self.nodes[node_id]
+        if st.crashed:
+            return
+        st.crashed = True
+        st.crash_count += 1
+        self.crashes += 1
+        stack = self.cluster.stacks[node_id]
+        protocol = stack.protocol
+        # The node's control planes die with it.
+        for key in [k for k in self.cluster.control_planes if k[0] == node_id]:
+            self.cluster.control_planes.pop(key).stop()
+        # Every connection endpoint: windows, retransmit queues, pending
+        # operations (their waiters are on the dead node too, but failing
+        # them keeps driver processes from hanging forever).
+        for conn in list(protocol.connections.values()):
+            self._teardown_connection(conn, PeerCrashed(conn.conn_id, node_id))
+        # Handshake scratch state is volatile: a reborn node restarts its
+        # dial counter, which is exactly why conn ids can collide across
+        # incarnations and the incarnation check must exist.
+        protocol._pending_dials = {}
+        protocol._dial_counter = 0
+        if hasattr(protocol, "_handshake_rng"):
+            del protocol._handshake_rng
+        # Sender-side journals are volatile with the node: unacked
+        # messages of a crashed sender are lost (fail-stop), and its next
+        # incarnation opens a fresh dedup key space.
+        for ch in self.channels:
+            if ch.dead is None and ch.src == node_id:
+                ch.fail(PeerCrashed(-1, node_id))
+        # Cached handles touching the node are dead.
+        for key in [k for k in self.cluster._connections if node_id in k]:
+            del self.cluster._connections[key]
+        # NIC rings and in-flight DMA die with the power.
+        for nic in stack.node.nics:
+            nic.power_off()
+        for cb in self._crash_subscribers:
+            cb(node_id)
+
+    def restart(self, node_id: int) -> None:
+        """Bring a crashed node back as a fresh incarnation."""
+        st = self.nodes[node_id]
+        if not st.crashed:
+            return
+        st.crashed = False
+        st.restart_count += 1
+        st.incarnation += 1
+        self.restarts += 1
+        stack = self.cluster.stacks[node_id]
+        stack.protocol.incarnation = st.incarnation
+        for nic in stack.node.nics:
+            nic.power_on()
+        enable_listener(stack)
+        for cb in self._restart_subscribers:
+            cb(node_id)
+
+    # -- peer-down escalation + reconnect ----------------------------------
+
+    def _teardown_connection(self, conn, exc: BaseException) -> None:
+        self.stale_frames_rejected_destroyed += conn.stale_frames_rejected
+        self.duplicate_msgs_suppressed_destroyed += conn.duplicate_msgs_suppressed
+        mon = conn.monitor
+        if mon is not None:
+            detach = getattr(mon, "detach_connection", None)
+            if detach is not None:
+                detach(conn)
+            conn.monitor = None
+        conn.destroy(exc)
+
+    def _on_peer_down(self, mgr) -> None:
+        conn = mgr.conn
+        node_id = conn.node.node_id
+        peer = conn.peer_node_id
+        if self.nodes[node_id].crashed:
+            return  # it is *this* node that died, not the peer
+        self.peer_down_events += 1
+        detected_at = self.sim.now
+        mgr.stop()
+        self.cluster.control_planes.pop((node_id, peer), None)
+        self._teardown_connection(conn, PeerCrashed(conn.conn_id, peer))
+        for ch in self.channels:
+            if ch.dead is None and ch.src == node_id and ch.dst == peer:
+                ch.on_connection_lost()
+        self.sim.process(
+            self._reconnect(node_id, peer, detected_at),
+            name=f"recovery.reconnect.{node_id}->{peer}",
+        )
+
+    def _reconnect(
+        self, node_id: int, peer: int, detected_at: int
+    ) -> Generator[Any, Any, None]:
+        stack = self.cluster.stacks[node_id]
+        try:
+            handle = yield from dial(
+                stack,
+                peer,
+                self.cluster.config.protocol,
+                backoff=self.params.reconnect_backoff,
+            )
+        except HandshakeError:
+            self.reconnects_failed += 1
+            for ch in self.channels:
+                if ch.dead is None and ch.src == node_id and ch.dst == peer:
+                    ch.fail(PeerCrashed(-1, peer))
+            return
+        latency = self.sim.now - detected_at
+        self.reconnects += 1
+        self.reconnect_latencies.append((self.sim.now, latency))
+        for watcher in self._reconnect_watchers:
+            watcher(self.sim.now, latency)
+        # Refresh the cluster's cached pair with the fresh endpoints.
+        peer_stack = self.cluster.stacks[peer]
+        peer_conn = peer_stack.protocol.connections.get(handle.conn.conn_id)
+        if peer_conn is not None:
+            peer_handle = ConnectionHandle(peer_conn, peer_stack.node)
+            key = (min(node_id, peer), max(node_id, peer))
+            self.cluster._connections[key] = (
+                (handle, peer_handle) if node_id < peer
+                else (peer_handle, handle)
+            )
+        if (
+            self.params.reattach_edge_control
+            and (node_id, peer) in self._edge_params
+        ):
+            self.cluster.enable_edge_control(
+                node_id, peer,
+                detector_params=self._edge_params[(node_id, peer)],
+            )
+        for ch in self.channels:
+            if ch.dead is None and ch.src == node_id and ch.dst == peer:
+                ch.rebind(handle)

@@ -54,6 +54,9 @@ __all__ = [
     "run_scenario",
     "shrink_scenario",
     "fingerprint",
+    "run_crash_scenario",
+    "run_incarnation_scenario",
+    "IncarnationFuzzResult",
 ]
 
 WORKLOADS = ("bulk", "small", "scatter", "read", "mixed")
@@ -487,6 +490,120 @@ def run_scenario(
         violations=tuple(str(v) for v in monitor.violations)
         if monitor is not None
         else (),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Crash fuzzing
+# ---------------------------------------------------------------------------
+
+
+def run_crash_scenario(seed: int):
+    """One randomized whole-node crash/recovery run (repro.recovery).
+
+    Parameters are drawn from their own RNG stream
+    (``multiedge-fuzz-crash:<seed>``) so the pre-existing scenario
+    derivation — and therefore every existing fingerprint — stays
+    byte-identical.  The run streams journaled messages at a receiver
+    that crashes and reboots mid-stream, with the invariant monitor
+    attached; the returned :class:`~repro.bench.crash.CrashResult` must
+    satisfy ``ok`` (exactly-once, reconnected, zero violations — which
+    includes the no-stale-frame-accepted and journal-conservation
+    checks).
+    """
+    from ..bench.crash import run_crash
+
+    rng = random.Random(f"multiedge-fuzz-crash:{seed}")
+    crash_ns = rng.randint(1 * _MS, 6 * _MS)
+    restart_delay_ns = rng.randint(200 * _US, 12 * _MS)
+    return run_crash(
+        config=rng.choice(_CONFIGS),
+        message_bytes=rng.choice((256, 1024, 2048, 4096)),
+        message_interval_ns=rng.randint(30 * _US, 200 * _US),
+        crash_ns=crash_ns,
+        restart_delay_ns=restart_delay_ns,
+        run_ns=crash_ns + restart_delay_ns + rng.randint(10 * _MS, 20 * _MS),
+        seed=seed,
+        use_monitor=True,
+    )
+
+
+@dataclass(frozen=True)
+class IncarnationFuzzResult:
+    """Outcome of one :func:`run_incarnation_scenario` run."""
+
+    seed: int
+    config: str
+    stale_frames_rejected: int
+    duplicates_suppressed: int
+    violations: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_incarnation_scenario(seed: int) -> IncarnationFuzzResult:
+    """One randomized incarnation-collision run.
+
+    Node 1 dials node 0 and streams writes; mid-flight it crashes,
+    restarts (bumping its incarnation), and — with its dial counter reset
+    by the crash — re-dials the *same* connection id.  Frames from the
+    dead incarnation still in the fabric then land on the successor
+    endpoint and must be rejected by the incarnation guard (witnessed by
+    the monitor's ``stale-frame-accepted`` invariant staying silent while
+    ``stale_frames_rejected`` counts the drops).  Parameters come from
+    their own RNG stream (``multiedge-fuzz-incarnation:<seed>``) so
+    existing fingerprints stay byte-identical.
+    """
+    from ..bench.cluster import make_cluster as _make
+    from ..core import api as _api
+    from ..core.handshake import dial, enable_listener
+
+    rng = random.Random(f"multiedge-fuzz-incarnation:{seed}")
+    _api._next_conn_id = 1
+    config = rng.choice(("2L-1G", "2Lu-1G"))
+    cluster = _make(config, nodes=2, seed=seed, synthetic_payloads=True)
+    recovery = cluster.enable_crash_recovery()
+    monitor = InvariantMonitor.attach(cluster, collect=True)
+    enable_listener(cluster.stacks[0])
+    sim = cluster.sim
+    n_before = rng.randint(8, 30)
+    n_after = rng.randint(2, 10)
+    size = rng.choice((2048, 4096, 8192))
+
+    def driver():
+        handle = yield from dial(cluster.stacks[1], 0, cluster.config.protocol)
+        for k in range(n_before):
+            yield from handle.rdma_write(k * size, k * size, size)
+        yield rng.randint(0, 30_000)
+        recovery.crash(1)
+        recovery.restart(1)
+        yield rng.randint(0, 10_000)
+        handle2 = yield from dial(cluster.stacks[1], 0, cluster.config.protocol)
+        ops = []
+        for k in range(n_after):
+            oh = yield from handle2.rdma_write(k * size, k * size, size)
+            ops.append(oh)
+        for oh in ops:
+            yield from oh.wait()
+
+    proc = sim.process(driver(), name="fuzz.incarnation")
+    sim.run_until_done(proc, limit=2_000_000_000)
+    sim.run()
+    monitor.final_check()
+    stale = recovery.stale_frames_rejected_destroyed
+    dups = recovery.duplicate_msgs_suppressed_destroyed
+    for stack in cluster.stacks:
+        for conn in stack.protocol.connections.values():
+            stale += conn.stale_frames_rejected
+            dups += conn.duplicate_msgs_suppressed
+    return IncarnationFuzzResult(
+        seed=seed,
+        config=config,
+        stale_frames_rejected=stale,
+        duplicates_suppressed=dups,
+        violations=tuple(str(v) for v in monitor.violations),
     )
 
 

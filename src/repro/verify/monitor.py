@@ -53,6 +53,13 @@ Checked invariants (see docs/PROTOCOL.md "Protocol invariants"):
     retransmitted_frames``; explicit ACK/NACK counts match stats; no
     unregistered seq ever hits the wire.
 
+**Crash recovery (repro.recovery)**
+  * no stale frame accepted: every frame that passes the receive path's
+    incarnation guard carries the negotiated peer incarnation,
+  * journal conservation (final): every journaled message is in exactly
+    one of {pending, delivered}; jseqs are contiguous from 0; every
+    delivered entry appears in the receiver's durable delivery log.
+
 **Final (quiesced end-of-run)**
   * CPU conservation: each node's summed resource busy time equals the
     sum of per-tag accounting charges,
@@ -464,6 +471,11 @@ class InvariantMonitor:
                 mon.attach_connection(conn)
         for mgr in cluster.control_planes.values():
             mgr.invariant_monitor = mon
+        recovery = getattr(cluster, "recovery", None)
+        if recovery is not None:
+            # Connections created mid-run by the reconnect loop must be
+            # monitored too; the recovery layer attaches them on creation.
+            recovery.monitor = mon
         return mon
 
     def attach_connection(self, conn: "Connection") -> ConnectionMonitor:
@@ -474,6 +486,17 @@ class InvariantMonitor:
             self.conn_monitors[key] = cm
             conn.monitor = self
         return cm
+
+    def detach_connection(self, conn: "Connection") -> None:
+        """Stop monitoring one endpoint (it is about to be destroyed).
+
+        A crashed or torn-down connection legitimately violates the
+        steady-state invariants (cleared window, failed ops); the
+        recovery layer detaches it before destruction.
+        """
+        self.conn_monitors.pop((conn.conn_id, conn.node.node_id), None)
+        if conn.monitor is self:
+            conn.monitor = None
 
     def detach(self) -> None:
         """Remove every hook installed by :meth:`attach`."""
@@ -495,6 +518,19 @@ class InvariantMonitor:
         cm = self.conn_monitors.get((conn.conn_id, conn.node.node_id))
         if cm is not None:
             cm.check()
+
+    def on_rx_frame(self, conn: "Connection", frame: "Frame") -> None:
+        """No-stale-frame-accepted: runs *after* the incarnation guard."""
+        if (
+            conn.recovery is not None
+            and frame.incarnation != conn.peer_incarnation
+        ):
+            self._violation(
+                "stale-frame-accepted",
+                f"frame incarnation {frame.incarnation} != negotiated peer "
+                f"incarnation {conn.peer_incarnation}",
+                f"conn={conn.conn_id} node={conn.node.node_id}",
+            )
 
     def on_ack(self, conn: "Connection", cum_ack: int, freed: list) -> None:
         cm = self.conn_monitors.get((conn.conn_id, conn.node.node_id))
@@ -579,6 +615,42 @@ class InvariantMonitor:
         if self.cluster is not None:
             for node in self.cluster.nodes:
                 self._check_node_quiesced(node)
+        recovery = getattr(self.cluster, "recovery", None)
+        if recovery is not None:
+            self._check_journals(recovery)
+
+    def _check_journals(self, recovery: Any) -> None:
+        """Journal conservation + delivered-implies-logged, per channel."""
+        for ch in recovery.channels:
+            where = f"channel {ch.src}->{ch.dst}"
+            entries = ch.journal.entries
+            for i, e in enumerate(entries):
+                if e.jseq != i:
+                    self._violation(
+                        "journal-jseq-gap",
+                        f"entry {i} carries jseq {e.jseq}",
+                        where,
+                    )
+            delivered = sum(1 for e in entries if e.delivered)
+            if delivered != ch.journal.delivered_count:
+                self._violation(
+                    "journal-conservation",
+                    f"delivered_count {ch.journal.delivered_count} != "
+                    f"{delivered} delivered entries (of {len(entries)})",
+                    where,
+                )
+            if ch.dead is not None:
+                continue  # sender crashed: its journal is fail-stop garbage
+            sender_inc = recovery.nodes[ch.src].incarnation
+            log = recovery.nodes[ch.dst].delivered
+            for e in entries:
+                if e.delivered and (ch.src, sender_inc, e.jseq) not in log:
+                    self._violation(
+                        "journal-delivered-unlogged",
+                        f"entry {e.jseq} acked but absent from the "
+                        f"receiver's delivery log",
+                        where,
+                    )
 
     def _check_node_quiesced(self, node: Any) -> None:
         where = f"node={node.node_id}"

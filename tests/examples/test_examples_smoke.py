@@ -109,6 +109,15 @@ def test_mp_stencil():
     assert "(OK)" in out  # parallel result matches the sequential reference
 
 
+def test_node_crash():
+    mod = load_example("node_crash")
+    mod.RUN_NS = 30 * 1_000_000  # shrink the post-recovery tail
+    out = run_main(mod)
+    assert "delivered exactly once=True" in out
+    assert "invariant violations=0" in out
+    assert "reconnected" in out
+
+
 def test_run_application():
     out = run_main(load_example("run_application"), argv=["fft", "1L-1G", "2"])
     assert "running fft" in out

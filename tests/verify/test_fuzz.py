@@ -47,6 +47,28 @@ class TestRunScenario:
         assert res.ok and res.checks == 0
 
 
+class TestFingerprintRegression:
+    # Pinned fingerprints from before the crash-recovery subsystem landed.
+    # The no-crash path must stay bit-identical: new crash fuzz streams
+    # draw from their own RNGs, frame incarnation stamping is gated on
+    # recovery being enabled, and no ConnectionStats field was added.
+    PINNED = {
+        0: "9602b13563a225033d17f44a8a7f6a000f1b3aead3b7963aa5c0ca5e7e52a5dd",
+        1: "7170900315165228ba1ed4ae8da7bb44c21b88c9ee64e60bb7f938c2b8699302",
+        7: "a35296563d99515e316e117ef054870dd6e0b7dc34ebec061a8eb1fb1839ac23",
+        42: "54c8bf57395628440066e52fa19dc508abb7d9180530e7c1ab85d0bfff4ca7c4",
+        123: "8e62a7d62f364e104b71b44a396848168507bac1306179dbe03f2a1a9440fea0",
+    }
+
+    def test_no_crash_fingerprints_unchanged(self):
+        for seed, expected in self.PINNED.items():
+            res = run_scenario(scenario_from_seed(seed))
+            assert res.ok, f"seed {seed}: {res.failure}"
+            assert res.fingerprint == expected, (
+                f"seed {seed} fingerprint drifted: {res.fingerprint}"
+            )
+
+
 class TestShrinker:
     def test_reduces_to_minimal_failing_case(self):
         sc = scenario_from_seed(5, "small", "chaos")

@@ -124,26 +124,44 @@ def measure_engines(frames: int = 50_000, repeats: int = 3) -> dict:
 # ---------------------------------------------------------------------------
 
 def _time_stack_point(
-    config: str, benchmark: str, size: int, repeats: int = 3
+    config: str,
+    benchmark: str,
+    size: int,
+    repeats: int = 3,
+    fastpath: bool = False,
 ) -> dict:
-    """Best-of-N wall time for one uncached micro point on this tree."""
+    """Best-of-N wall time for one uncached micro point on this tree.
+
+    Phases are timed separately — ``setup`` (cluster construction and
+    wiring) and ``run`` (the actual simulation, with its own events/s) —
+    so a hot-path change shows up where it acts instead of being diluted
+    by constant setup cost.
+    """
     best = None
     for _ in range(repeats):
+        t0 = time.perf_counter()
         cluster = make_cluster(
-            config, nodes=2, seed=0, synthetic_payloads=True
+            config, nodes=2, seed=0, synthetic_payloads=True,
+            fastpath=fastpath,
         )
+        setup_s = time.perf_counter() - t0
         iterations = 10 if size >= 262144 else None
         start = time.perf_counter()
         run_micro(benchmark, cluster, size, iterations=iterations)
         wall = time.perf_counter() - start
         if best is None or wall < best["wall_s"]:
+            events = cluster.sim.events_processed
             best = {
-                "wall_s": round(wall, 4),
-                "events": cluster.sim.events_processed,
+                "wall_s": round(wall, 4),  # run phase only (setup excluded)
+                "setup_s": round(setup_s, 4),
+                "events": events,
+                "events_per_sec": round(events / wall) if wall > 0 else 0,
                 "heap_pushes": cluster.sim.heap_pushes,
                 "fastlane_hits": cluster.sim.fastlane_hits,
                 "cancelled_popped": cluster.sim.cancelled_popped,
             }
+            if fastpath and cluster.fastpath is not None:
+                best["fastpath"] = cluster.fastpath.stats.to_dict()
     return best
 
 
@@ -229,9 +247,16 @@ def test_engine_speed_smoke():
     """Sanity floors on engine throughput (the ``bench-smoke`` invocation)."""
     engines = measure_engines()
     point = _time_stack_point("1L-1G", "one-way", 1_048_576, repeats=2)
+    point_ff = _time_stack_point(
+        "1L-1G", "one-way", 1_048_576, repeats=2, fastpath=True
+    )
     report = {
         "engine_mix": engines,
         "stack_one_way_1L_1G_1MB": point,
+        "stack_one_way_1L_1G_1MB_fastpath": point_ff,
+        "fastpath_speedup_one_way_1MB": round(
+            point["wall_s"] / point_ff["wall_s"], 3
+        ) if point_ff["wall_s"] > 0 else None,
     }
     _merge_bench_json(report)
     print(json.dumps(report, indent=2))
@@ -250,10 +275,15 @@ def test_engine_speed_full():
     report = {"engine_mix": engines}
 
     # Per-figure wall times: the three micro benchmarks at their 1 MB peak
-    # (the points every Figure-2 panel is bottlenecked on).
+    # (the points every Figure-2 panel is bottlenecked on), each with a
+    # fastpath-enabled twin so the comparison shows where fast-forward
+    # helps (one-way arms; ping-pong and two-way stay frame-level).
     for benchmark in ("one-way", "ping-pong", "two-way"):
         report[f"stack_{benchmark}_1L_1G_1MB"] = _time_stack_point(
             "1L-1G", benchmark, 1_048_576
+        )
+        report[f"stack_{benchmark}_1L_1G_1MB_fastpath"] = _time_stack_point(
+            "1L-1G", benchmark, 1_048_576, fastpath=True
         )
 
     # Seed-tree comparison on the headline point.

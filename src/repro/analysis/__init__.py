@@ -3,6 +3,7 @@
 from .probes import (
     CwndProbe,
     EdgeScoreProbe,
+    FastForwardProbe,
     InflightProbe,
     MarkedFractionProbe,
     PacingStallProbe,
@@ -27,6 +28,7 @@ __all__ = [
     "CwndProbe",
     "MarkedFractionProbe",
     "PacingStallProbe",
+    "FastForwardProbe",
     "ReconnectLatencyProbe",
     "Sample",
     "ClusterSummary",

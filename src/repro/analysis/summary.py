@@ -81,6 +81,13 @@ class ClusterSummary:
     edges_failed: int = 0  # transitions into DOWN
     edges_recovered: int = 0  # DOWN/RECOVERING -> UP transitions
     frames_migrated: int = 0  # in-flight frames re-striped off dead rails
+    # Hybrid-fidelity fast path (repro.fastpath; all zero when disabled).
+    ff_jumps: int = 0
+    ff_aborts: int = 0
+    ff_ops_synthesized: int = 0
+    ff_virtual_ns: int = 0  # virtual time covered by closed-form jumps
+    ff_bytes: int = 0  # payload bytes moved analytically
+    ff_frames: int = 0  # data frames synthesized instead of simulated
     # Crash recovery (repro.recovery; all zero without crash faults).
     node_crashes: int = 0
     node_restarts: int = 0
@@ -115,6 +122,20 @@ class ClusterSummary:
     def interrupt_coalescing_factor(self) -> float:
         """Frames per interrupt (paper Fig 5: 'total coalescing factor')."""
         return self.wire_frames / self.irqs if self.irqs else 0.0
+
+    @property
+    def ff_time_coverage_pct(self) -> float:
+        """Percent of virtual time simulated analytically (fastpath)."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return 100.0 * self.ff_virtual_ns / self.elapsed_ns
+
+    @property
+    def ff_byte_coverage_pct(self) -> float:
+        """Percent of transferred payload bytes moved analytically."""
+        if self.data_bytes <= 0:
+            return 0.0
+        return 100.0 * self.ff_bytes / self.data_bytes
 
 
 def summarize_cluster(
@@ -199,6 +220,8 @@ def summarize_cluster(
         for t in edge_history
         if t.new.value == "up" and t.old.value in ("down", "recovering")
     )
+    manager = getattr(cluster, "fastpath", None)
+    ff = manager.stats if manager is not None else None
     n = len(cluster.stacks)
     proto_frac = (
         sum(s.node.protocol_cpu_time() / elapsed for s in cluster.stacks) / n
@@ -236,6 +259,12 @@ def summarize_cluster(
         cwnd_final_mean=(
             sum(cwnd_finals) / len(cwnd_finals) if cwnd_finals else 0.0
         ),
+        ff_jumps=ff.jumps if ff else 0,
+        ff_aborts=ff.aborts if ff else 0,
+        ff_ops_synthesized=ff.ops_synthesized if ff else 0,
+        ff_virtual_ns=ff.ff_virtual_ns if ff else 0,
+        ff_bytes=ff.ff_bytes if ff else 0,
+        ff_frames=ff.ff_frames if ff else 0,
         rails=rails,
         edge_history=edge_history,
         edges_failed=edges_failed,

@@ -58,6 +58,10 @@ class ClusterConfig:
     seed: int = 0
     leaf_switches: int = 1
     uplink_speed_bps: Optional[float] = None
+    # Hybrid-fidelity fast path (repro.fastpath): fast-forward flows in
+    # analytic steady state instead of simulating every frame.  Off by
+    # default — frame-level traces stay bit-identical to the seed engine.
+    fastpath: bool = False
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -196,6 +200,11 @@ class Cluster:
         # fault or an explicit enable_crash_recovery() asks for it, so the
         # default path carries zero recovery state.
         self.recovery = None
+        # Flow-level fast-forward manager (repro.fastpath); None keeps
+        # every connection on the exact frame-level path.
+        self.fastpath = None
+        if config.fastpath:
+            self.enable_fastpath()
 
     def _wire_flat(self, nodes) -> None:
         config = self.config
@@ -301,6 +310,9 @@ class Cluster:
                 self.stacks[key[0]], self.stacks[key[1]], self.config.protocol
             )
             self._connections[key] = (a, b)
+            if self.fastpath is not None:
+                self.fastpath.attach(a.conn)
+                self.fastpath.attach(b.conn)
         a, b = self._connections[key]
         return (a, b) if i < j else (b, a)
 
@@ -356,6 +368,22 @@ class Cluster:
                     self.recovery.watch_manager(mgr)
             managers.append(mgr)
         return managers[0], managers[1]
+
+    def enable_fastpath(self):
+        """Attach the hybrid-fidelity fast path (idempotent).
+
+        Installs a :class:`~repro.fastpath.FastpathManager`: existing and
+        future connections get a flow-level forwarder, and every link,
+        NIC, and switch port gets a discontinuity guard that aborts jumps
+        on faults, ECN marks, queue pressure, or power events.  Returns
+        the manager.
+        """
+        if self.fastpath is None:
+            from ..fastpath import FastpathManager
+
+            self.fastpath = FastpathManager(self)
+            self.fastpath.attach_all()
+        return self.fastpath
 
     def enable_crash_recovery(self, params=None):
         """Attach the whole-node crash/recovery coordinator (idempotent).

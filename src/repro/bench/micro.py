@@ -100,6 +100,8 @@ def _reset_measurement(cluster: Cluster) -> None:
         for conn in stack.protocol.connections.values():
             conn.stats = ConnectionStats()
         stack.node.reset_accounting()
+    if cluster.fastpath is not None:
+        cluster.fastpath.stats.reset()
 
 
 def run_ping_pong(

@@ -57,6 +57,16 @@ class AdaptiveController(CongestionController):
         self._cwnd *= factor
         return True
 
+    def cwnd_stable(self, now: int) -> bool:
+        """Stable once the window sits at the flow-control cap and no cut
+        happened within the last few round trips (a recent cut means the
+        controller is still probing back up, so frame-level dynamics
+        matter)."""
+        return (
+            int(self._cwnd) >= self.window.size
+            and now - self._last_cut_ns >= 4 * self._srtt_ns
+        )
+
     def _note_rtt(self, rtt_sample_ns: Optional[int]) -> None:
         if rtt_sample_ns is None or rtt_sample_ns <= 0:
             return

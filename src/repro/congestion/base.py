@@ -150,6 +150,16 @@ class CongestionController:
         """Rate for the NIC token bucket, or None to transmit unpaced."""
         return None
 
+    def cwnd_stable(self, now: int) -> bool:
+        """Is the congestion window in analytic steady state?
+
+        The fast-forward detector (:mod:`repro.fastpath`) only arms while
+        this holds: the closed-form transfer model assumes the window
+        neither grows nor gets cut mid-jump.  The static policy imposes
+        no congestion limit, so it is always stable.
+        """
+        return True
+
 
 class StaticWindow(CongestionController):
     """Today's behaviour: the flow-control window is the only limit.

@@ -139,6 +139,11 @@ class EdgeLifecycleManager:
         self, rail: int, old: EdgeState, new: EdgeState, now: int, reason: str
     ) -> None:
         self.history.append(EdgeTransition(now, rail, old, new, reason))
+        fastpath = getattr(self.conn, "fastpath", None)
+        if fastpath is not None:
+            # Any heartbeat-driven edge state change is a discontinuity for
+            # the flow-level fast-forward model.
+            fastpath.on_discontinuity("edge-transition")
         if self.invariant_monitor is not None:
             self.invariant_monitor.on_edge_transition(self, rail, old, new, reason)
         if self.tracer is not None and self.tracer.is_enabled("edge.state"):

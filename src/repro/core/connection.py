@@ -250,6 +250,9 @@ class Connection:
         # Opt-in invariant monitor (repro.verify); None in normal runs so
         # every hook below is a single attribute test.
         self.monitor: Optional[Any] = None
+        # Opt-in flow-level fast-forward (repro.fastpath); None keeps the
+        # pump on the exact frame-level path.
+        self.fastpath: Optional[Any] = None
 
         # ---- receive state ----
         self.tracker = ReceiveTracker()
@@ -503,6 +506,12 @@ class Connection:
 
     def pump(self, cpu: Cpu, tag: str = "protocol.send") -> Generator[Any, Any, None]:
         """Transmit as much as the window, fences, and TX rings allow."""
+        fastpath = self.fastpath
+        if fastpath is not None and fastpath.offer(self):
+            # The flow is in analytic steady state: the forwarder took
+            # ownership of everything queued and will synthesize the whole
+            # cascade (including this pump's CPU charges) at op boundaries.
+            return
         per_frame = self.node.params.per_frame_send_ns
         stats = self.stats
         while True:
@@ -945,6 +954,10 @@ class Connection:
         """
         if exc is None:
             exc = PeerCrashed(self.conn_id, self.peer_node_id)
+        fastpath = self.fastpath
+        if fastpath is not None:
+            fastpath.on_discontinuity("endpoint-destroyed")
+            self.fastpath = None
         failed = self.fail_pending_ops(exc)
         self.closed = True
         self.retransmit_timer.cancel()

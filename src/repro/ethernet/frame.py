@@ -37,6 +37,7 @@ __all__ = [
     "Frame",
     "wire_time_ns",
     "max_payload_per_frame",
+    "frame_sizes",
 ]
 
 ETH_HEADER_BYTES = 14
@@ -177,6 +178,31 @@ def max_payload_per_frame() -> int:
     return _MAX_PAYLOAD
 
 
+# payload_length -> (mac_payload_bytes, wire_bytes).  Only ~2-3 distinct
+# payload lengths occur per run (full MTU fragments plus one tail size per
+# transfer size), so the dict stays tiny while the hot Frame constructor
+# skips the header-size arithmetic and min-payload branch per frame.
+_SIZE_CACHE: dict[int, tuple[int, int]] = {}
+
+
+def frame_sizes(payload_length: int) -> tuple[int, int]:
+    """``(mac_payload_bytes, wire_bytes)`` for a MultiEdge frame.
+
+    ``mac_payload_bytes`` is everything between the Ethernet header and the
+    CRC (MultiEdge header + payload, padded up to the 46-byte minimum);
+    ``wire_bytes`` adds the fixed physical-layer overhead.
+    """
+    cached = _SIZE_CACHE.get(payload_length)
+    if cached is not None:
+        return cached
+    mac_payload = MULTIEDGE_HEADER_BYTES + payload_length
+    if mac_payload < ETH_MIN_PAYLOAD:
+        mac_payload = ETH_MIN_PAYLOAD
+    sizes = (mac_payload, mac_payload + ETH_OVERHEAD_BYTES)
+    _SIZE_CACHE[payload_length] = sizes
+    return sizes
+
+
 _frame_counter = 0
 
 
@@ -245,11 +271,10 @@ class Frame:
             )
         # Bytes between Ethernet header and CRC (padded to the minimum),
         # and total link-time bytes including physical-layer overhead.
-        mac_payload = MULTIEDGE_HEADER_BYTES + payload_length
-        if mac_payload < ETH_MIN_PAYLOAD:
-            mac_payload = ETH_MIN_PAYLOAD
-        self.mac_payload_bytes = mac_payload
-        self.wire_bytes = mac_payload + ETH_OVERHEAD_BYTES
+        sizes = _SIZE_CACHE.get(payload_length)
+        if sizes is None:
+            sizes = frame_sizes(payload_length)
+        self.mac_payload_bytes, self.wire_bytes = sizes
 
     @property
     def is_data(self) -> bool:

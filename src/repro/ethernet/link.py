@@ -75,6 +75,9 @@ class Link:
         self._fold = None
         self._last_arrival = 0
         self._failed_until = -1
+        # Fast-forward discontinuity guard (repro.fastpath); a fault or
+        # repair on this link aborts any in-progress flow-level jump.
+        self.fastpath_guard: Optional[object] = None
         # Counters.
         self.frames_delivered = 0
         self.frames_corrupted = 0
@@ -92,14 +95,22 @@ class Link:
     def fail_for(self, duration_ns: int) -> None:
         """Start a transient outage: frames sent before ``now + duration`` die."""
         self._failed_until = max(self._failed_until, self.sim.now + duration_ns)
+        self._bump_fastpath("link-outage")
 
     def fail_forever(self) -> None:
         """Permanent failure: every frame dies until :meth:`repair`."""
         self._failed_until = 1 << 62
+        self._bump_fastpath("link-outage")
 
     def repair(self) -> None:
         """End any outage immediately (cable replaced / port re-enabled)."""
         self._failed_until = -1
+        self._bump_fastpath("link-repair")
+
+    def _bump_fastpath(self, reason: str) -> None:
+        guard = self.fastpath_guard
+        if guard is not None:
+            guard.bump(reason)
 
     @property
     def failed(self) -> bool:

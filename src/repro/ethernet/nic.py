@@ -117,6 +117,9 @@ class Nic:
         # Optional invariant monitor wire tap (repro.verify); same guarded
         # single-attribute-test pattern as the tracer.
         self.monitor = None
+        # Fast-forward discontinuity guard (repro.fastpath); power events
+        # on this NIC abort any in-progress flow-level jump.
+        self.fastpath_guard = None
 
         self.interrupts_enabled = True
         # Optional token-bucket pacer (repro.congestion.pacing.TokenBucket);
@@ -364,6 +367,8 @@ class Nic:
         """
         if not self.powered:
             return
+        if self.fastpath_guard is not None:
+            self.fastpath_guard.bump("nic-power-off")
         self.powered = False
         self._power_epoch += 1
         self._rx_pending.clear()
@@ -382,6 +387,8 @@ class Nic:
         """Restart: rings were already cleared at power-off."""
         if self.powered:
             return
+        if self.fastpath_guard is not None:
+            self.fastpath_guard.bump("nic-power-on")
         self.powered = True
         self.interrupts_enabled = True
 

@@ -86,6 +86,9 @@ class SwitchPort:
         self.peak_queue_depth = 0
         self.tx_frames = 0
         self.ce_marked = 0
+        # Fast-forward discontinuity guard (repro.fastpath); a CE mark, a
+        # queue drop, or a pause on this port aborts any flow-level jump.
+        self.fastpath_guard = None
 
     def attach_link(self, link: Link, speed_bps: float) -> None:
         self.tx_link = link
@@ -123,6 +126,8 @@ class SwitchPort:
         frame.header.flags |= ECN_CE
         self.ce_marked += 1
         self.switch.ce_marked_total += 1
+        if self.fastpath_guard is not None:
+            self.fastpath_guard.bump("ecn-mark")
 
     def enqueue(self, frame: Frame) -> bool:
         params = self.switch.params
@@ -141,9 +146,13 @@ class SwitchPort:
                 self._paused.append(frame)
                 self.paused_frames += 1
                 self._note_depth()
+                if self.fastpath_guard is not None:
+                    self.fastpath_guard.bump("switch-pause")
                 return True
             self.dropped_queue_full += 1
             self.switch.dropped_total += 1
+            if self.fastpath_guard is not None:
+                self.fastpath_guard.bump("switch-drop")
             return False
         if mark:
             self._mark_ce(frame)

@@ -1,0 +1,552 @@
+"""Flow-level fast-forward: closed-form jumps over steady-state stretches.
+
+A :class:`FlowForwarder` sits on ``connection.fastpath`` and intercepts
+the pump.  When the steady-state detector clears the flow, the forwarder
+*plans* every queued frame descriptor through the :class:`PathModel` —
+walking the striping policy per frame so per-rail byte deficits advance
+exactly as the frame path would — and schedules **one** cancellable
+engine event per operation at the instant the receiver would finish
+processing its last frame.  Descriptors stay in ``conn.unsent`` until
+that event fires, so an abort rewinds an unfinished operation wholesale
+to its pre-jump state.
+
+At each op event the forwarder synthesizes, atomically, every side
+effect the frame cascade would have produced: sequence/window advance,
+send/receive/ack counters, ordering and watermark state, notification
+delivery, memory writes, NIC/switch/link/kernel counters, and tagged CPU
+charges on both hosts.  Any discontinuity — a fault, an ECN mark, a
+queue drop, an edge-state transition, a NIC power event — bumps the
+:class:`FastpathManager` guard, which aborts every active jump at that
+boundary and drops the flows back to frame level.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..core.connection import Notification, Operation
+from ..core.ordering import InOrderDelivery, RxOpState
+from ..ethernet.frame import OpFlags, frame_sizes
+from .detector import UNSUPPORTED_OP_FLAGS, disqualify_reason
+from .model import PathModel
+from .stats import FastpathStats
+
+__all__ = ["FlowForwarder", "FastpathManager"]
+
+
+class _PlannedOp:
+    """One operation's analytically computed completion."""
+
+    __slots__ = (
+        "op", "n_frames", "payload_bytes", "t_event", "entry", "rail_tx",
+        "writes", "memcpy_total", "n_irqs", "base_address", "strip_snapshot",
+    )
+
+    def __init__(self, op) -> None:
+        self.op = op
+        self.n_frames = 0
+        self.payload_bytes = 0
+        self.t_event = 0
+        self.entry = None
+        self.rail_tx: dict[int, list[int]] = {}  # rail -> [frames, wire_bytes]
+        self.writes: list[tuple[int, bytes]] = []
+        self.memcpy_total = 0
+        self.n_irqs = 0
+        self.base_address = 1 << 62
+        self.strip_snapshot = None
+
+
+def _snapshot_striping(striping):
+    cursor = getattr(striping, "_cursor", None)
+    assigned = getattr(striping, "_assigned_bytes", None)
+    if cursor is None and assigned is None:
+        return None
+    return (cursor, list(assigned) if assigned is not None else None)
+
+
+def _restore_striping(striping, snapshot) -> None:
+    if snapshot is None:
+        return
+    cursor, assigned = snapshot
+    if cursor is not None:
+        striping._cursor = cursor
+    if assigned is not None:
+        striping._assigned_bytes[:] = assigned
+
+
+class FlowForwarder:
+    """Per-endpoint fast-forward state for one connection direction."""
+
+    def __init__(self, manager: "FastpathManager", conn, peer) -> None:
+        self.manager = manager
+        self.conn = conn
+        self.peer = peer
+        self.stats = manager.stats
+        self.model = PathModel(conn, peer, manager.cluster)
+        self.active = False
+        self._pending: deque[_PlannedOp] = deque()
+        self._planned_descs = 0  # descs at the head of unsent already planned
+        # Fluid timeline (absolute ns), valid while active.
+        self._rail_free: list[int] = []
+        self._sw_free: list[int] = []
+        self._tx_cpu_free = 0
+        self._rx_cpu_free = 0
+        self._cover_from = 0
+
+    # -- pump hook ---------------------------------------------------------
+
+    def offer(self, conn) -> bool:
+        """Claim this pump call; True means the frame path must not run."""
+        if self.active:
+            # Absorb work queued mid-jump (back-to-back submissions, pump
+            # calls from probe RX tails).  An unsupported descriptor is a
+            # discontinuity: abort and let the frame path take over.
+            if self._plan_new():
+                return True
+            self.abort("mid-jump-unsupported-op", pump=False)
+            return False
+        if not conn.unsent:
+            return False
+        # This endpoint is about to transmit.  If the reverse direction is
+        # mid-jump, its model assumed a dedicated receive CPU and idle
+        # return path over here — no longer true, so that jump aborts at
+        # this boundary (unfinished ops rewind and go frame-level).
+        peer_fwd = self.peer.fastpath
+        if peer_fwd is not None and peer_fwd.active:
+            peer_fwd.abort("reverse-traffic")
+        reason = disqualify_reason(self)
+        if reason is not None:
+            self.stats.deny(reason)
+            return False
+        self._arm()
+        if not self._plan_new() or not self._pending:
+            self._teardown("arming-unsupported-op")
+            return False
+        self.stats.jumps += 1
+        return True
+
+    def on_discontinuity(self, reason: str) -> None:
+        """Connection-local discontinuity (edge transition, teardown)."""
+        self.manager.bump(reason)
+
+    # -- arming / planning -------------------------------------------------
+
+    def _arm(self) -> None:
+        sim = self.conn.sim
+        now = sim.now
+        self.active = True
+        self._rail_free = [
+            max(now, nic._line_free_at) for nic in self.conn.nics
+        ]
+        self._sw_free = [now] * len(self.conn.nics)
+        self._tx_cpu_free = now
+        self._rx_cpu_free = now
+        self._cover_from = now
+        # The first window's worth of TX-completion interrupts fire while
+        # the sender is still window-blocked (CPU otherwise idle), so they
+        # never delay a delivery; only once the flow is ack-clocked does
+        # each completion batch serialize with the pump.
+        self._tx_irq_free_frames = self.conn.window.limit
+
+    def _plan_new(self) -> bool:
+        """Plan unplanned descriptors; False on an unsupported shape."""
+        conn = self.conn
+        unsent = conn.unsent
+        start = self._planned_descs
+        if start >= len(unsent):
+            return True
+        m = self.model
+        sim = conn.sim
+        now = sim.now
+        striping = conn.striping
+        if self._tx_cpu_free < now:
+            self._tx_cpu_free = now
+        if self._rx_cpu_free < now:
+            self._rx_cpu_free = now
+        rail_free = self._rail_free
+        sw_free = self._sw_free
+        rec: Optional[_PlannedOp] = None
+        t_deliver = self._rx_cpu_free
+        for i in range(start, len(unsent)):
+            desc = unsent[i]
+            op = desc.op
+            if (
+                desc.is_read_req
+                or op.kind != Operation.WRITE
+                or op.flags & UNSUPPORTED_OP_FLAGS
+            ):
+                return False
+            if rec is None or rec.op is not op:
+                if rec is not None:
+                    self._commit_planned(rec, t_deliver, sim)
+                rec = _PlannedOp(op)
+                rec.strip_snapshot = _snapshot_striping(striping)
+            plen = desc.payload_len
+            _, wire = frame_sizes(plen)
+            rail = striping.next_rail(plen or 64)
+            if rail is None:
+                return False
+            wt = m.wire_ns(wire)
+            tx_cost = m.tx_busy_ns
+            if self._tx_irq_free_frames > 0:
+                tx_cost -= m.tx_irq_amortized_ns
+                self._tx_irq_free_frames -= 1
+            self._tx_cpu_free += tx_cost
+            depart = max(
+                self._tx_cpu_free + m.tx_dma_ns + m.jitter_mean_ns,
+                rail_free[rail],
+            ) + wt
+            rail_free[rail] = depart
+            out = max(depart + m.prop_ns + m.fwd_ns, sw_free[rail]) + wt
+            sw_free[rail] = out
+            visible = out + m.prop_ns + m.rx_dma_ns
+            cost = m.per_frame_recv_ns + m.memcpy_ns(plen)
+            t_deliver = (
+                max(visible + m.irq_latency_ns, self._rx_cpu_free)
+                + cost
+                + m.irq_amortized_ns
+            )
+            self._rx_cpu_free = t_deliver
+            rec.n_frames += 1
+            rec.payload_bytes += plen
+            rec.memcpy_total += m.memcpy_ns(plen)
+            if desc.remote_address < rec.base_address:
+                rec.base_address = desc.remote_address
+            tx = rec.rail_tx.get(rail)
+            if tx is None:
+                rec.rail_tx[rail] = [1, wire]
+            else:
+                tx[0] += 1
+                tx[1] += wire
+            if desc.payload is not None:
+                rec.writes.append((desc.remote_address, desc.payload))
+            self._planned_descs += 1
+        if rec is not None:
+            self._commit_planned(rec, t_deliver, sim)
+        return True
+
+    def _commit_planned(self, rec: _PlannedOp, t_deliver: int, sim) -> None:
+        rec.n_irqs = -(-rec.n_frames // self.model.frames_per_irq)
+        rec.t_event = max(t_deliver, sim.now + 1)
+        rec.entry = sim.schedule_cancellable(
+            rec.t_event - sim.now, self._fire, rec
+        )
+        self._pending.append(rec)
+
+    # -- synthesis ---------------------------------------------------------
+
+    def _fire(self, rec: _PlannedOp) -> None:
+        if not self.active or not self._pending or self._pending[0] is not rec:
+            return
+        self._pending.popleft()
+        conn = self.conn
+        peer = self.peer
+        sim = conn.sim
+        now = sim.now
+        m = self.model
+        op = rec.op
+        n = rec.n_frames
+
+        # Sender: consume the descriptors and advance the send window as
+        # if every frame had been transmitted and cumulatively acked.
+        unsent = conn.unsent
+        for _ in range(n):
+            unsent.popleft()
+        self._planned_descs -= n
+        conn.window.next_seq += n
+        cs = conn.stats
+        cs.data_frames_sent += n
+        cs.data_bytes_sent += rec.payload_bytes
+        cs.piggybacked_acks += n
+        cs.pump_charged_ns += n * m.per_frame_send_ns
+        conn.ack_policy.on_ack_emitted(conn.tracker.cum_ack, piggybacked=True)
+        conn._cancel_delayed_ack()
+
+        # Receiver: deliver the operation in sequence.
+        peer.tracker.expected += n
+        ordering = peer.ordering
+        if isinstance(ordering, InOrderDelivery):
+            ordering._next_apply += n
+        ps = peer.stats
+        ps.data_frames_received += n
+        ps.data_bytes_received += rec.payload_bytes
+        rx = ordering.ops.get(op.op_seq)
+        if rx is None:
+            rx = RxOpState(
+                op_id=op.op_id,
+                op_seq=op.op_seq,
+                flags=int(op.flags),
+                length=op.length,
+            )
+            ordering.ops[op.op_seq] = rx
+        if rec.base_address < rx.base_address:
+            rx.base_address = rec.base_address
+        rx.bytes_applied += rec.payload_bytes
+        if rec.writes:
+            memory = peer.node.memory
+            for address, data in rec.writes:
+                memory.write(address, data)
+        if rx.bytes_applied >= rx.length and not rx.complete:
+            rx.complete = True
+            rx.src_node = peer.peer_node_id
+            ordering._advance_watermark()
+            if rx.wants_notification() and not rx.is_read_request:
+                peer.notifications.put(
+                    Notification(
+                        op_id=rx.op_id,
+                        src_node=peer.peer_node_id,
+                        address=rx.base_address,
+                        length=rx.length,
+                        delivered_at=now,
+                    )
+                )
+                ps.notifications_delivered += 1
+
+        # Explicit acks at the receiver's cadence; the tail remainder is
+        # flushed by the delayed-ack path once the stream goes idle, so
+        # the final planned op carries it.
+        ap = peer.ack_policy
+        unacked = ap._unacked_frames + n
+        acks, remainder = divmod(unacked, ap.params.ack_every_frames)
+        if not self._pending and remainder:
+            acks += 1
+            remainder = 0
+        if acks:
+            ps.explicit_acks_sent += acks
+            cs.explicit_acks_received += acks
+            ap.on_ack_emitted(peer.tracker.cum_ack, piggybacked=False)
+        ap._unacked_frames = remainder
+
+        # Operation completion (ack covering the last frame).
+        op.frames_acked = op.frames_total
+        if not op.completed:
+            conn._complete_local_op(op)
+
+        self._charge_cpu(rec, acks)
+        self._count_devices(rec, acks)
+
+        st = self.stats
+        st.ops_synthesized += 1
+        st.ff_frames += n
+        st.ff_bytes += rec.payload_bytes
+        st.ff_acks += acks
+        st.ff_virtual_ns += now - self._cover_from
+        self._cover_from = now
+
+        if not self._pending:
+            self.active = False
+
+    def _charge_cpu(self, rec: _PlannedOp, acks: int) -> None:
+        m = self.model
+        conn, peer = self.conn, self.peer
+        # Sender: pump work plus the ack receive chain.
+        sp = conn.node.params
+        send_ns = rec.n_frames * m.per_frame_send_ns
+        sacct = conn.node.accounting
+        sacct.charge("protocol.send", send_ns)
+        stotal = send_ns
+        if acks:
+            sacct.charge("protocol.recv", acks * sp.per_frame_recv_ns)
+            sacct.charge("interrupt", acks * sp.interrupt_ns)
+            sacct.charge("protocol.wakeup", acks * sp.kthread_wakeup_ns)
+            stotal += acks * (
+                sp.per_frame_recv_ns + sp.interrupt_ns + sp.kthread_wakeup_ns
+            )
+        n_tx_irqs = 0
+        if m.unmaskable_tx_irq:
+            n_tx_irqs = rec.n_frames // m.tx_completion_batch
+            if n_tx_irqs:
+                sacct.charge("interrupt", n_tx_irqs * sp.interrupt_ns)
+                stotal += n_tx_irqs * sp.interrupt_ns
+        conn.node.protocol_cpu.resource.busy_time += stotal
+        skern = getattr(conn.node, "kernel", None)
+        if skern is not None and (acks or n_tx_irqs):
+            skern.irqs_handled += acks + n_tx_irqs
+            skern.kthread_wakeups += acks
+        # Receiver: per-frame processing, copies, IRQ batches.
+        recv_ns = rec.n_frames * m.per_frame_recv_ns + rec.memcpy_total
+        irq_ns = rec.n_irqs * m.interrupt_ns
+        wake_ns = rec.n_irqs * m.kthread_wakeup_ns
+        racct = peer.node.accounting
+        racct.charge("protocol.recv", recv_ns)
+        racct.charge("interrupt", irq_ns)
+        racct.charge("protocol.wakeup", wake_ns)
+        peer.node.protocol_cpu.resource.busy_time += recv_ns + irq_ns + wake_ns
+        rkern = getattr(peer.node, "kernel", None)
+        if rkern is not None:
+            rkern.irqs_handled += rec.n_irqs
+            rkern.kthread_wakeups += rec.n_irqs
+
+    def _count_devices(self, rec: _PlannedOp, acks: int) -> None:
+        conn, peer = self.conn, self.peer
+        m = self.model
+        busiest_rail = 0
+        busiest = -1
+        for rail, (cnt, wbytes) in rec.rail_tx.items():
+            tx = conn.nics[rail].counters
+            tx.tx_frames += cnt
+            tx.tx_bytes += wbytes
+            if m.unmaskable_tx_irq:
+                txirqs = cnt // m.tx_completion_batch
+                tx.tx_irqs_raised += txirqs
+                tx.irqs_raised += txirqs
+            peer.nics[rail].counters.rx_frames += cnt
+            if cnt > busiest:
+                busiest, busiest_rail = cnt, rail
+            self.manager.note_switch_traffic(
+                rail, conn.node.node_id, peer.node.node_id, cnt, wbytes
+            )
+            link = conn.nics[rail].tx_link
+            if link is not None:
+                link.frames_delivered += cnt
+                link.bytes_delivered += wbytes
+        peer.nics[busiest_rail].counters.irqs_raised += rec.n_irqs
+        for _ in range(acks):
+            crail = peer.striping.control_rail()
+            if crail is None:
+                continue
+            atx = peer.nics[crail].counters
+            atx.tx_frames += 1
+            atx.tx_bytes += m.ack_wire_bytes
+            arx = conn.nics[crail].counters
+            arx.rx_frames += 1
+            arx.irqs_raised += 1
+            self.manager.note_switch_traffic(
+                crail, peer.node.node_id, conn.node.node_id, 1,
+                m.ack_wire_bytes,
+            )
+            link = peer.nics[crail].tx_link
+            if link is not None:
+                link.frames_delivered += 1
+                link.bytes_delivered += m.ack_wire_bytes
+
+    # -- abort -------------------------------------------------------------
+
+    def abort(self, reason: str, pump: bool = True) -> None:
+        """Cancel every pending jump; unfinished ops rewind to ``unsent``."""
+        if not self.active:
+            return
+        self._teardown(reason, note=True)
+        conn = self.conn
+        if pump and not conn.closed and conn.has_send_work():
+            conn.sim.process(conn._timer_pump())
+
+    def _teardown(self, reason: str, note: bool = False) -> None:
+        self.active = False
+        sim = self.conn.sim
+        first = self._pending[0] if self._pending else None
+        for rec in self._pending:
+            sim.cancel_scheduled(rec.entry)
+        if first is not None:
+            _restore_striping(self.conn.striping, first.strip_snapshot)
+        self._pending.clear()
+        self._planned_descs = 0
+        if note:
+            self.stats.note_abort(reason)
+
+
+class FastpathManager:
+    """Cluster-level owner: forwarders, the guard, and coverage stats."""
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        self.stats = FastpathStats()
+        self.forwarders: list[FlowForwarder] = []
+        self._wire_guards()
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, conn) -> None:
+        """Put a forwarder on one connection endpoint (idempotent)."""
+        existing = conn.fastpath
+        if existing is not None and existing.manager is self:
+            return
+        peer_stack = self.cluster.stacks[conn.peer_node_id]
+        peer = peer_stack.protocol.connections.get(conn.conn_id)
+        if peer is None:
+            raise ValueError(
+                f"peer endpoint of connection {conn.conn_id} does not exist"
+            )
+        forwarder = FlowForwarder(self, conn, peer)
+        conn.fastpath = forwarder
+        self.forwarders.append(forwarder)
+
+    def attach_all(self) -> None:
+        for stack in self.cluster.stacks:
+            for conn in list(stack.protocol.connections.values()):
+                self.attach(conn)
+
+    def _wire_guards(self) -> None:
+        """Point every device-level discontinuity hook at this manager."""
+        for cable in self.cluster._cables.values():
+            cable.ab.fastpath_guard = self
+            cable.ba.fastpath_guard = self
+        for node in self.cluster.nodes:
+            for nic in node.nics:
+                nic.fastpath_guard = self
+        for switch in self.cluster.all_switches:
+            for port in switch.ports:
+                port.fastpath_guard = self
+
+    # -- discontinuities ---------------------------------------------------
+
+    def bump(self, reason: str) -> None:
+        """A discontinuity fired somewhere: abort every active jump."""
+        self.stats.guard_bumps += 1
+        for forwarder in self.forwarders:
+            if forwarder.active:
+                forwarder.abort(reason)
+
+    # -- fabric-level detector checks -------------------------------------
+
+    def fabric_disqualify_reason(self, conn, peer) -> Optional[str]:
+        cluster = self.cluster
+        config = cluster.config
+        if config.leaf_switches > 1:
+            return "multi-hop-fabric"
+        if config.link.bit_error_rate > 0.0:
+            return "lossy-link"
+        for rail in range(len(conn.nics)):
+            switch = cluster.switches[rail]
+            if switch.params.ecn_threshold_frames is not None:
+                return "ecn-enabled"
+            if switch.total_queue_depth:
+                return "switch-queue-occupied"
+        for stack in cluster.stacks:
+            for other in stack.protocol.connections.values():
+                if other is conn or other is peer:
+                    continue
+                if (
+                    other.unsent
+                    or other.window.inflight
+                    or other._retransmit_q
+                ):
+                    return "fabric-busy"
+        return None
+
+    # -- synthesized fabric counters --------------------------------------
+
+    def note_switch_traffic(
+        self, rail: int, src_node: int, dst_node: int, frames: int, _wbytes: int
+    ) -> None:
+        switch = self.cluster.switches[rail]
+        switch.forwarded += frames
+        port = switch.ports[dst_node]
+        port.tx_frames += frames
+        link = port.tx_link
+        if link is not None:
+            link.frames_delivered += frames
+            link.bytes_delivered += _wbytes
+
+    # -- reporting ---------------------------------------------------------
+
+    def coverage(self) -> dict:
+        """Coverage against the cluster's current totals (analysis probe)."""
+        total_bytes = sum(
+            stack.protocol.total_stats().data_bytes_sent
+            for stack in self.cluster.stacks
+        )
+        report = self.stats.coverage(self.cluster.sim.now, total_bytes)
+        report["pending_horizon_ns"] = self.cluster.sim.next_event_time()
+        return report

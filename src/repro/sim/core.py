@@ -365,6 +365,31 @@ class Simulator:
             self._dead = 0
             self.heap_compactions += 1
 
+    def next_event_time(self) -> Optional[int]:
+        """Timestamp of the next live event, or None when idle.
+
+        The fast-forward horizon hook: a flow-level forwarder plans a jump
+        ending at some future instant and needs to know what the engine
+        would otherwise run next.  Fast-lane entries are by construction
+        due at ``now``; lazily-cancelled heap tops are popped here (they
+        carry no information) so the answer is exact, not an upper bound.
+        Pure with respect to live events — nothing runs, the clock does
+        not move.
+        """
+        for entry in self._fast:
+            if entry[0] is not None:
+                return self.now
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if head[2] is None:
+                _heappop(queue)
+                self._dead -= 1
+                self.cancelled_popped += 1
+                continue
+            return head[0]
+        return None
+
     def at(self, time: int, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` at absolute simulation time ``time``."""
         if time > self.now:

@@ -119,6 +119,10 @@ class FuzzResult:
     elapsed_ns: int
     checks: int
     violations: tuple[str, ...] = ()
+    # Fast-forward jumps taken when the run had fastpath enabled (0 when
+    # disabled or never armed); parity harnesses use it to split seeds
+    # into exact-identity vs timing-divergence expectations.
+    fastpath_jumps: int = 0
 
     @property
     def ok(self) -> bool:
@@ -327,7 +331,7 @@ def scenario_from_seed(
 # ---------------------------------------------------------------------------
 
 
-def _build_cluster(sc: Scenario, trace: bool) -> Cluster:
+def _build_cluster(sc: Scenario, trace: bool, fastpath: bool = False) -> Cluster:
     congestion_params = None
     if sc.pacing:
         congestion_params = CongestionParams(pacing=True)
@@ -344,6 +348,8 @@ def _build_cluster(sc: Scenario, trace: bool) -> Cluster:
         base = myri10g_params if sc.config == "1L-10G" else tigon3_params
         ring = sc.tx_ring_frames
         overrides["nic_factory"] = lambda: base(tx_ring_frames=ring)
+    if fastpath:
+        overrides["fastpath"] = True
     cluster = make_cluster(sc.config, nodes=sc.nodes, seed=sc.seed, **overrides)
     if sc.ecn_threshold is not None:
         cluster.set_ecn_threshold(sc.ecn_threshold)
@@ -379,6 +385,7 @@ def run_scenario(
     use_monitor: bool = True,
     collect: bool = False,
     trace: bool = False,
+    fastpath: bool = False,
 ) -> FuzzResult:
     """Execute one scenario; never raises — failures land in the result."""
     # Connection ids come from a process-global counter; pin it so the same
@@ -387,7 +394,7 @@ def run_scenario(
     from ..core import api as _api
 
     _api._next_conn_id = 1
-    cluster = _build_cluster(sc, trace)
+    cluster = _build_cluster(sc, trace, fastpath)
     pairs = sorted({(op.src, op.dst) for op in sc.ops})
     conn_pairs = sorted({(min(i, j), max(i, j)) for i, j in pairs})
     handles = {}
@@ -490,6 +497,9 @@ def run_scenario(
         violations=tuple(str(v) for v in monitor.violations)
         if monitor is not None
         else (),
+        fastpath_jumps=(
+            cluster.fastpath.stats.jumps if cluster.fastpath is not None else 0
+        ),
     )
 
 

@@ -1,0 +1,224 @@
+"""Detector refusal: every disqualifying condition keeps the flow frame-level.
+
+Each test takes an otherwise-armable idle connection pair, introduces one
+disqualifying condition, and asserts :func:`repro.fastpath.disqualify_reason`
+names it — proving the fast path refuses to arm rather than jumping over a
+discontinuity.
+"""
+
+from dataclasses import replace
+from types import SimpleNamespace
+
+from repro.bench.cluster import make_cluster
+from repro.fastpath import disqualify_reason
+from repro.verify import InvariantMonitor
+
+
+def _pair(config="1L-1G", **overrides):
+    cluster = make_cluster(config, fastpath=True, **overrides)
+    a, b = cluster.connect(0, 1)
+    return cluster, a.conn, b.conn
+
+
+def _reason(conn):
+    return disqualify_reason(conn.fastpath)
+
+
+def test_idle_connection_is_armable():
+    _, conn, _ = _pair()
+    assert _reason(conn) is None
+
+
+def test_monitor_attached_refuses():
+    cluster, conn, _ = _pair()
+    InvariantMonitor.attach(cluster)
+    assert _reason(conn) == "monitor-attached"
+
+
+def test_closed_connection_refuses():
+    _, conn, peer = _pair()
+    peer.closed = True
+    assert _reason(conn) == "connection-closed"
+
+
+def test_journal_replay_in_flight_refuses():
+    _, conn, _ = _pair()
+    channel = SimpleNamespace(_ready=object())
+    conn.recovery = SimpleNamespace(_channels={"c": channel})
+    assert _reason(conn) == "journal-replay-in-flight"
+
+
+def test_recovery_attached_refuses():
+    _, conn, peer = _pair()
+    peer.recovery = SimpleNamespace(_channels={})
+    assert _reason(conn) == "recovery-active"
+
+
+def test_open_loss_episode_retransmit_queue_refuses():
+    _, conn, _ = _pair()
+    conn._retransmit_q.append(object())
+    assert _reason(conn) == "open-loss-episode"
+
+
+def test_open_loss_episode_receive_gap_refuses():
+    _, conn, peer = _pair()
+    peer.tracker._beyond.add(7)
+    assert _reason(conn) == "open-loss-episode"
+
+
+def test_frames_in_flight_refuses():
+    _, conn, _ = _pair()
+    conn.window.inflight[0] = object()
+    assert _reason(conn) == "frames-in-flight"
+
+
+def test_pending_ecn_echo_refuses():
+    _, conn, peer = _pair()
+    peer.ack_policy.note_ce()
+    assert _reason(conn) == "pending-ecn-echo"
+
+
+def test_unacked_frames_refuses():
+    _, conn, peer = _pair()
+    peer.ack_policy._unacked_frames = 3
+    assert _reason(conn) == "unacked-frames"
+
+
+def test_delayed_ack_timer_refuses():
+    _, conn, peer = _pair()
+    peer._delayed_ack_timer = peer.sim.timer(10_000, lambda: None)
+    assert _reason(conn) == "delayed-ack-armed"
+
+
+def test_nack_timer_refuses():
+    _, conn, _ = _pair()
+    conn._nack_timer = conn.sim.timer(10_000, lambda: None)
+    assert _reason(conn) == "nack-timer-armed"
+
+
+def test_active_fence_refuses():
+    _, conn, _ = _pair()
+    conn._forward_fences.append(object())
+    assert _reason(conn) == "fence-active"
+
+
+def test_read_in_flight_refuses():
+    _, conn, _ = _pair()
+    conn._pending_reads[1] = object()
+    assert _reason(conn) == "read-in-flight"
+
+
+def test_peer_sending_refuses():
+    _, conn, peer = _pair()
+    peer.unsent.append(object())
+    assert _reason(conn) == "peer-sending"
+
+
+def test_window_too_small_refuses():
+    _, conn, _ = _pair()
+    conn.window.size = 8  # < 2 * ack_every_frames (default 32)
+    assert _reason(conn) == "window-too-small"
+
+
+def test_cwnd_unstable_refuses():
+    _, conn, _ = _pair()
+    conn._cc = SimpleNamespace(cwnd_stable=lambda now: False)
+    assert _reason(conn) == "cwnd-unstable"
+
+
+def test_pacing_enabled_refuses():
+    _, conn, _ = _pair()
+    conn._pacing_on = True
+    assert _reason(conn) == "pacing-enabled"
+
+
+def test_nic_pacer_refuses():
+    _, conn, _ = _pair()
+    conn.nics[0].pacer = object()
+    assert _reason(conn) == "pacing-enabled"
+
+
+def test_suspect_edge_refuses():
+    _, conn, _ = _pair()
+    conn.control_plane = SimpleNamespace(
+        states=[SimpleNamespace(name="SUSPECT")]
+    )
+    assert _reason(conn) == "edge-not-up"
+
+
+def test_nic_powered_off_refuses():
+    _, conn, peer = _pair()
+    peer.nics[0].powered = False
+    assert _reason(conn) == "nic-powered-off"
+
+
+def test_nic_tx_ring_busy_refuses():
+    _, conn, _ = _pair()
+    conn.nics[0]._tx_ring_used = 1
+    assert _reason(conn) == "nic-busy"
+
+
+def test_nic_rx_pending_refuses():
+    _, conn, peer = _pair()
+    peer.nics[0]._rx_pending.append(object())
+    assert _reason(conn) == "nic-busy"
+
+
+def test_multi_hop_fabric_refuses():
+    cluster = make_cluster("1L-1G", nodes=4, fastpath=True, leaf_switches=2)
+    a, _ = cluster.connect(0, 1)
+    assert _reason(a.conn) == "multi-hop-fabric"
+
+
+def test_lossy_link_refuses():
+    cluster, conn, _ = _pair()
+    cluster.config.link = replace(cluster.config.link, bit_error_rate=1e-9)
+    assert _reason(conn) == "lossy-link"
+
+
+def test_ecn_enabled_refuses():
+    cluster, conn, _ = _pair()
+    cluster.set_ecn_threshold(8)
+    assert _reason(conn) == "ecn-enabled"
+
+
+def test_switch_queue_occupied_refuses():
+    cluster, conn, _ = _pair()
+    cluster.switches[0].ports[5]._queue.append(object())
+    assert _reason(conn) == "switch-queue-occupied"
+
+
+def test_fabric_busy_refuses():
+    cluster, conn, _ = _pair()
+    other, _ = cluster.connect(2, 3)
+    other.conn.unsent.append(object())
+    assert _reason(conn) == "fabric-busy"
+
+
+def test_unsupported_op_shapes_rejected_by_planner():
+    from repro.fastpath import UNSUPPORTED_OP_FLAGS
+    from repro.ethernet import OpFlags
+
+    for flag in (
+        OpFlags.FENCE_BACKWARD,
+        OpFlags.FENCE_FORWARD,
+        OpFlags.SCATTER,
+        OpFlags.JOURNALED,
+    ):
+        assert flag & UNSUPPORTED_OP_FLAGS
+
+
+def test_denial_is_pure():
+    """The detector draws no RNG and schedules nothing (event parity)."""
+    cluster, conn, peer = _pair()
+    sim = conn.sim
+    queue_before = len(sim._queue)
+    rng_states = {
+        name: repr(rng.bit_generator.state)
+        for name, rng in cluster.rng._streams.items()
+    }
+    peer.ack_policy._unacked_frames = 1
+    assert _reason(conn) == "unacked-frames"
+    assert len(sim._queue) == queue_before
+    for name, rng in cluster.rng._streams.items():
+        assert repr(rng.bit_generator.state) == rng_states[name]

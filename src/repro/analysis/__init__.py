@@ -15,6 +15,7 @@ from .probes import (
 from .summary import (
     ClusterSummary,
     RailCounters,
+    SwitchCounters,
     ascii_histogram,
     reorder_histogram,
     summarize_cluster,
@@ -33,6 +34,7 @@ __all__ = [
     "Sample",
     "ClusterSummary",
     "RailCounters",
+    "SwitchCounters",
     "summarize_cluster",
     "reorder_histogram",
     "ascii_histogram",

@@ -17,6 +17,7 @@ from ..core.stats import ConnectionStats
 __all__ = [
     "ClusterSummary",
     "RailCounters",
+    "SwitchCounters",
     "summarize_cluster",
     "reorder_histogram",
     "ascii_histogram",
@@ -34,6 +35,25 @@ class RailCounters:
     ring_drops: int
     crc_drops: int
     irqs: int
+
+
+@dataclass
+class SwitchCounters:
+    """One switch's counters, keyed by name (multi-switch fabrics give
+    every switch a distinct name; classic configs have one per rail)."""
+
+    name: str
+    tier: str  # "leaf"/"spine"/"edge"/"agg"/"core"; "" for classic wiring
+    forwarded: int
+    dropped_total: int
+    dropped_queue_full: int
+    ce_marked: int
+    peak_queue_depth: int
+    tx_frames: int
+    tx_bytes: int  # bytes this switch's egress links delivered
+    # ECMP counters (zero on classic learning switches).
+    ecmp_routed: int = 0
+    repins: int = 0
 
 
 @dataclass
@@ -100,6 +120,18 @@ class ClusterSummary:
     duplicate_msgs_suppressed: int = 0  # journal redeliveries deduped
     messages_journaled: int = 0
     messages_redelivered: int = 0
+    # Per-switch roll-up, keyed by switch name (repro.fabric gives every
+    # fabric switch a distinct name; classic configs list one per rail).
+    switches: list["SwitchCounters"] = field(default_factory=list)
+
+    @property
+    def tier_drops(self) -> dict:
+        """Total drops per fabric tier (empty-string tier for classic
+        single-switch wiring)."""
+        out: dict = {}
+        for sc in self.switches:
+            out[sc.tier] = out.get(sc.tier, 0) + sc.dropped_total
+        return out
 
     @property
     def fastlane_fraction(self) -> float:
@@ -157,6 +189,30 @@ def summarize_cluster(
             pacing_stall += nic.counters.pacing_stall_ns
     switch_drops = sum(sw.dropped_total for sw in cluster.all_switches)
     ce_marked = sum(sw.ce_marked_total for sw in cluster.all_switches)
+    switch_counters = []
+    for sw in cluster.all_switches:
+        q_drops = peak = tx_f = tx_b = 0
+        for port in sw.ports:
+            q_drops += port.dropped_queue_full
+            peak = max(peak, port.peak_queue_depth)
+            tx_f += port.tx_frames
+            if port.tx_link is not None:
+                tx_b += port.tx_link.bytes_delivered
+        switch_counters.append(
+            SwitchCounters(
+                name=sw.name,
+                tier=getattr(sw, "tier", ""),
+                forwarded=sw.forwarded,
+                dropped_total=sw.dropped_total,
+                dropped_queue_full=q_drops,
+                ce_marked=sw.ce_marked_total,
+                peak_queue_depth=peak,
+                tx_frames=tx_f,
+                tx_bytes=tx_b,
+                ecmp_routed=getattr(sw, "ecmp_routed", 0),
+                repins=getattr(sw, "repins", 0),
+            )
+        )
     ce_received = echoes_sent = echoes_received = 0
     controllers: set[str] = set()
     cwnd_finals: list[int] = []
@@ -281,6 +337,7 @@ def summarize_cluster(
         duplicate_msgs_suppressed=dup_suppressed,
         messages_journaled=journaled,
         messages_redelivered=redelivered,
+        switches=switch_counters,
     )
 
 

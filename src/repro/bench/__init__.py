@@ -2,6 +2,7 @@
 
 from .cluster import CONFIG_NAMES, Cluster, ClusterConfig, make_cluster
 from .crash import CrashResult, run_crash
+from .fabric import leaf_spine_3to1, run_ecmp_evenness, run_fabric_incast
 from .failover import FailoverResult, run_failover
 from .incast import IncastResult, run_incast
 from .micro import MicroResult, run_micro, run_one_way, run_ping_pong, run_two_way
@@ -27,6 +28,9 @@ __all__ = [
     "run_failover",
     "IncastResult",
     "run_incast",
+    "leaf_spine_3to1",
+    "run_fabric_incast",
+    "run_ecmp_evenness",
     "MicroResult",
     "run_micro",
     "run_ping_pong",

@@ -45,6 +45,12 @@ class ClusterConfig:
     per rail, each leaf connected to one spine switch by a single uplink
     (``uplink_speed_bps``, default the node link speed — i.e. the fabric
     is oversubscribed ``nodes_per_leaf : 1`` for cross-leaf traffic).
+
+    ``fabric`` selects the full datacenter fabric subsystem instead: a
+    :class:`~repro.fabric.LeafSpineSpec` or
+    :class:`~repro.fabric.FatTreeSpec` builds one ECMP-routed multi-switch
+    fabric per rail (see :mod:`repro.fabric`).  ``None`` — the default —
+    keeps the classic wiring byte-identical.
     """
 
     name: str
@@ -58,6 +64,8 @@ class ClusterConfig:
     seed: int = 0
     leaf_switches: int = 1
     uplink_speed_bps: Optional[float] = None
+    # Multi-switch fabric spec (repro.fabric); None = classic wiring.
+    fabric: Optional[object] = None
     # Hybrid-fidelity fast path (repro.fastpath): fast-forward flows in
     # analytic steady state instead of simulating every frame.  Off by
     # default — frame-level traces stay bit-identical to the seed engine.
@@ -72,6 +80,16 @@ class ClusterConfig:
             raise ValueError("leaf_switches must be >= 1")
         if self.leaf_switches > 1 and self.nodes < self.leaf_switches:
             raise ValueError("need at least one node per leaf switch")
+        if self.fabric is not None:
+            if self.leaf_switches > 1:
+                raise ValueError(
+                    "fabric and leaf_switches are mutually exclusive"
+                )
+            if self.nodes > self.fabric.capacity:
+                raise ValueError(
+                    f"{self.nodes} nodes exceed the fabric's capacity "
+                    f"of {self.fabric.capacity} hosts"
+                )
 
 
 def _config_1l_1g(nodes: int = 16) -> ClusterConfig:
@@ -184,10 +202,13 @@ class Cluster:
         self.switches: list[Switch] = []  # flat per-rail switches
         self.spines: list[Switch] = []  # per-rail spine (multi-leaf only)
         self.leaves: list[list[Switch]] = []  # per-rail leaf switches
+        self.fabrics: list = []  # per-rail repro.fabric.Fabric
         # (node_id, rail) -> the full-duplex cable to that NIC's switch
         # port.  The fault driver and repair paths need both directions.
         self._cables: dict[tuple[int, int], Cable] = {}
-        if config.leaf_switches <= 1:
+        if config.fabric is not None:
+            self._wire_fabric(nodes)
+        elif config.leaf_switches <= 1:
             self._wire_flat(nodes)
         else:
             self._wire_leaf_spine(nodes)
@@ -222,6 +243,31 @@ class Cluster:
                     link_params=config.link,
                     rng=self.rng,
                 )
+
+    def _wire_fabric(self, nodes) -> None:
+        """One ECMP-routed multi-switch fabric per rail (repro.fabric)."""
+        from ..fabric import build_fabric  # lazy: default path stays lean
+
+        config = self.config
+        for rail in range(config.rails):
+            fabric = build_fabric(
+                self.sim,
+                config.fabric,
+                rail=rail,
+                seed=config.seed,
+                switch_params=config.switch,
+                link_params=config.link,
+                rng=self.rng,
+            )
+            for node in nodes:
+                self._cables[(node.node_id, rail)] = fabric.attach_host(
+                    node.node_id,
+                    node.nics[rail],
+                    link_params=config.link,
+                    rng=self.rng,
+                )
+            fabric.program_routes()
+            self.fabrics.append(fabric)
 
     def _wire_leaf_spine(self, nodes) -> None:
         """Two-level fabric: leaves hold nodes, one spine joins leaves."""
@@ -286,6 +332,8 @@ class Cluster:
 
     @property
     def all_switches(self) -> list[Switch]:
+        if self.fabrics:
+            return [sw for fabric in self.fabrics for sw in fabric.switches]
         out = list(self.spines)
         for rail_leaves in self.leaves:
             out.extend(rail_leaves)

@@ -50,6 +50,10 @@ class IncastResult:
     ecn_echoes_received: int
     pacing_stall_ns: int
     final_cwnd_frames: list[int] = field(default_factory=list)  # per sender
+    # Multi-switch fabric extras (empty/None on classic single-switch runs).
+    fabric: Optional[str] = None  # spec name, e.g. "LeafSpineSpec"
+    per_switch_drops: dict = field(default_factory=dict)  # name -> tail drops
+    routing_violations: list[str] = field(default_factory=list)
 
     @property
     def total_bytes(self) -> int:
@@ -82,6 +86,7 @@ def run_incast(
     synthetic_payloads: bool = True,
     verify_data: bool = False,
     limit_ns: int = 20_000_000_000,
+    fabric=None,
 ) -> IncastResult:
     """Stream chunks from ``senders`` nodes into node ``senders`` at once.
 
@@ -92,7 +97,11 @@ def run_incast(
     connection; ``ecn_threshold_frames`` arms ECN marking on the fabric.
     ``verify_data=True`` uses real payloads and checks the receiver's
     memory afterwards (slower; benchmarks keep the default synthetic
-    frames).
+    frames).  ``fabric`` optionally routes the incast across a
+    multi-switch fabric (a :class:`~repro.fabric.LeafSpineSpec` or
+    :class:`~repro.fabric.FatTreeSpec`); senders then converge on the
+    receiver across trunk hops, and the result carries per-switch drop
+    counts plus the fabric's routing-invariant check.
     """
     if senders < 1:
         raise ValueError("need at least one sender")
@@ -101,7 +110,11 @@ def run_incast(
     n_nodes = senders + 1
     receiver = senders
     cluster = make_cluster(
-        config, nodes=n_nodes, seed=seed, synthetic_payloads=synthetic_payloads
+        config,
+        nodes=n_nodes,
+        seed=seed,
+        synthetic_payloads=synthetic_payloads,
+        **({"fabric": fabric} if fabric is not None else {}),
     )
     cluster.config.protocol = replace(
         cluster.config.protocol,
@@ -149,12 +162,20 @@ def run_incast(
                 intact = False
 
     drops = paused = peak = marked = 0
+    per_switch_drops: dict = {}
     for sw in cluster.all_switches:
+        sw_drops = 0
         for port in sw.ports:
-            drops += port.dropped_queue_full
+            sw_drops += port.dropped_queue_full
             paused += port.paused_frames
             peak = max(peak, port.peak_queue_depth)
             marked += port.ce_marked
+        drops += sw_drops
+        if fabric is not None:
+            per_switch_drops[sw.name] = sw_drops
+    violations = [
+        v for fab in cluster.fabrics for v in fab.routing_invariants()
+    ]
 
     retrans = t_retrans = n_retrans = 0
     ce_rx = echoes_tx = echoes_rx = pacing_stall = 0
@@ -195,4 +216,7 @@ def run_incast(
         ecn_echoes_received=echoes_rx,
         pacing_stall_ns=pacing_stall,
         final_cwnd_frames=cwnds,
+        fabric=type(fabric).__name__ if fabric is not None else None,
+        per_switch_drops=per_switch_drops,
+        routing_violations=violations,
     )

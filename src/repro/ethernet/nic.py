@@ -200,9 +200,11 @@ class Nic:
             return False
         # A (re)transmission is a fresh physical frame: any corruption that
         # hit a previous copy on the wire does not persist, and neither does
-        # a CE mark a switch stamped on an earlier copy.
+        # a CE mark a switch stamped on an earlier copy, nor the switch hops
+        # the earlier copy took (the fabric loop guard is per journey).
         frame.corrupted = False
         frame.header.flags &= ~ECN_CE
+        frame.hops = 0
         self._tx_ring_used += 1
         params = self.params
         ready_at = self.sim.now + params.dma_ns

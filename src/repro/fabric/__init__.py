@@ -1,0 +1,53 @@
+"""Datacenter fabric subsystem: multi-switch topologies, ECMP, traffic.
+
+Everything before this package ran through a single switch per rail.
+``repro.fabric`` composes the existing :class:`~repro.ethernet.Switch` /
+:class:`~repro.ethernet.Cable` / :class:`~repro.ethernet.Nic` primitives
+into realistic multi-switch fabrics (the SplitSim/SimBricks composition
+argument, see PAPERS.md):
+
+* :mod:`~repro.fabric.ecmp` — an :class:`EcmpSwitch` with pre-programmed
+  multi-path routes, a seeded deterministic flow hash, automatic hash
+  re-pinning around failed uplinks, and the routing invariants (no
+  forwarding loops, ECMP determinism, trunk conservation);
+* :mod:`~repro.fabric.topology` — a graph-theoretic builder for
+  leaf-spine and fat-tree fabrics with configurable radix,
+  oversubscription, and per-tier link speeds, with BFS shortest-path
+  ECMP route programming;
+* :mod:`~repro.fabric.traffic` — declarative traffic matrices
+  (permutation, all-to-all shuffle, hotspot incast/outcast,
+  elephant/mice mixes) that drive :mod:`repro.mp` endpoints.
+
+Select a fabric per cluster via ``ClusterConfig.fabric``; the default
+(``None``) keeps the single-switch wiring byte-identical.
+"""
+
+from .ecmp import EcmpSwitch, ecmp_hash
+from .topology import Fabric, FatTreeSpec, LeafSpineSpec, build_fabric
+from .traffic import (
+    AllToAll,
+    ElephantMice,
+    Flow,
+    Hotspot,
+    Permutation,
+    TrafficResult,
+    expand_flows,
+    run_traffic,
+)
+
+__all__ = [
+    "EcmpSwitch",
+    "ecmp_hash",
+    "Fabric",
+    "LeafSpineSpec",
+    "FatTreeSpec",
+    "build_fabric",
+    "Flow",
+    "Permutation",
+    "AllToAll",
+    "Hotspot",
+    "ElephantMice",
+    "TrafficResult",
+    "expand_flows",
+    "run_traffic",
+]

@@ -1,0 +1,277 @@
+"""ECMP-routed fabric switch.
+
+A :class:`EcmpSwitch` replaces MAC learning/flooding with pre-programmed
+routes: every reachable destination MAC maps to a *group* of equal-cost
+output ports (computed by the topology builder from BFS shortest paths).
+Multi-member groups are resolved per flow with a seeded deterministic
+hash over ``(src_mac, dst_mac, rail, connection_id)`` — the simulation's
+stand-in for the 5-tuple hash real fabrics compute — so one flow always
+takes one path (no intra-flow reordering from the fabric itself) while
+distinct flows spread across the uplinks.
+
+Failure handling composes with the edge-lifecycle machinery through the
+same :class:`~repro.ethernet.link.Link` fault surface: a port whose
+transmit link is failed (or that was administratively disabled) is
+excluded from its groups at forwarding time, so the hash *re-pins* the
+flow onto the surviving uplinks deterministically.  When the uplink
+repairs, the flow re-pins back — both transitions are counted.
+
+Flooding is deliberately absent: a multi-path fabric has physical loops,
+so an unknown-destination flood would storm forever.  Unroutable frames
+are dropped and counted (``dropped_no_route``), and a per-frame hop
+budget (``max_hops``) backs the no-forwarding-loop invariant.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional
+
+from ..ethernet.frame import Frame
+from ..ethernet.switch import BROADCAST_MAC, Switch, SwitchParams, SwitchPort
+from ..sim import Simulator
+
+__all__ = ["EcmpSwitch", "EcmpPort", "ecmp_hash"]
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def ecmp_hash(
+    salt: str, src_mac: int, dst_mac: int, rail: int, conn_id: int
+) -> int:
+    """Seeded, process-stable flow hash.
+
+    CRC32 over the flow key, pushed through a splitmix64-style finalizer:
+    CRC is linear over GF(2), so its low bits correlate across the
+    sequentially allocated connection ids real runs produce — exactly the
+    bits ``h % n_uplinks`` consumes.  The multiply/xor-shift finalizer
+    avalanches them.  ``salt`` carries the fabric seed and the hashing
+    switch's name so different fabrics — and different stages of one
+    fabric — decorrelate.
+    """
+    h = zlib.crc32(f"{salt}|{src_mac}|{dst_mac}|{rail}|{conn_id}".encode())
+    h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EB & _MASK64
+    return h ^ (h >> 31)
+
+
+class EcmpPort(SwitchPort):
+    """Fabric port: ingress accounting folded into link delivery.
+
+    Routes are static (no MAC learning), so the intermediate ``on_frame``
+    event adds nothing observable; folding keeps multi-hop forwarding at
+    one scheduler event per hop.  The fold performs exactly what
+    :meth:`EcmpSwitch._ingress` would at arrival time: hop accounting,
+    the loop guard, and scheduling the forwarding decision.
+    """
+
+    def deliver_fold(self, frame: Frame, arrival: int) -> bool:
+        sw = self.switch
+        sw.ingress_frames += 1
+        frame.hops += 1
+        if frame.hops > sw.max_hops:
+            sw.dropped_loop += 1
+            sw.dropped_total += 1
+            sw.loop_violations.append(
+                f"{sw.name}: {frame!r} exceeded the {sw.max_hops}-hop "
+                f"budget (forwarding loop)"
+            )
+            return True
+        sw.sim.at(
+            arrival + sw.params.forwarding_latency_ns,
+            sw._forward,
+            self.index,
+            frame,
+        )
+        return True
+
+
+class EcmpSwitch(Switch):
+    """A store-and-forward switch with static multi-path routes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: SwitchParams,
+        name: str = "fabric-switch",
+        tier: str = "",
+        rail: int = 0,
+        seed: int = 0,
+        max_hops: int = 8,
+    ) -> None:
+        super().__init__(sim, params, name)
+        self.ports = [EcmpPort(self, i) for i in range(params.ports)]
+        self.tier = tier
+        self.rail = rail
+        self.seed = seed
+        self.max_hops = max_hops
+        self._salt = f"{seed}:{name}"
+        # dst MAC -> sorted tuple of candidate output ports.
+        self._routes: dict[int, tuple[int, ...]] = {}
+        # Administratively drained ports (excluded from ECMP groups
+        # without failing the cable — frames already in flight survive).
+        self._disabled: set[int] = set()
+        # Determinism witness: flow key -> (alive member set, chosen port).
+        self._pins: dict[tuple[int, int, int, int], tuple[tuple[int, ...], int]] = {}
+        self.ingress_frames = 0
+        self.ecmp_routed = 0  # frames resolved through a multi-port group
+        self.repins = 0  # flow re-pinned because the member set changed
+        self.dropped_loop = 0
+        self.dropped_no_route = 0
+        self.dropped_hairpin = 0
+        self.pin_violations: list[str] = []
+        self.loop_violations: list[str] = []
+
+    # -- route programming -------------------------------------------------
+
+    def add_route(self, mac: int, ports: tuple[int, ...]) -> None:
+        """Program the ECMP group for a destination MAC."""
+        if not ports:
+            raise ValueError(f"{self.name}: empty ECMP group for {mac:#x}")
+        self._routes[mac] = tuple(sorted(ports))
+
+    def route(self, mac: int) -> Optional[tuple[int, ...]]:
+        return self._routes.get(mac)
+
+    def learn(self, mac: int, port_index: int) -> None:
+        """Topology builders teach directly attached MACs this way.
+
+        Deliberately does *not* populate the learning MAC table: routes
+        are the single source of truth, and the base learning/flooding
+        path must never engage on a multi-path fabric.
+        """
+        self._routes[mac] = (port_index,)
+
+    def set_port_enabled(self, port_index: int, enabled: bool) -> None:
+        """Administratively include/exclude a port from its ECMP groups."""
+        if enabled:
+            self._disabled.discard(port_index)
+        else:
+            self._disabled.add(port_index)
+
+    # -- ECMP selection ----------------------------------------------------
+
+    def _port_alive(self, index: int) -> bool:
+        if index in self._disabled:
+            return False
+        link = self.ports[index].tx_link
+        return link is not None and not link.failed
+
+    def alive_members(self, group: tuple[int, ...]) -> tuple[int, ...]:
+        return tuple(p for p in group if self._port_alive(p))
+
+    def preview(
+        self, src_mac: int, dst_mac: int, conn_id: int
+    ) -> Optional[int]:
+        """The port a frame with this flow key would take right now
+        (no counters, no pin recording — for tests and planners)."""
+        group = self._routes.get(dst_mac)
+        if group is None:
+            return None
+        alive = self.alive_members(group)
+        if not alive:
+            return None
+        if len(alive) == 1:
+            return alive[0]
+        h = ecmp_hash(self._salt, src_mac, dst_mac, self.rail, conn_id)
+        return alive[h % len(alive)]
+
+    def _pick(self, frame: Frame, group: tuple[int, ...]) -> Optional[int]:
+        alive = self.alive_members(group)
+        if not alive:
+            return None
+        key = (
+            frame.src_mac,
+            frame.dst_mac,
+            self.rail,
+            frame.header.connection_id,
+        )
+        prev = self._pins.get(key)
+        if len(alive) == 1:
+            port = alive[0]
+        else:
+            # Recomputed per frame on purpose: comparing the fresh pick
+            # against the recorded pin keeps the ECMP-determinism
+            # invariant a live check rather than a cache read.
+            h = ecmp_hash(
+                self._salt,
+                frame.src_mac,
+                frame.dst_mac,
+                self.rail,
+                frame.header.connection_id,
+            )
+            port = alive[h % len(alive)]
+            self.ecmp_routed += 1
+        if prev is not None:
+            prev_alive, prev_port = prev
+            if prev_alive == alive and prev_port != port:
+                # Same flow, same member set, different port: the hash is
+                # not a pure function of the key — a routing bug.
+                self.pin_violations.append(
+                    f"{self.name}: flow {key} pinned to port {prev_port} "
+                    f"but routed to {port} with members {alive} unchanged"
+                )
+            elif prev_port != port:
+                self.repins += 1
+        if prev is None or prev != (alive, port):
+            self._pins[key] = (alive, port)
+        return port
+
+    # -- forwarding --------------------------------------------------------
+
+    def _ingress(self, port_index: int, frame: Frame) -> None:
+        # No MAC learning: routes are pre-programmed and static.
+        self.ingress_frames += 1
+        frame.hops += 1
+        if frame.hops > self.max_hops:
+            self.dropped_loop += 1
+            self.dropped_total += 1
+            self.loop_violations.append(
+                f"{self.name}: {frame!r} exceeded the {self.max_hops}-hop "
+                f"budget (forwarding loop)"
+            )
+            return
+        self.sim.schedule(
+            self.params.forwarding_latency_ns, self._forward, port_index, frame
+        )
+
+    def _forward(self, in_port: int, frame: Frame) -> None:
+        group = self._routes.get(frame.dst_mac)
+        if group is None or frame.dst_mac == BROADCAST_MAC:
+            # No flooding in a multi-path fabric (see module docstring).
+            self.dropped_no_route += 1
+            self.dropped_total += 1
+            return
+        dst_port = group[0] if len(group) == 1 else self._pick(frame, group)
+        if dst_port is None:
+            self.dropped_no_route += 1
+            self.dropped_total += 1
+            return
+        if dst_port == in_port:
+            # Hairpin, dropped silently exactly as the base switch does.
+            self.dropped_hairpin += 1
+            return
+        self.forwarded += 1
+        self.ports[dst_port].enqueue(frame)
+
+    # -- invariants --------------------------------------------------------
+
+    def conservation_violations(self) -> list[str]:
+        """Per-switch frame conservation, valid once the run has drained:
+        every ingress frame was forwarded or dropped for a counted reason.
+        """
+        accounted = (
+            self.forwarded
+            + self.dropped_loop
+            + self.dropped_no_route
+            + self.dropped_hairpin
+        )
+        if self.ingress_frames != accounted:
+            return [
+                f"{self.name}: {self.ingress_frames} ingress frames but "
+                f"{accounted} accounted (forwarded {self.forwarded}, loop "
+                f"{self.dropped_loop}, no-route {self.dropped_no_route}, "
+                f"hairpin {self.dropped_hairpin})"
+            ]
+        return []

@@ -1,0 +1,291 @@
+"""Declarative traffic matrices driving :mod:`repro.mp` endpoints.
+
+A traffic matrix is a small frozen spec (which classic datacenter pattern,
+how many bytes) that :func:`expand_flows` turns into a concrete list of
+:class:`Flow`\\ s for a given cluster size — using a named RNG stream, so
+the same ``(spec, nodes, seed)`` always yields the same flows — and
+:func:`run_traffic` executes over message passing: every rank sends its
+flows from a spawned sender process while its main process sinks the
+flows addressed to it, so no send/receive interleaving can deadlock.
+
+The patterns are the standard fabric-evaluation set:
+
+* :class:`Permutation` — a random cyclic permutation (no fixed points);
+  every host sends to exactly one host and receives from exactly one.
+  The canonical ECMP load-balance test: with even hashing every uplink
+  should carry a similar byte count.
+* :class:`AllToAll` — the shuffle: every ordered pair exchanges a flow.
+* :class:`Hotspot` — incast (everyone sends to a few targets) or outcast
+  (a few targets fan out to everyone).
+* :class:`ElephantMice` — a heavy-tailed mix of a few large rendezvous
+  transfers and many small eager messages between random pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..bench.cluster import Cluster
+
+__all__ = [
+    "Flow",
+    "Permutation",
+    "AllToAll",
+    "Hotspot",
+    "ElephantMice",
+    "TrafficResult",
+    "expand_flows",
+    "run_traffic",
+]
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One point-to-point transfer; ``tag`` is unique per flow so MPI
+    matching stays unambiguous when a pair carries several flows."""
+
+    src: int
+    dst: int
+    size_bytes: int
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class Permutation:
+    """Random cyclic permutation: rank i sends to perm(i), perm has no
+    fixed points (Sattolo's algorithm on the traffic RNG stream).
+
+    ``rounds`` stacks several independent permutations into one matrix —
+    the standard way to exercise ECMP spreading with enough flows that
+    the per-uplink byte counts can average out."""
+
+    bytes_per_flow: int = 64 * 1024
+    rounds: int = 1
+
+    name = "permutation"
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ValueError("permutation needs at least one round")
+
+
+@dataclass(frozen=True)
+class AllToAll:
+    """Full shuffle: every ordered pair (i, j), i != j, carries a flow."""
+
+    bytes_per_flow: int = 16 * 1024
+
+    name = "all-to-all"
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """Incast onto (or outcast from) the last ``targets`` ranks."""
+
+    targets: int = 1
+    bytes_per_flow: int = 64 * 1024
+    outcast: bool = False  # False: incast (all -> targets)
+
+    name = "hotspot"
+
+    def __post_init__(self) -> None:
+        if self.targets < 1:
+            raise ValueError("hotspot needs at least one target")
+
+
+@dataclass(frozen=True)
+class ElephantMice:
+    """Heavy-tailed mix: a few rendezvous elephants, many eager mice,
+    between random ordered pairs drawn from the traffic RNG stream."""
+
+    elephants: int = 4
+    elephant_bytes: int = 512 * 1024
+    mice: int = 32
+    mouse_bytes: int = 2 * 1024
+
+    name = "elephant-mice"
+
+
+TrafficSpec = Union[Permutation, AllToAll, Hotspot, ElephantMice]
+
+
+def expand_flows(
+    spec: TrafficSpec, nodes: int, rng: np.random.Generator
+) -> list[Flow]:
+    """Instantiate a spec into concrete flows for an ``nodes``-rank world.
+
+    Deterministic: the same ``(spec, nodes)`` and the same RNG stream
+    state always produce the same list.  Tags number flows 0..n-1.
+    """
+    if nodes < 2:
+        raise ValueError("traffic matrices need at least 2 nodes")
+    flows: list[Flow] = []
+    if isinstance(spec, Permutation):
+        for _ in range(spec.rounds):
+            # Sattolo's algorithm: a uniformly random *cyclic*
+            # permutation, so no rank ever draws itself.
+            perm = list(range(nodes))
+            for i in range(nodes - 1, 0, -1):
+                j = int(rng.integers(0, i))
+                perm[i], perm[j] = perm[j], perm[i]
+            for i in range(nodes):
+                flows.append(
+                    Flow(i, perm[i], spec.bytes_per_flow, tag=len(flows))
+                )
+    elif isinstance(spec, AllToAll):
+        for i in range(nodes):
+            for j in range(nodes):
+                if i != j:
+                    flows.append(
+                        Flow(i, j, spec.bytes_per_flow, tag=len(flows))
+                    )
+    elif isinstance(spec, Hotspot):
+        if spec.targets >= nodes:
+            raise ValueError("hotspot targets must leave at least one peer")
+        targets = list(range(nodes - spec.targets, nodes))
+        others = list(range(nodes - spec.targets))
+        for t in targets:
+            for o in others:
+                src, dst = (t, o) if spec.outcast else (o, t)
+                flows.append(Flow(src, dst, spec.bytes_per_flow, tag=len(flows)))
+    elif isinstance(spec, ElephantMice):
+        for size, count in (
+            (spec.elephant_bytes, spec.elephants),
+            (spec.mouse_bytes, spec.mice),
+        ):
+            for _ in range(count):
+                src = int(rng.integers(0, nodes))
+                dst = int(rng.integers(0, nodes - 1))
+                if dst >= src:
+                    dst += 1
+                flows.append(Flow(src, dst, size, tag=len(flows)))
+    else:
+        raise TypeError(f"unknown traffic spec {spec!r}")
+    return flows
+
+
+@dataclass
+class TrafficResult:
+    """Outcome of one :func:`run_traffic` execution."""
+
+    spec_name: str
+    flows: int
+    total_bytes: int
+    elapsed_ns: int
+    data_intact: bool
+    messages_received: int
+    switch_drops: int
+    ce_marked: int
+    retransmissions: int
+    # ECMP load balance over fabric uplinks (empty without a fabric).
+    uplink_bytes: dict = None  # (lower switch, upper switch) -> bytes
+
+    @property
+    def goodput_bps(self) -> float:
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.total_bytes * 8 / (self.elapsed_ns / 1e9)
+
+    @staticmethod
+    def _ratio(counts: list) -> float:
+        if not counts:
+            return 1.0
+        lo, hi = min(counts), max(counts)
+        if hi == 0:
+            return 1.0
+        return float("inf") if lo == 0 else hi / lo
+
+    @property
+    def ecmp_evenness(self) -> float:
+        """Max/min byte ratio across *upper-tier switches* (1.0 = perfect
+        balance): did the flow hash spread the offered load evenly over
+        the spines/cores?  ``inf`` if a spine was bypassed entirely."""
+        per_upper: dict = {}
+        for (_lo, hi), b in (self.uplink_bytes or {}).items():
+            per_upper[hi] = per_upper.get(hi, 0) + b
+        return self._ratio(list(per_upper.values()))
+
+    @property
+    def trunk_evenness(self) -> float:
+        """Max/min byte ratio across individual uplink trunks — noisier
+        than :attr:`ecmp_evenness` (each trunk sees one leaf's flows, so
+        small fabrics have few flow-hash draws per trunk)."""
+        return self._ratio(list((self.uplink_bytes or {}).values()))
+
+
+def _flow_payload(flow: Flow) -> bytes:
+    # One deterministic byte per flow: cheap to build, and a wrong or
+    # cross-wired delivery cannot match.
+    return bytes([(flow.tag * 31 + 7) % 251]) * flow.size_bytes
+
+
+def run_traffic(
+    cluster: Cluster,
+    spec: TrafficSpec,
+    seed: int = 0,
+    limit_ms: int = 600_000,
+) -> TrafficResult:
+    """Execute a traffic matrix over a cluster's message-passing world.
+
+    Flow expansion draws from the dedicated ``fabric-traffic:<seed>``
+    stream, so running traffic never perturbs any other subsystem's
+    randomness.  Senders run as separate processes from receivers, so
+    eager-ring credit stalls cannot deadlock against unposted receives.
+    """
+    from ..mp import MpWorld
+
+    rng = cluster.rng.stream(f"fabric-traffic:{seed}")
+    flows = expand_flows(spec, cluster.config.nodes, rng)
+    by_src: dict[int, list[Flow]] = {}
+    by_dst: dict[int, list[Flow]] = {}
+    for f in flows:
+        by_src.setdefault(f.src, []).append(f)
+        by_dst.setdefault(f.dst, []).append(f)
+
+    world = MpWorld(cluster)
+    mismatches: list[int] = []
+    received = [0]
+
+    def program(ep):
+        def sender():
+            for f in by_src.get(ep.rank, []):
+                yield from ep.send(f.dst, _flow_payload(f), tag=f.tag)
+
+        tx = cluster.sim.process(sender(), name=f"traffic.tx{ep.rank}")
+        for f in by_dst.get(ep.rank, []):
+            msg = yield from ep.recv(source=f.src, tag=f.tag)
+            received[0] += 1
+            if msg.data != _flow_payload(f):
+                mismatches.append(f.tag)
+        yield tx
+
+    start = cluster.sim.now
+    world.run(program, limit_ms=limit_ms)
+    elapsed = cluster.sim.now - start
+    cluster.sim.run()  # drain straggling acks / credits / timers
+
+    drops = sum(sw.dropped_total for sw in cluster.all_switches)
+    marked = sum(sw.ce_marked_total for sw in cluster.all_switches)
+    retrans = sum(
+        conn.stats.retransmitted_frames
+        for stack in cluster.stacks
+        for conn in stack.protocol.connections.values()
+    )
+    uplinks: dict = {}
+    for fabric in getattr(cluster, "fabrics", []):
+        uplinks.update(fabric.uplink_bytes())
+    return TrafficResult(
+        spec_name=spec.name,
+        flows=len(flows),
+        total_bytes=sum(f.size_bytes for f in flows),
+        elapsed_ns=elapsed,
+        data_intact=not mismatches,
+        messages_received=received[0],
+        switch_drops=drops,
+        ce_marked=marked,
+        retransmissions=retrans,
+        uplink_bytes=uplinks,
+    )

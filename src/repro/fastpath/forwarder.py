@@ -503,6 +503,13 @@ class FastpathManager:
     def fabric_disqualify_reason(self, conn, peer) -> Optional[str]:
         cluster = self.cluster
         config = cluster.config
+        if getattr(cluster, "fabrics", None):
+            # Multi-switch datacenter fabric (repro.fabric): per-hop
+            # store-and-forward latency and ECMP path choice are exactly
+            # the dynamics the analytic jump cannot reproduce — and
+            # ``cluster.switches`` is empty, so every check below would
+            # be looking at the wrong topology anyway.
+            return "multi-hop-fabric"
         if config.leaf_switches > 1:
             return "multi-hop-fabric"
         if config.link.bit_error_rate > 0.0:

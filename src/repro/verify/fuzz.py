@@ -57,6 +57,10 @@ __all__ = [
     "run_crash_scenario",
     "run_incarnation_scenario",
     "IncarnationFuzzResult",
+    "FabricScenario",
+    "FabricFuzzResult",
+    "fabric_scenario_from_seed",
+    "run_fabric_scenario",
 ]
 
 WORKLOADS = ("bulk", "small", "scatter", "read", "mixed")
@@ -614,6 +618,185 @@ def run_incarnation_scenario(seed: int) -> IncarnationFuzzResult:
         stale_frames_rejected=stale,
         duplicates_suppressed=dups,
         violations=tuple(str(v) for v in monitor.violations),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fabric fuzzing
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FabricScenario:
+    """A declarative multi-switch fabric fuzz case (repro.fabric).
+
+    ``trunk_events`` is a tuple of ``(at_ns, kind, a, b, dwell_ns)``
+    tuples: at ``at_ns`` the trunk between switches ``a`` and ``b`` is
+    either administratively drained (``"drain"`` — in-flight frames
+    still arrive) or hard-failed (``"fail"`` — in-flight frames are
+    lost), and restored ``dwell_ns`` later.  Events always leave at
+    least one alternate uplink alive, so ECMP re-pins around them.
+    """
+
+    seed: int
+    topology: str  # "leaf-spine" | "fat-tree"
+    leaves: int
+    spines: int
+    hosts_per_leaf: int
+    k: int
+    nodes: int
+    traffic: str  # "permutation" | "all-to-all" | "hotspot" | "elephant-mice"
+    bytes_per_flow: int
+    trunk_events: tuple[tuple[int, str, str, str, int], ...]
+
+
+@dataclass(frozen=True)
+class FabricFuzzResult:
+    """Outcome of one :func:`run_fabric_scenario` run."""
+
+    scenario: FabricScenario
+    flows: int
+    messages_received: int
+    data_intact: bool
+    switch_drops: int
+    repins: int
+    violations: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.data_intact
+            and self.messages_received == self.flows
+            and not self.violations
+        )
+
+
+def fabric_scenario_from_seed(seed: int) -> FabricScenario:
+    """Derive a fabric scenario from the dedicated RNG stream
+    (``multiedge-fuzz-fabric:<seed>``), so the pre-existing scenario
+    derivation — and every pinned fingerprint — stays byte-identical.
+    """
+    rng = random.Random(f"multiedge-fuzz-fabric:{seed}")
+    traffic = rng.choice(
+        ("permutation", "all-to-all", "hotspot", "elephant-mice")
+    )
+    bytes_per_flow = rng.choice((2_048, 8_192, 16_384))
+    leaves = spines = hosts_per_leaf = k = 0
+    events: list[tuple[int, str, str, str, int]] = []
+    if rng.random() < 0.75:
+        topology = "leaf-spine"
+        leaves = rng.randint(2, 3)
+        spines = rng.randint(2, 3)
+        hosts_per_leaf = rng.randint(2, 4)
+        nodes = min(leaves * hosts_per_leaf, rng.randint(4, 8))
+        # Each event targets a distinct leaf, and spines >= 2, so every
+        # leaf keeps at least one live uplink throughout.
+        for target_leaf in rng.sample(range(leaves), rng.randint(0, 2)):
+            events.append(
+                (
+                    rng.randint(50 * _US, 2 * _MS),
+                    rng.choice(("drain", "fail")),
+                    f"leaf0.{target_leaf}",
+                    f"spine0.{rng.randrange(spines)}",
+                    rng.randint(100 * _US, 1500 * _US),
+                )
+            )
+    else:
+        topology = "fat-tree"
+        k = 4
+        nodes = rng.randint(4, 8)
+        if rng.random() < 0.5:
+            # One edge-to-aggregation trunk in pod 0; the edge's other
+            # aggregation uplink keeps every host reachable.
+            events.append(
+                (
+                    rng.randint(50 * _US, 2 * _MS),
+                    rng.choice(("drain", "fail")),
+                    "edge0.0.0",
+                    f"agg0.0.{rng.randrange(2)}",
+                    rng.randint(100 * _US, 1500 * _US),
+                )
+            )
+    return FabricScenario(
+        seed=seed,
+        topology=topology,
+        leaves=leaves,
+        spines=spines,
+        hosts_per_leaf=hosts_per_leaf,
+        k=k,
+        nodes=nodes,
+        traffic=traffic,
+        bytes_per_flow=bytes_per_flow,
+        trunk_events=tuple(events),
+    )
+
+
+def run_fabric_scenario(seed: int) -> FabricFuzzResult:
+    """One randomized multi-switch fabric run with trunk churn.
+
+    Builds the scenario's leaf-spine or fat-tree fabric, drives its
+    traffic matrix over message passing while trunks drain/fail and
+    recover mid-run, then asserts the fabric's routing invariants
+    (structural acyclicity, ECMP determinism, switch and trunk frame
+    conservation) and end-to-end data integrity.
+    """
+    from ..bench.cluster import make_cluster as _make
+    from ..core import api as _api
+    from ..fabric import (
+        AllToAll,
+        ElephantMice,
+        FatTreeSpec,
+        Hotspot,
+        LeafSpineSpec,
+        Permutation,
+        run_traffic,
+    )
+
+    sc = fabric_scenario_from_seed(seed)
+    _api._next_conn_id = 1
+    if sc.topology == "leaf-spine":
+        spec = LeafSpineSpec(
+            leaves=sc.leaves,
+            spines=sc.spines,
+            hosts_per_leaf=sc.hosts_per_leaf,
+        )
+    else:
+        spec = FatTreeSpec(k=sc.k)
+    cluster = _make(
+        "1L-1G",
+        nodes=sc.nodes,
+        seed=sc.seed,
+        synthetic_payloads=False,
+        fabric=spec,
+    )
+    fabric = cluster.fabrics[0]
+    for at_ns, kind, a, b, dwell_ns in sc.trunk_events:
+        if kind == "drain":
+            cluster.sim.at(at_ns, fabric.set_trunk_enabled, a, b, False)
+            cluster.sim.at(at_ns + dwell_ns, fabric.set_trunk_enabled, a, b, True)
+        else:
+            cluster.sim.at(at_ns, fabric.fail_trunk, a, b, dwell_ns)
+    traffic = {
+        "permutation": lambda: Permutation(sc.bytes_per_flow, rounds=2),
+        "all-to-all": lambda: AllToAll(sc.bytes_per_flow),
+        "hotspot": lambda: Hotspot(targets=1, bytes_per_flow=sc.bytes_per_flow),
+        "elephant-mice": lambda: ElephantMice(
+            elephants=2,
+            elephant_bytes=4 * sc.bytes_per_flow,
+            mice=8,
+            mouse_bytes=max(sc.bytes_per_flow // 8, 64),
+        ),
+    }[sc.traffic]()
+    result = run_traffic(cluster, traffic, seed=sc.seed)
+    violations = [v for fab in cluster.fabrics for v in fab.routing_invariants()]
+    return FabricFuzzResult(
+        scenario=sc,
+        flows=result.flows,
+        messages_received=result.messages_received,
+        data_intact=result.data_intact,
+        switch_drops=result.switch_drops,
+        repins=sum(sw.repins for sw in fabric.switches),
+        violations=tuple(violations),
     )
 
 

@@ -1,0 +1,69 @@
+"""Per-switch summary counters: fabric names, tiers, and shape stability."""
+
+from repro.analysis import SwitchCounters, summarize_cluster
+from repro.bench import make_cluster
+from repro.bench.micro import run_one_way
+from repro.fabric import LeafSpineSpec, Permutation, run_traffic
+
+
+class TestClassicClusters:
+    def test_single_switch_appears_once(self):
+        cluster = make_cluster("1L-1G", nodes=2)
+        run_one_way(cluster, 65536, iterations=4)
+        s = summarize_cluster(cluster)
+        assert len(s.switches) == 1
+        sw = s.switches[0]
+        assert isinstance(sw, SwitchCounters)
+        assert sw.tier == ""  # classic wiring has no tiers
+        assert sw.forwarded > 0
+        assert sw.ecmp_routed == 0 and sw.repins == 0
+
+    def test_old_summary_shape_is_stable(self):
+        """Pre-existing aggregate fields keep their meaning: the new
+        per-switch list refines them, it does not replace them."""
+        cluster = make_cluster("1L-1G", nodes=2)
+        run_one_way(cluster, 65536, iterations=4)
+        s = summarize_cluster(cluster)
+        assert s.switch_drops == sum(sw.dropped_total for sw in s.switches)
+        assert s.data_frames > 0 and s.goodput_mbps > 0
+
+    def test_two_rails_two_switches(self):
+        cluster = make_cluster("2L-1G", nodes=2)
+        run_one_way(cluster, 65536, iterations=4)
+        s = summarize_cluster(cluster)
+        assert len(s.switches) == 2
+
+
+class TestFabricClusters:
+    def _summary(self):
+        cluster = make_cluster(
+            "1L-1G", nodes=4, seed=0, synthetic_payloads=False,
+            fabric=LeafSpineSpec(leaves=2, spines=2, hosts_per_leaf=2),
+        )
+        run_traffic(cluster, Permutation(8192, rounds=2), seed=0)
+        return summarize_cluster(cluster)
+
+    def test_every_fabric_switch_keyed_by_name(self):
+        s = self._summary()
+        by_name = {sw.name: sw for sw in s.switches}
+        assert set(by_name) == {
+            "leaf0.0", "leaf0.1", "spine0.0", "spine0.1"
+        }
+        assert by_name["leaf0.0"].tier == "leaf"
+        assert by_name["spine0.1"].tier == "spine"
+
+    def test_ecmp_counters_surface(self):
+        s = self._summary()
+        leaves = [sw for sw in s.switches if sw.tier == "leaf"]
+        assert sum(sw.ecmp_routed for sw in leaves) > 0
+        assert all(sw.forwarded > 0 for sw in s.switches if sw.tier == "leaf")
+
+    def test_tier_drops_rollup(self):
+        s = self._summary()
+        td = s.tier_drops
+        assert set(td) == {"leaf", "spine"}
+        assert sum(td.values()) == s.switch_drops
+
+    def test_tx_bytes_tracks_egress_links(self):
+        s = self._summary()
+        assert all(sw.tx_bytes > 0 for sw in s.switches)

@@ -1,0 +1,74 @@
+"""MAC namespacing: NIC and trunk addresses can never collide.
+
+Regression for two historical bugs: ``mac_address`` let wide node ids
+bleed into the rail field (``mac_address(1 << 16, 0)`` equalled
+``mac_address(0, 1)``), and trunk ports initially drew from the same
+``02:…`` prefix as NICs — a 65536-node fabric would have aliased switch
+0's trunk port MACs onto node MACs.
+"""
+
+import pytest
+
+from repro.ethernet import (
+    NIC_MAC_PREFIX,
+    TRUNK_MAC_PREFIX,
+    mac_address,
+    trunk_mac,
+)
+
+
+class TestMacAddress:
+    def test_deterministic_and_distinct(self):
+        assert mac_address(3, 1) == mac_address(3, 1)
+        assert mac_address(3, 1) != mac_address(1, 3)
+
+    def test_fields_cannot_bleed(self):
+        with pytest.raises(ValueError):
+            mac_address(1 << 16, 0)
+        with pytest.raises(ValueError):
+            mac_address(0, 1 << 24)
+        with pytest.raises(ValueError):
+            mac_address(-1, 0)
+
+    def test_prefix(self):
+        assert mac_address(0, 0) >> 40 == NIC_MAC_PREFIX
+
+
+class TestTrunkMac:
+    def test_deterministic_and_distinct(self):
+        assert trunk_mac(2, 5) == trunk_mac(2, 5)
+        assert trunk_mac(2, 5) != trunk_mac(5, 2)
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            trunk_mac(1 << 24, 0)
+        with pytest.raises(ValueError):
+            trunk_mac(0, 1 << 16)
+        with pytest.raises(ValueError):
+            trunk_mac(-1, 0)
+
+    def test_prefix(self):
+        assert trunk_mac(0, 0) >> 40 == TRUNK_MAC_PREFIX
+
+
+class TestNamespacesDisjoint:
+    def test_prefixes_differ_in_local_bit_space(self):
+        # Both locally administered (bit 0x02 of the first octet), but
+        # distinct octets: structurally disjoint 48-bit spaces.
+        assert NIC_MAC_PREFIX != TRUNK_MAC_PREFIX
+        assert NIC_MAC_PREFIX & 0x02 and TRUNK_MAC_PREFIX & 0x02
+
+    def test_collision_regression_sweep(self):
+        """No (node, rail) NIC MAC may equal any (switch, port) trunk MAC
+        — including the aliasing shapes that caused the original bug."""
+        nics = {
+            mac_address(node, rail)
+            for node in (0, 1, 2, 255, 65535)
+            for rail in (0, 1, 2)
+        }
+        trunks = {
+            trunk_mac(sw, port)
+            for sw in (0, 1, 2, 255, (1 << 24) - 1)
+            for port in (0, 1, 2, 65535)
+        }
+        assert nics.isdisjoint(trunks)

@@ -122,3 +122,12 @@ def test_run_application():
     out = run_main(load_example("run_application"), argv=["fft", "1L-1G", "2"])
     assert "running fft" in out
     assert "data frames" in out or "network" in out.lower()
+
+
+def test_leaf_spine():
+    mod = load_example("leaf_spine")
+    mod.ROUNDS = 4  # shrink the matrix: same code paths, less wall time
+    out = run_main(mod)
+    assert out.count("data intact=True") == 2
+    assert "routing invariants clean=True" in out
+    assert "3:1 oversubscribed" in out

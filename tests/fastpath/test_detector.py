@@ -222,3 +222,16 @@ def test_denial_is_pure():
     assert len(sim._queue) == queue_before
     for name, rng in cluster.rng._streams.items():
         assert repr(rng.bit_generator.state) == rng_states[name]
+
+
+def test_datacenter_fabric_refuses():
+    """A repro.fabric multi-switch cluster must never arm the fast path:
+    per-hop store-and-forward and ECMP path choice are not analytic."""
+    from repro.fabric import LeafSpineSpec
+
+    cluster = make_cluster(
+        "1L-1G", nodes=4, fastpath=True,
+        fabric=LeafSpineSpec(leaves=2, spines=2, hosts_per_leaf=2),
+    )
+    a, _ = cluster.connect(0, 1)
+    assert _reason(a.conn) == "multi-hop-fabric"

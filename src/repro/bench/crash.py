@@ -29,7 +29,7 @@ from ..control import Crash, DetectorParams, FaultSchedule, Restart
 from ..recovery import RecoveryParams
 from .cluster import make_cluster
 
-__all__ = ["CrashResult", "run_crash"]
+__all__ = ["CrashResult", "CrashRun", "run_crash"]
 
 _MS = 1_000_000
 
@@ -79,6 +79,186 @@ class CrashResult:
         )
 
 
+class CrashRun:
+    """A :func:`run_crash` execution split into pausable phases.
+
+    Construction wires the cluster, channel, faults, and stream process
+    without advancing time; :meth:`run_to` executes events up to an exact
+    instant (e.g. inside the crash window); :meth:`finish` completes the
+    run and computes the :class:`CrashResult`.  Used by the checkpoint
+    witness suite — ``run_to(T)`` + ``finish()`` is scheduling-identical
+    to a bare ``finish()``.
+    """
+
+    def __init__(
+        self,
+        config: str = "2Lu-1G",
+        message_bytes: int = 2048,
+        message_interval_ns: int = 50_000,
+        crash_ns: int = 10 * _MS,
+        restart_delay_ns: int = 5 * _MS,
+        run_ns: int = 60 * _MS,
+        seed: int = 0,
+        recovery_params: Optional[RecoveryParams] = None,
+        detector_params: Optional[DetectorParams] = None,
+        use_monitor: bool = True,
+    ) -> None:
+        self.config = config
+        self.message_bytes = message_bytes
+        self.crash_ns = crash_ns
+        self.restart_delay_ns = restart_delay_ns
+        self.run_ns = run_ns
+        # Rebuild recipe for repro.checkpoint.
+        self.recipe = {
+            "config": config,
+            "message_bytes": message_bytes,
+            "message_interval_ns": message_interval_ns,
+            "crash_ns": crash_ns,
+            "restart_delay_ns": restart_delay_ns,
+            "run_ns": run_ns,
+            "seed": seed,
+            "recovery_params": recovery_params,
+            "detector_params": detector_params,
+            "use_monitor": use_monitor,
+        }
+        cluster = self.cluster = make_cluster(
+            config, nodes=2, seed=seed, synthetic_payloads=True
+        )
+        cluster.connect(0, 1)
+        cluster.enable_edge_control(0, 1, detector_params=detector_params)
+        self.recovery = cluster.enable_crash_recovery(recovery_params)
+        self.monitor = None
+        if use_monitor:
+            from ..verify.monitor import InvariantMonitor
+
+            self.monitor = InvariantMonitor.attach(cluster, collect=True)
+        self.channel = self.recovery.channel(0, 1)
+        FaultSchedule(
+            [
+                Crash(at_ns=crash_ns, node=1),
+                Restart(at_ns=crash_ns, node=1, delay_ns=restart_delay_ns),
+            ]
+        ).apply(cluster)
+
+        channel = self.channel
+
+        def stream():
+            addr = 0
+            while cluster.sim.now < run_ns:
+                yield from channel.send(addr, addr, message_bytes)
+                addr += message_bytes
+                yield message_interval_ns
+
+        self.proc = cluster.sim.process(stream(), name="crash.stream")
+
+    def state(self) -> dict:
+        """Capture root for the checkpoint walker."""
+        return {
+            "cluster": self.cluster,
+            "proc": self.proc,
+            "channel": self.channel,
+            "recovery": self.recovery,
+            "monitor": self.monitor,
+        }
+
+    def run_to(self, time_ns: int) -> None:
+        """Execute every event due at or before ``time_ns``, then pause."""
+        self.cluster.sim.run_until_time(time_ns)
+
+    def finish(self) -> CrashResult:
+        cluster = self.cluster
+        cluster.sim.run_until_done(self.proc, limit=self.run_ns + 500 * _MS)
+        for mgr in list(cluster.control_planes.values()):
+            mgr.stop()
+        cluster.sim.run()  # drain acks, retransmits, replay tails
+        return self._report()
+
+    def _report(self) -> CrashResult:
+        cluster = self.cluster
+        recovery = self.recovery
+        channel = self.channel
+        monitor = self.monitor
+        config = self.config
+        message_bytes = self.message_bytes
+        crash_ns = self.crash_ns
+        restart_delay_ns = self.restart_delay_ns
+        detected_ns = reconnected_ns = None
+        if recovery.reconnect_latencies:
+            at, latency = recovery.reconnect_latencies[0]
+            reconnected_ns = at
+            detected_ns = at - latency
+
+        entries = channel.journal.entries
+        delivered = [e for e in entries if e.delivered]
+
+        def goodput(t0: int, t1: int) -> float:
+            """Delivery goodput (bits/s) over [t0, t1)."""
+            if t1 <= t0:
+                return 0.0
+            done = sum(
+                e.length for e in delivered
+                if e.delivered_at is not None and t0 <= e.delivered_at < t1
+            )
+            return done * 8 / ((t1 - t0) / 1e9)
+
+        stream_end = max(
+            (e.delivered_at for e in delivered if e.delivered_at is not None),
+            default=0,
+        )
+        pre = goodput(0, min(crash_ns, stream_end))
+        recovered = 0.0
+        if reconnected_ns is not None:
+            recovered = goodput(reconnected_ns, max(stream_end, reconnected_ns))
+
+        # Exactly-once: the receiver's durable log must hold each journal seq
+        # exactly once (the log is a set, so size == sent is the whole check),
+        # and every entry the sender journaled must have been acked.
+        log = recovery.nodes[1].delivered
+        exactly_once = (
+            len(log) == channel.messages_sent
+            and len(delivered) == channel.messages_sent
+        )
+
+        violations: tuple[str, ...] = ()
+        if monitor is not None:
+            monitor.final_check()
+            violations = tuple(str(v) for v in monitor.violations)
+
+        dup_suppressed = recovery.duplicate_msgs_suppressed_destroyed
+        stale_rejected = recovery.stale_frames_rejected_destroyed
+        for stack in cluster.stacks:
+            for conn in stack.protocol.connections.values():
+                dup_suppressed += conn.duplicate_msgs_suppressed
+                stale_rejected += conn.stale_frames_rejected
+
+        params = recovery.params
+        timeline = [("crash", crash_ns), ("restart", crash_ns + restart_delay_ns)]
+        if detected_ns is not None:
+            timeline.append(("detected", detected_ns))
+        if reconnected_ns is not None:
+            timeline.append(("reconnected", reconnected_ns))
+        timeline.sort(key=lambda kv: kv[1])
+        return CrashResult(
+            config=config,
+            message_bytes=message_bytes,
+            messages_sent=channel.messages_sent,
+            messages_delivered=len(delivered),
+            redeliveries=channel.redeliveries,
+            duplicates_suppressed=dup_suppressed,
+            stale_frames_rejected=stale_rejected,
+            crash_ns=crash_ns,
+            restart_delay_ns=restart_delay_ns,
+            detected_ns=detected_ns,
+            reconnected_ns=reconnected_ns,
+            reconnect_bound_ns=params.reconnect_bound_ns(restart_delay_ns),
+            pre_crash_goodput_bps=pre,
+            recovered_goodput_bps=recovered,
+            exactly_once=exactly_once,
+            violations=violations,
+            timeline=timeline,
+        )
+
+
 def run_crash(
     config: str = "2Lu-1G",
     message_bytes: int = 2048,
@@ -99,114 +279,15 @@ def run_crash(
     Sends issued while the connection is down block until the reconnect
     replay finishes, then resume at pace.
     """
-    # Connection ids come from a process-global counter; pin it so the
-    # same parameters yield bit-identical results no matter how many runs
-    # came before in this process.
-    from ..core import api as _api
-
-    _api._next_conn_id = 1
-    cluster = make_cluster(config, nodes=2, seed=seed, synthetic_payloads=True)
-    cluster.connect(0, 1)
-    cluster.enable_edge_control(0, 1, detector_params=detector_params)
-    recovery = cluster.enable_crash_recovery(recovery_params)
-    monitor = None
-    if use_monitor:
-        from ..verify.monitor import InvariantMonitor
-
-        monitor = InvariantMonitor.attach(cluster, collect=True)
-    channel = recovery.channel(0, 1)
-    FaultSchedule(
-        [
-            Crash(at_ns=crash_ns, node=1),
-            Restart(at_ns=crash_ns, node=1, delay_ns=restart_delay_ns),
-        ]
-    ).apply(cluster)
-
-    def stream():
-        addr = 0
-        while cluster.sim.now < run_ns:
-            yield from channel.send(addr, addr, message_bytes)
-            addr += message_bytes
-            yield message_interval_ns
-
-    proc = cluster.sim.process(stream(), name="crash.stream")
-    cluster.sim.run_until_done(proc, limit=run_ns + 500 * _MS)
-    for mgr in list(cluster.control_planes.values()):
-        mgr.stop()
-    cluster.sim.run()  # drain acks, retransmits, replay tails
-
-    detected_ns = reconnected_ns = None
-    if recovery.reconnect_latencies:
-        at, latency = recovery.reconnect_latencies[0]
-        reconnected_ns = at
-        detected_ns = at - latency
-
-    entries = channel.journal.entries
-    delivered = [e for e in entries if e.delivered]
-
-    def goodput(t0: int, t1: int) -> float:
-        """Delivery goodput (bits/s) over [t0, t1)."""
-        if t1 <= t0:
-            return 0.0
-        done = sum(
-            e.length for e in delivered
-            if e.delivered_at is not None and t0 <= e.delivered_at < t1
-        )
-        return done * 8 / ((t1 - t0) / 1e9)
-
-    stream_end = max(
-        (e.delivered_at for e in delivered if e.delivered_at is not None),
-        default=0,
-    )
-    pre = goodput(0, min(crash_ns, stream_end))
-    recovered = 0.0
-    if reconnected_ns is not None:
-        recovered = goodput(reconnected_ns, max(stream_end, reconnected_ns))
-
-    # Exactly-once: the receiver's durable log must hold each journal seq
-    # exactly once (the log is a set, so size == sent is the whole check),
-    # and every entry the sender journaled must have been acked.
-    log = recovery.nodes[1].delivered
-    exactly_once = (
-        len(log) == channel.messages_sent
-        and len(delivered) == channel.messages_sent
-    )
-
-    violations: tuple[str, ...] = ()
-    if monitor is not None:
-        monitor.final_check()
-        violations = tuple(str(v) for v in monitor.violations)
-
-    dup_suppressed = recovery.duplicate_msgs_suppressed_destroyed
-    stale_rejected = recovery.stale_frames_rejected_destroyed
-    for stack in cluster.stacks:
-        for conn in stack.protocol.connections.values():
-            dup_suppressed += conn.duplicate_msgs_suppressed
-            stale_rejected += conn.stale_frames_rejected
-
-    params = recovery.params
-    timeline = [("crash", crash_ns), ("restart", crash_ns + restart_delay_ns)]
-    if detected_ns is not None:
-        timeline.append(("detected", detected_ns))
-    if reconnected_ns is not None:
-        timeline.append(("reconnected", reconnected_ns))
-    timeline.sort(key=lambda kv: kv[1])
-    return CrashResult(
+    return CrashRun(
         config=config,
         message_bytes=message_bytes,
-        messages_sent=channel.messages_sent,
-        messages_delivered=len(delivered),
-        redeliveries=channel.redeliveries,
-        duplicates_suppressed=dup_suppressed,
-        stale_frames_rejected=stale_rejected,
+        message_interval_ns=message_interval_ns,
         crash_ns=crash_ns,
         restart_delay_ns=restart_delay_ns,
-        detected_ns=detected_ns,
-        reconnected_ns=reconnected_ns,
-        reconnect_bound_ns=params.reconnect_bound_ns(restart_delay_ns),
-        pre_crash_goodput_bps=pre,
-        recovered_goodput_bps=recovered,
-        exactly_once=exactly_once,
-        violations=violations,
-        timeline=timeline,
-    )
+        run_ns=run_ns,
+        seed=seed,
+        recovery_params=recovery_params,
+        detector_params=detector_params,
+        use_monitor=use_monitor,
+    ).finish()

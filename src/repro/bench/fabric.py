@@ -47,12 +47,9 @@ def run_fabric_incast(
     0-2 and the receiver (node 16) sits on the last leaf — most senders'
     frames cross two trunk hops before they converge.
     """
-    # ECMP hashes over the connection id, which comes from a
-    # process-global counter: pin it so the same parameters pick the
+    # ECMP hashes over the connection id, allocated per-simulator (a
+    # fresh cluster always starts at 1), so the same parameters pick the
     # same paths no matter how many runs came before in this process.
-    from ..core import api as _api
-
-    _api._next_conn_id = 1
     spec = spec or leaf_spine_3to1()
     return run_incast(
         config="1L-1G",
@@ -76,9 +73,6 @@ def run_ecmp_evenness(
 ) -> TrafficResult:
     """Permutation matrix over the leaf-spine; the result's
     ``ecmp_evenness`` is the max/min spine byte ratio (1.0 = perfect)."""
-    from ..core import api as _api
-
-    _api._next_conn_id = 1  # same reason as run_fabric_incast
     spec = spec or leaf_spine_3to1()
     cluster = make_cluster(
         "1L-1G", nodes=nodes, seed=seed, synthetic_payloads=False, fabric=spec

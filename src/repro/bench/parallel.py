@@ -38,7 +38,8 @@ import multiprocessing
 import os
 from typing import Iterable, Optional, Sequence
 
-from .micro import MicroResult
+from .cluster import make_cluster
+from .micro import MicroResult, _collect, _one_way_stream, _reset_measurement
 from .runner import DEFAULT_SIZES, _app_cache, _micro_cache, app_run, micro_point
 
 __all__ = [
@@ -47,6 +48,7 @@ __all__ = [
     "run_points",
     "parallel_micro_sweep",
     "parallel_app_runs",
+    "warm_micro_sweep",
 ]
 
 # Work-list entries: the argument tuples of runner.micro_point / runner.app_run.
@@ -147,6 +149,114 @@ def parallel_micro_sweep(
         processes=processes,
     )
     return tuple(micro_point(config, benchmark, size, seed) for size in sizes)
+
+
+# ---------------------------------------------------------------------------
+# Warm-started sweeps: simulate the shared prefix once, fork per sweep point
+# ---------------------------------------------------------------------------
+
+_WARM_LIMIT_NS = 600_000_000_000
+
+
+def _warm_iterations(size: int) -> int:
+    """Measured iteration count shared by the warm and cold twins."""
+    if size >= 262144:
+        return 10
+    return max(8, min(512, 4_000_000 // size))
+
+
+def _warm_prefix(config: str, seed: int, warmup: int, warmup_size: int):
+    """The sweep-invariant prefix: cluster, connection, fixed-size warmup.
+
+    Everything here is identical for every sweep point — handshakes,
+    ring/window priming, pacing state — so it is simulated exactly once
+    per warm sweep and inherited by each forked point.
+    """
+    cluster = make_cluster(config, nodes=2, seed=seed, synthetic_payloads=True)
+    a, b = cluster.connect(0, 1)
+    src = a.node.memory.alloc(warmup_size)
+    dst = b.node.memory.alloc(warmup_size)
+
+    def sender():
+        yield from _one_way_stream(a, b, warmup_size, warmup, src, dst)
+
+    def receiver():
+        yield from b.wait_notification()
+
+    rproc = cluster.sim.process(receiver())
+    cluster.sim.process(sender())
+    cluster.sim.run_until_done(rproc, limit=_WARM_LIMIT_NS)
+    return cluster, a, b
+
+
+def _measured_point(cluster, a, b, size: int) -> MicroResult:
+    """The per-size measured phase, run on an already-warm cluster."""
+    iterations = _warm_iterations(size)
+    src = a.node.memory.alloc(size)
+    dst = b.node.memory.alloc(size)
+    issue_times: list[int] = []
+    state = {"start": 0, "end": 0}
+
+    def sender():
+        _reset_measurement(cluster)
+        state["start"] = cluster.sim.now
+        yield from _one_way_stream(a, b, size, iterations, src, dst, issue_times)
+
+    def receiver():
+        yield from b.wait_notification()
+        state["end"] = cluster.sim.now
+
+    rproc = cluster.sim.process(receiver())
+    cluster.sim.process(sender())
+    cluster.sim.run_until_done(rproc, limit=_WARM_LIMIT_NS)
+    elapsed = state["end"] - state["start"]
+    host_overhead_us = (sum(issue_times) / len(issue_times)) / 1000.0
+    return _collect(
+        cluster, "one-way", size, iterations, elapsed,
+        latency_us=host_overhead_us,
+        total_payload_bytes=size * iterations,
+        directions=1,
+    )
+
+
+def warm_micro_sweep(
+    config: str,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    seed: int = 0,
+    warmup: int = 4,
+    warmup_size: int = 4096,
+    use_fork: bool = True,
+) -> tuple[MicroResult, ...]:
+    """One-way sweep that simulates the shared prefix once and forks per size.
+
+    With ``use_fork`` (and ``os.fork`` available) the warm prefix —
+    cluster construction, connect, handshake, a fixed-size warmup stream —
+    runs once; each sweep point then runs its measured phase in a forked
+    child inheriting that exact state.  Without fork the same two phases
+    run in-process with the prefix rebuilt per size.  The two modes are
+    bit-identical (a forked child's heap *is* the freshly built prefix),
+    which ``tests/checkpoint/test_warm_sweep.py`` asserts; the fork path
+    just stops paying for the prefix ``len(sizes)`` times.
+
+    Results are deliberately *not* cached in the ``micro_point`` cache:
+    the warm protocol (fixed-size warmup) differs from ``run_one_way``'s
+    per-size warmup, so the numbers are comparable within a warm sweep,
+    not with cold :func:`~repro.bench.runner.micro_sweep` points.
+    """
+    from ..checkpoint.fork import HAVE_FORK, fork_map
+
+    if use_fork and HAVE_FORK:
+        cluster, a, b = _warm_prefix(config, seed, warmup, warmup_size)
+        thunks = [
+            (lambda s=size: _measured_point(cluster, a, b, s))
+            for size in sizes
+        ]
+        return tuple(fork_map(thunks))
+    results = []
+    for size in sizes:
+        cluster, a, b = _warm_prefix(config, seed, warmup, warmup_size)
+        results.append(_measured_point(cluster, a, b, size))
+    return tuple(results)
 
 
 def parallel_app_runs(

@@ -1,0 +1,150 @@
+"""Deterministic checkpoint/restore of complete simulator state.
+
+The simulator's hot loops run suspended Python generators, which cannot
+be deep-copied or pickled; a checkpoint therefore has two synchronized
+halves:
+
+* **capture** (:mod:`repro.checkpoint.state`): a reflective walk flattens
+  every live object reachable from the run — event queue (both lanes,
+  including lazily-deleted timers), RNG streams mid-sequence, windows,
+  retransmit queues, NIC rings, switch and EcmpSwitch queues and flow
+  pins, journals, incarnations, generator frames — into an ordered
+  ``path -> token`` map with a SHA-256 fingerprint;
+* **restore by verified replay**: the :class:`Checkpoint` carries the
+  *recipe* that built the run; :func:`restore` rebuilds it from scratch,
+  replays to the captured instant (``Simulator.run_until_time`` is
+  scheduling-exact, never snapping the clock), re-captures, and raises
+  :class:`CheckpointMismatch` with a path-level diff unless the replayed
+  fingerprint is byte-identical.  Any state living *outside* the
+  checkpoint — module-level mutables, aliased frames, recreated-from-seed
+  RNG streams — turns into a reproducible mismatch instead of a latent
+  heisenbug, which is the point.
+
+Where a true same-process continuation is needed (warm-started sweeps,
+shrinker re-execution), :mod:`repro.checkpoint.fork` snapshots the whole
+interpreter with ``os.fork`` instead — generators and all — and the
+capture half is used to witness that forked and cold runs agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .state import capture_state, diff_states, state_fingerprint
+
+__all__ = [
+    "FORMAT_VERSION",
+    "Checkpoint",
+    "CheckpointMismatch",
+    "take_checkpoint",
+    "restore",
+]
+
+# Bump when the capture encoding or the Checkpoint layout changes:
+# fingerprints are only comparable between identical format versions.
+FORMAT_VERSION = 1
+
+
+class CheckpointMismatch(AssertionError):
+    """Replaying a checkpoint's recipe did not reproduce its state."""
+
+    def __init__(self, expected: str, actual: str, diffs: list) -> None:
+        self.expected = expected
+        self.actual = actual
+        self.diffs = diffs
+        lines = [
+            f"restore diverged: fingerprint {actual[:16]}… != "
+            f"checkpointed {expected[:16]}…; first differing paths:"
+        ]
+        for path, a, b in diffs[:10]:
+            lines.append(f"  {path}: checkpoint={a!r} replay={b!r}")
+        super().__init__("\n".join(lines))
+
+
+@dataclass
+class Checkpoint:
+    """A captured instant of one simulation run.
+
+    ``kind`` + ``recipe`` rebuild the run from scratch; ``time_ns`` is the
+    exact pause instant (the clock is never snapped past the last executed
+    event, so replaying ``run_to(time_ns)`` stops at the same event);
+    ``state``/``fingerprint`` witness the capture.
+    """
+
+    format_version: int
+    kind: str  # "fuzz" | "crash" | "fabric"
+    recipe: dict
+    time_ns: int
+    fingerprint: str
+    state: dict = field(repr=False)
+
+
+def _capture(run) -> tuple[dict, str]:
+    st = capture_state(run.state())
+    return st, state_fingerprint(st)
+
+
+def take_checkpoint(run) -> Checkpoint:
+    """Snapshot a paused run (:class:`~repro.verify.fuzz.ScenarioRun`,
+    :class:`~repro.bench.crash.CrashRun`, or
+    :class:`~repro.verify.fuzz.FabricRun`)."""
+    from ..bench.crash import CrashRun
+    from ..verify.fuzz import FabricRun, ScenarioRun
+
+    if isinstance(run, ScenarioRun):
+        kind, recipe = "fuzz", {"sc": run.sc, **run.opts}
+    elif isinstance(run, CrashRun):
+        kind, recipe = "crash", dict(run.recipe)
+    elif isinstance(run, FabricRun):
+        kind, recipe = "fabric", {"seed": run.sc.seed}
+    else:
+        raise TypeError(f"cannot checkpoint {type(run).__name__}")
+    state, fp = _capture(run)
+    return Checkpoint(
+        format_version=FORMAT_VERSION,
+        kind=kind,
+        recipe=recipe,
+        time_ns=run.cluster.sim.now,
+        fingerprint=fp,
+        state=state,
+    )
+
+
+def restore(ck: Checkpoint, verify: bool = True, **overrides):
+    """Rebuild a checkpoint's run and replay it to the captured instant.
+
+    Returns the live, paused run object (same type that was
+    checkpointed), ready for ``finish()`` or further ``run_to`` calls.
+    With ``verify=True`` the replayed state is re-captured and compared
+    byte for byte; a divergence raises :class:`CheckpointMismatch` listing
+    the offending paths.  ``overrides`` tweak the recipe (e.g.
+    ``trace=True`` for a rewind-to-violation debug replay — tracing is
+    record-only but changes the capture, so it forces ``verify=False``).
+    """
+    from ..bench.crash import CrashRun
+    from ..verify.fuzz import FabricRun, ScenarioRun
+
+    if ck.format_version != FORMAT_VERSION:
+        raise ValueError(
+            f"checkpoint format v{ck.format_version} != "
+            f"supported v{FORMAT_VERSION}"
+        )
+    recipe = {**ck.recipe, **overrides}
+    if overrides:
+        verify = False
+    if ck.kind == "fuzz":
+        run = ScenarioRun(**recipe)
+    elif ck.kind == "crash":
+        run = CrashRun(**recipe)
+    elif ck.kind == "fabric":
+        run = FabricRun(**recipe)
+    else:
+        raise ValueError(f"unknown checkpoint kind {ck.kind!r}")
+    run.run_to(ck.time_ns)
+    if verify:
+        state, fp = _capture(run)
+        if fp != ck.fingerprint:
+            raise CheckpointMismatch(
+                ck.fingerprint, fp, diff_states(ck.state, state)
+            )
+    return run

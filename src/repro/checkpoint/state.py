@@ -1,0 +1,228 @@
+"""Reflective state capture: the complete live object graph, flattened.
+
+:func:`capture_state` walks every object reachable from a root —
+simulator queues (both lanes, including lazily-deleted timers), named RNG
+streams, connections, NIC rings, switch queues, suspended generator
+frames, even closure cells — and flattens it into an ordered
+``path -> leaf`` map of deterministic string tokens.
+:func:`state_fingerprint` hashes that map; :func:`diff_states` explains a
+mismatch path by path.
+
+Design rules (all chosen so two *processes* capturing the same logical
+state produce byte-identical maps):
+
+* scalars are captured by ``repr`` (floats via ``repr`` round-trip
+  exactly; bools/ints/strs are unambiguous),
+* bytes-likes and ndarrays are captured as length + SHA-256 prefix, so
+  ``PYTHONHASHSEED`` and buffer addresses never leak in,
+* sets are sorted; dicts keep insertion order (deterministic for
+  identical executions),
+* ``numpy`` generators capture their exact ``bit_generator.state`` and
+  ``random.Random`` its ``getstate()`` — mid-sequence, not seed-derived,
+* suspended generators capture their function name, current line, and
+  the full local frame — the sharpest hidden-state detector we have,
+* callables capture their qualified name; bound methods and closure
+  cells recurse into the state they close over,
+* an object that defines ``snapshot_state()`` is captured through it
+  (the subsystem's declaration of what is state vs derivable); any other
+  object is captured attribute by attribute, sorted, through ``__dict__``
+  and ``__slots__``,
+* revisited objects emit a reference to their first-visit path, so
+  cycles terminate and aliasing is itself part of the fingerprint.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import random
+import types
+from collections import deque
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["capture_state", "state_fingerprint", "diff_states"]
+
+# Deep enough for every structure in the simulator (the graph is wide,
+# not deep); both sides of a comparison truncate identically, so a hit
+# is deterministic — but it hides state, so keep it generous.
+_MAX_DEPTH = 200
+
+
+def _hash_bytes(data) -> str:
+    return hashlib.sha256(bytes(data)).hexdigest()[:16]
+
+
+def _is_simple_key(k) -> bool:
+    if isinstance(k, (type(None), bool, int, float, str)):
+        return True
+    if isinstance(k, tuple):
+        return all(_is_simple_key(x) for x in k)
+    return False
+
+
+def capture_state(root, max_depth: int = _MAX_DEPTH) -> dict:
+    """Flatten the object graph under ``root`` into ``{path: token}``."""
+    out: dict[str, str] = {}
+    memo: dict[int, str] = {}
+    # Transient objects created during the walk (frame-locals dicts,
+    # snapshot_state() results) are memoized by id; keep them alive so a
+    # recycled id can never alias a dead one.
+    keepalive: list = []
+
+    def walk(obj, path: str, depth: int) -> None:
+        if obj is None or obj is True or obj is False:
+            out[path] = repr(obj)
+            return
+        t = type(obj)
+        if t is int or t is str or t is float:
+            out[path] = repr(obj)
+            return
+        if isinstance(obj, np.integer):
+            out[path] = repr(int(obj))
+            return
+        if isinstance(obj, np.floating):
+            out[path] = repr(float(obj))
+            return
+        if isinstance(obj, Enum):
+            out[path] = f"<enum:{obj}>"
+            return
+        if isinstance(obj, (bytes, bytearray, memoryview)):
+            out[path] = f"<bytes:{len(obj)}:{_hash_bytes(obj)}>"
+            return
+        oid = id(obj)
+        seen = memo.get(oid)
+        if seen is not None:
+            out[path] = f"<ref:{seen}>"
+            return
+        if depth >= max_depth:
+            out[path] = f"<depth:{t.__name__}>"
+            return
+        memo[oid] = path
+        keepalive.append(obj)
+        if isinstance(obj, np.ndarray):
+            arr = obj if obj.flags["C_CONTIGUOUS"] else np.ascontiguousarray(obj)
+            out[path] = (
+                f"<ndarray:{obj.shape}:{obj.dtype}:{_hash_bytes(arr.tobytes())}>"
+            )
+            return
+        if isinstance(obj, np.random.Generator):
+            out[path] = "<nprng>"
+            walk(obj.bit_generator.state, f"{path}.state", depth + 1)
+            return
+        if isinstance(obj, random.Random):
+            out[path] = "<pyrng>"
+            walk(obj.getstate(), f"{path}.state", depth + 1)
+            return
+        if t is list or t is deque or t is tuple:
+            out[path] = f"<{t.__name__}:{len(obj)}>"
+            for i, item in enumerate(obj):
+                walk(item, f"{path}[{i}]", depth + 1)
+            return
+        if t is dict:
+            out[path] = f"<dict:{len(obj)}>"
+            for i, (k, v) in enumerate(obj.items()):
+                if _is_simple_key(k):
+                    kp = repr(k)
+                else:
+                    kp = f"key{i}"
+                    walk(k, f"{path}.{kp}", depth + 1)
+                walk(v, f"{path}[{kp}]", depth + 1)
+            return
+        if t is set or t is frozenset:
+            tokens = sorted(
+                repr(x) if _is_simple_key(x) else f"<{type(x).__name__}>"
+                for x in obj
+            )
+            out[path] = f"<set:{len(obj)}>"
+            for i, tok in enumerate(tokens):
+                out[f"{path}[{i}]"] = tok
+            return
+        if isinstance(obj, types.GeneratorType):
+            name = obj.gi_code.co_name
+            frame = obj.gi_frame
+            if frame is None:
+                out[path] = f"<gen:{name}:done>"
+                return
+            out[path] = f"<gen:{name}:{frame.f_lineno}>"
+            walk(frame.f_locals, f"{path}.locals", depth + 1)
+            return
+        if isinstance(obj, types.MethodType):
+            out[path] = f"<method:{obj.__func__.__qualname__}>"
+            walk(obj.__self__, f"{path}.self", depth + 1)
+            return
+        if isinstance(obj, functools.partial):
+            out[path] = "<partial>"
+            walk(obj.func, f"{path}.func", depth + 1)
+            walk(obj.args, f"{path}.args", depth + 1)
+            walk(obj.keywords, f"{path}.kwargs", depth + 1)
+            return
+        if isinstance(obj, (types.FunctionType, types.BuiltinFunctionType)):
+            qual = getattr(obj, "__qualname__", getattr(obj, "__name__", "?"))
+            out[path] = f"<fn:{getattr(obj, '__module__', '?')}.{qual}>"
+            for i, cell in enumerate(getattr(obj, "__closure__", None) or ()):
+                try:
+                    contents = cell.cell_contents
+                except ValueError:
+                    out[f"{path}.cell{i}"] = "<empty-cell>"
+                    continue
+                walk(contents, f"{path}.cell{i}", depth + 1)
+            return
+        if isinstance(obj, type):
+            out[path] = f"<class:{obj.__qualname__}>"
+            return
+        if isinstance(obj, types.ModuleType):
+            out[path] = f"<module:{obj.__name__}>"
+            return
+        snap = getattr(obj, "snapshot_state", None)
+        if callable(snap):
+            out[path] = f"<{t.__qualname__}>"
+            walk(snap(), f"{path}.snap", depth + 1)
+            return
+        attrs = {}
+        for klass in reversed(t.__mro__):
+            for slot in getattr(klass, "__slots__", ()):
+                if slot in ("__dict__", "__weakref__"):
+                    continue
+                try:
+                    attrs[slot] = getattr(obj, slot)
+                except AttributeError:
+                    pass
+        attrs.update(getattr(obj, "__dict__", {}))
+        out[path] = f"<{t.__qualname__}>"
+        for name in sorted(attrs):
+            walk(attrs[name], f"{path}.{name}", depth + 1)
+
+    walk(root, "$", 0)
+    return out
+
+
+def state_fingerprint(state: dict) -> str:
+    """SHA-256 over the canonical encoding of a captured state map."""
+    h = hashlib.sha256()
+    for path, token in state.items():
+        h.update(path.encode())
+        h.update(b"=")
+        h.update(token.encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def diff_states(a: dict, b: dict, limit: int = 25) -> list:
+    """First ``limit`` ``(path, in_a, in_b)`` differences between captures."""
+    diffs = []
+    for k, va in a.items():
+        vb = b.get(k)
+        if vb is None and k not in b:
+            diffs.append((k, va, "<absent>"))
+        elif va != vb:
+            diffs.append((k, va, vb))
+        if len(diffs) >= limit:
+            return diffs
+    for k, vb in b.items():
+        if k not in a:
+            diffs.append((k, "<absent>", vb))
+            if len(diffs) >= limit:
+                break
+    return diffs

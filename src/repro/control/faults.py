@@ -149,11 +149,26 @@ FaultEvent = Union[
 
 
 class FaultSchedule:
-    """An ordered set of fault events, applied once to a cluster."""
+    """An ordered set of fault events, applied once to a cluster.
+
+    Every timer is installed through
+    :meth:`~repro.sim.core.Simulator.schedule_cancellable` and the handles
+    are kept per fault index, so a fault whose start time is still in the
+    future can be withdrawn with :meth:`cancel_pending` — this is how the
+    fuzz shrinker probes "same run minus fault *i*" from a mid-run
+    checkpoint instead of replaying from t=0.  Cancellation shifts the
+    simulator's event sequence counter by a constant, leaving the relative
+    order of all surviving events intact, so a run with a fault cancelled
+    before it fires is scheduling-identical to a run built without it.
+    """
 
     def __init__(self, events: Sequence[FaultEvent] = ()) -> None:
         self.events: list[FaultEvent] = list(events)
         self._applied = False
+        # Parallel to self.events once applied: the cancellable queue
+        # entries installed for each fault (a Flap installs several).
+        self._handles: list[list] = []
+        self._sim = None
 
     def add(self, event: FaultEvent) -> "FaultSchedule":
         if self._applied:
@@ -166,33 +181,77 @@ class FaultSchedule:
         if self._applied:
             raise RuntimeError("schedule already applied; build a new one")
         self._applied = True
-        sim = cluster.sim
+        sim = self._sim = cluster.sim
         for ev in self.events:
+            handles: list = []
+            self._handles.append(handles)
             # Node-scoped events first: they have no rail and no cable.
             if isinstance(ev, Crash):
                 recovery = cluster.enable_crash_recovery()
-                sim.schedule(ev.at_ns, recovery.crash, ev.node)
+                handles.append(
+                    sim.schedule_cancellable(ev.at_ns, recovery.crash, ev.node)
+                )
                 continue
             if isinstance(ev, Restart):
                 recovery = cluster.enable_crash_recovery()
-                sim.schedule(ev.at_ns + ev.delay_ns, recovery.restart, ev.node)
+                handles.append(
+                    sim.schedule_cancellable(
+                        ev.at_ns + ev.delay_ns, recovery.restart, ev.node
+                    )
+                )
                 continue
             cable = cluster.cable(ev.node, ev.rail)
             if isinstance(ev, Outage):
-                sim.schedule(ev.at_ns, cable.fail_for, ev.duration_ns)
+                handles.append(
+                    sim.schedule_cancellable(
+                        ev.at_ns, cable.fail_for, ev.duration_ns
+                    )
+                )
             elif isinstance(ev, Flap):
                 for k in range(ev.count):
-                    sim.schedule(
-                        ev.at_ns + k * ev.period_ns, cable.fail_for, ev.down_ns
+                    handles.append(
+                        sim.schedule_cancellable(
+                            ev.at_ns + k * ev.period_ns,
+                            cable.fail_for,
+                            ev.down_ns,
+                        )
                     )
             elif isinstance(ev, BitErrorRamp):
-                sim.schedule(ev.at_ns, _set_ber, cable, ev.bit_error_rate)
+                handles.append(
+                    sim.schedule_cancellable(
+                        ev.at_ns, _set_ber, cable, ev.bit_error_rate
+                    )
+                )
             elif isinstance(ev, PermanentFailure):
-                sim.schedule(ev.at_ns, cable.fail_forever)
+                handles.append(
+                    sim.schedule_cancellable(ev.at_ns, cable.fail_forever)
+                )
             elif isinstance(ev, Repair):
-                sim.schedule(ev.at_ns, _repair, cable)
+                handles.append(
+                    sim.schedule_cancellable(ev.at_ns, _repair, cable)
+                )
             else:
                 raise TypeError(f"unknown fault event {ev!r}")
+
+    def cancel_pending(self, index: int) -> None:
+        """Withdraw fault ``index`` before any of its timers have fired.
+
+        Only valid while every timer of the fault is still in the future
+        (``at_ns > sim.now``) — cancelling an already-executed entry would
+        corrupt the queue's dead-entry accounting.  The shrinker guarantees
+        this by only routing candidates through a checkpoint taken before
+        the dropped fault's start time.
+        """
+        if not self._applied:
+            raise RuntimeError("schedule not applied yet")
+        ev = self.events[index]
+        if ev.at_ns <= self._sim.now:
+            raise ValueError(
+                f"fault {index} starts at {ev.at_ns} <= now={self._sim.now}; "
+                "it may already have fired"
+            )
+        for entry in self._handles[index]:
+            self._sim.cancel_scheduled(entry)
 
 
 def _set_ber(cable: "Cable", rate: float) -> None:

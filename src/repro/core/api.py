@@ -178,9 +178,6 @@ class MultiEdgeStack:
         return self.node.node_id
 
 
-_next_conn_id = 1
-
-
 def establish(
     a: MultiEdgeStack,
     b: MultiEdgeStack,
@@ -192,12 +189,12 @@ def establish(
     Connection setup is a control-plane operation performed out of band
     (the real system exchanges SYN/SYN_ACK frames once at startup; the
     handshake latency is irrelevant to every measured experiment, so the
-    simulation wires endpoints directly).
+    simulation wires endpoints directly).  Connection ids are allocated
+    from the owning simulator (1-based per simulator), never from module
+    state — two clusters in one process cannot observe each other.
     """
-    global _next_conn_id
     if conn_id is None:
-        conn_id = _next_conn_id
-        _next_conn_id += 1
+        conn_id = a.node.sim.next_conn_id()
     rails = min(len(a.node.nics), len(b.node.nics))
     conn_a = a.protocol.create_connection(
         conn_id, b.node_id, [nic.mac for nic in b.node.nics[:rails]], params

@@ -559,22 +559,27 @@ class Connection:
             if rail is None:
                 return False
             self._retransmit_q.popleft()
-            rec.frame.dst_mac = self.peer_macs[rail]
-            rec.frame.src_mac = self.nics[rail].mac
-            rec.frame.header.ack = self.tracker.cum_ack
+            # An independent wire copy: a previous copy of this seq may
+            # still be in flight on another rail, and mutating a shared
+            # object would retroactively rewrite its ack, ECN bits, MACs,
+            # and transit state (hops/CE/corruption) mid-journey.
+            frame = rec.frame.wire_copy()
+            frame.dst_mac = self.peer_macs[rail]
+            frame.src_mac = self.nics[rail].mac
+            frame.header.ack = self.tracker.cum_ack
             # Re-evaluate the ECN echo: the bit a previous copy carried is
             # stale, and a pending CE debt may ride out with this copy.
             if self.ack_policy.echo_pending:
-                rec.frame.header.flags |= ECN_ECHO
+                frame.header.flags |= ECN_ECHO
                 self.ecn_echoes_sent += 1
                 self.ack_policy.note_echo_sent()
             else:
-                rec.frame.header.flags &= ~ECN_ECHO
+                frame.header.flags &= ~ECN_ECHO
             rec.last_sent_at = self.sim.now
             rec.last_rail = rail
             if self.recovery is not None:
-                rec.frame.incarnation = self.local_incarnation
-            self.nics[rail].transmit(rec.frame)
+                frame.incarnation = self.local_incarnation
+            self.nics[rail].transmit(frame)
             self.stats.retransmitted_frames += 1
             self.retransmit_timer.arm()
             return True

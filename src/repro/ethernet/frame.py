@@ -203,16 +203,15 @@ def frame_sizes(payload_length: int) -> tuple[int, int]:
     return sizes
 
 
-_frame_counter = 0
-
-
 class Frame:
     """A frame in flight.
 
     ``payload`` optionally carries the real bytes being moved (RDMA data);
     control frames carry ``None`` and a synthetic ``payload_length`` through
     the header.  ``uid`` identifies the physical frame instance (a
-    retransmission is a new Frame with the same header ``seq``).
+    retransmission is a new Frame with the same header ``seq``); it is 0
+    until the transmitting NIC stamps it from the simulator's per-instance
+    counter, so two simulators in one process never share uid state.
 
     ``mac_payload_bytes`` and ``wire_bytes`` are computed once at
     construction — the header's ``payload_length`` is immutable from then
@@ -247,14 +246,12 @@ class Frame:
         # simulator.
         control: Optional[object] = None,
     ) -> None:
-        global _frame_counter
-        _frame_counter += 1
         self.src_mac = src_mac
         self.dst_mac = dst_mac
         self.header = header
         self.payload = payload
         self.corrupted = corrupted
-        self.uid = _frame_counter
+        self.uid = uid
         self.control = control
         # Sender-node incarnation number (crash recovery).  0 until the
         # recovery subsystem stamps it; on the wire it would ride in a
@@ -283,6 +280,42 @@ class Frame:
     @property
     def is_data(self) -> bool:
         return self.header.frame_type == FrameType.DATA
+
+    def wire_copy(self) -> "Frame":
+        """An independent physical copy for retransmission.
+
+        The copy carries its own header object and transit state
+        (``corrupted``/``hops`` reset, CE mark cleared), so mutating it —
+        new piggy-backed ack, ECN echo, rail MACs — can never reach back
+        into an earlier copy of the same sequence number still in flight
+        on another rail.  ``payload``/``control`` are shared by reference:
+        both are treated as immutable once attached.
+        """
+        h = self.header
+        copy = Frame.__new__(Frame)
+        copy.src_mac = self.src_mac
+        copy.dst_mac = self.dst_mac
+        copy.header = MultiEdgeHeader(
+            frame_type=h.frame_type,
+            flags=h.flags & ~ECN_CE,
+            connection_id=h.connection_id,
+            seq=h.seq,
+            ack=h.ack,
+            op_id=h.op_id,
+            op_seq=h.op_seq,
+            remote_address=h.remote_address,
+            op_length=h.op_length,
+            payload_length=h.payload_length,
+        )
+        copy.payload = self.payload
+        copy.corrupted = False
+        copy.uid = 0
+        copy.control = self.control
+        copy.incarnation = self.incarnation
+        copy.hops = 0
+        copy.mac_payload_bytes = self.mac_payload_bytes
+        copy.wire_bytes = self.wire_bytes
+        return copy
 
     def __repr__(self) -> str:  # compact, for traces
         h = self.header

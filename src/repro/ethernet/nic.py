@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Callable, Deque, Optional
 
 from ..sim import RngRegistry, Simulator, Timer
-from .frame import ECN_CE, ETH_MTU, ETH_OVERHEAD_BYTES, Frame, wire_time_ns
+from .frame import ETH_MTU, ETH_OVERHEAD_BYTES, Frame, wire_time_ns
 from .link import Link
 
 __all__ = ["NicParams", "Nic", "NicCounters"]
@@ -198,13 +198,10 @@ class Nic:
             return False
         if self._tx_ring_used >= self.params.tx_ring_frames:
             return False
-        # A (re)transmission is a fresh physical frame: any corruption that
-        # hit a previous copy on the wire does not persist, and neither does
-        # a CE mark a switch stamped on an earlier copy, nor the switch hops
-        # the earlier copy took (the fabric loop guard is per journey).
-        frame.corrupted = False
-        frame.header.flags &= ~ECN_CE
-        frame.hops = 0
+        # Every transmission is an independent physical frame (senders build
+        # a fresh Frame, retransmissions via Frame.wire_copy); stamp its
+        # instance id here, at the moment it becomes a wire object.
+        frame.uid = self.sim.next_frame_uid()
         self._tx_ring_used += 1
         params = self.params
         ready_at = self.sim.now + params.dma_ns

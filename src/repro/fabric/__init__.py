@@ -31,6 +31,7 @@ from .traffic import (
     Hotspot,
     Permutation,
     TrafficResult,
+    TrafficRun,
     expand_flows,
     run_traffic,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "Hotspot",
     "ElephantMice",
     "TrafficResult",
+    "TrafficRun",
     "expand_flows",
     "run_traffic",
 ]

@@ -37,6 +37,7 @@ __all__ = [
     "Hotspot",
     "ElephantMice",
     "TrafficResult",
+    "TrafficRun",
     "expand_flows",
     "run_traffic",
 ]
@@ -222,6 +223,101 @@ def _flow_payload(flow: Flow) -> bytes:
     return bytes([(flow.tag * 31 + 7) % 251]) * flow.size_bytes
 
 
+class TrafficRun:
+    """One traffic-matrix execution, pausable for checkpointing.
+
+    Construction expands flows and spawns the per-rank programs (no
+    simulated time passes); :meth:`run_to` executes events up to an exact
+    instant; :meth:`finish` completes the run and builds the
+    :class:`TrafficResult`.  ``run_to(T)`` + ``finish()`` is
+    scheduling-identical to a bare ``finish()``.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        spec: TrafficSpec,
+        seed: int = 0,
+        limit_ms: int = 600_000,
+    ) -> None:
+        from ..mp import MpWorld
+
+        self.cluster = cluster
+        self.spec = spec
+        self.limit_ms = limit_ms
+        rng = cluster.rng.stream(f"fabric-traffic:{seed}")
+        flows = self.flows = expand_flows(spec, cluster.config.nodes, rng)
+        by_src: dict[int, list[Flow]] = {}
+        by_dst: dict[int, list[Flow]] = {}
+        for f in flows:
+            by_src.setdefault(f.src, []).append(f)
+            by_dst.setdefault(f.dst, []).append(f)
+
+        self.world = MpWorld(cluster)
+        self.mismatches: list[int] = []
+        received = self.received = [0]
+        mismatches = self.mismatches
+
+        def program(ep):
+            def sender():
+                for f in by_src.get(ep.rank, []):
+                    yield from ep.send(f.dst, _flow_payload(f), tag=f.tag)
+
+            tx = cluster.sim.process(sender(), name=f"traffic.tx{ep.rank}")
+            for f in by_dst.get(ep.rank, []):
+                msg = yield from ep.recv(source=f.src, tag=f.tag)
+                received[0] += 1
+                if msg.data != _flow_payload(f):
+                    mismatches.append(f.tag)
+            yield tx
+
+        self.start_ns = cluster.sim.now
+        self.procs = self.world.start(program)
+
+    def state(self) -> dict:
+        """Capture root for the checkpoint walker."""
+        return {
+            "cluster": self.cluster,
+            "world": self.world,
+            "procs": self.procs,
+            "received": self.received,
+            "mismatches": self.mismatches,
+        }
+
+    def run_to(self, time_ns: int) -> None:
+        """Execute every event due at or before ``time_ns``, then pause."""
+        self.cluster.sim.run_until_time(time_ns)
+
+    def finish(self) -> TrafficResult:
+        cluster = self.cluster
+        self.world.wait(self.procs, limit_ms=self.limit_ms)
+        elapsed = cluster.sim.now - self.start_ns
+        cluster.sim.run()  # drain straggling acks / credits / timers
+
+        drops = sum(sw.dropped_total for sw in cluster.all_switches)
+        marked = sum(sw.ce_marked_total for sw in cluster.all_switches)
+        retrans = sum(
+            conn.stats.retransmitted_frames
+            for stack in cluster.stacks
+            for conn in stack.protocol.connections.values()
+        )
+        uplinks: dict = {}
+        for fabric in getattr(cluster, "fabrics", []):
+            uplinks.update(fabric.uplink_bytes())
+        return TrafficResult(
+            spec_name=self.spec.name,
+            flows=len(self.flows),
+            total_bytes=sum(f.size_bytes for f in self.flows),
+            elapsed_ns=elapsed,
+            data_intact=not self.mismatches,
+            messages_received=self.received[0],
+            switch_drops=drops,
+            ce_marked=marked,
+            retransmissions=retrans,
+            uplink_bytes=uplinks,
+        )
+
+
 def run_traffic(
     cluster: Cluster,
     spec: TrafficSpec,
@@ -235,57 +331,4 @@ def run_traffic(
     randomness.  Senders run as separate processes from receivers, so
     eager-ring credit stalls cannot deadlock against unposted receives.
     """
-    from ..mp import MpWorld
-
-    rng = cluster.rng.stream(f"fabric-traffic:{seed}")
-    flows = expand_flows(spec, cluster.config.nodes, rng)
-    by_src: dict[int, list[Flow]] = {}
-    by_dst: dict[int, list[Flow]] = {}
-    for f in flows:
-        by_src.setdefault(f.src, []).append(f)
-        by_dst.setdefault(f.dst, []).append(f)
-
-    world = MpWorld(cluster)
-    mismatches: list[int] = []
-    received = [0]
-
-    def program(ep):
-        def sender():
-            for f in by_src.get(ep.rank, []):
-                yield from ep.send(f.dst, _flow_payload(f), tag=f.tag)
-
-        tx = cluster.sim.process(sender(), name=f"traffic.tx{ep.rank}")
-        for f in by_dst.get(ep.rank, []):
-            msg = yield from ep.recv(source=f.src, tag=f.tag)
-            received[0] += 1
-            if msg.data != _flow_payload(f):
-                mismatches.append(f.tag)
-        yield tx
-
-    start = cluster.sim.now
-    world.run(program, limit_ms=limit_ms)
-    elapsed = cluster.sim.now - start
-    cluster.sim.run()  # drain straggling acks / credits / timers
-
-    drops = sum(sw.dropped_total for sw in cluster.all_switches)
-    marked = sum(sw.ce_marked_total for sw in cluster.all_switches)
-    retrans = sum(
-        conn.stats.retransmitted_frames
-        for stack in cluster.stacks
-        for conn in stack.protocol.connections.values()
-    )
-    uplinks: dict = {}
-    for fabric in getattr(cluster, "fabrics", []):
-        uplinks.update(fabric.uplink_bytes())
-    return TrafficResult(
-        spec_name=spec.name,
-        flows=len(flows),
-        total_bytes=sum(f.size_bytes for f in flows),
-        elapsed_ns=elapsed,
-        data_intact=not mismatches,
-        messages_received=received[0],
-        switch_drops=drops,
-        ce_marked=marked,
-        retransmissions=retrans,
-        uplink_bytes=uplinks,
-    )
+    return TrafficRun(cluster, spec, seed=seed, limit_ms=limit_ms).finish()

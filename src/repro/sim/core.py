@@ -285,6 +285,8 @@ class Simulator:
         "fastlane_hits",
         "cancelled_popped",
         "heap_compactions",
+        "_frame_uids",
+        "_conn_ids",
     )
 
     def __init__(self) -> None:
@@ -299,6 +301,21 @@ class Simulator:
         self.fastlane_hits = 0
         self.cancelled_popped = 0
         self.heap_compactions = 0
+        # Allocation counters that used to live at module level.  Keeping
+        # them per-simulator means two simulators in one process cannot
+        # interfere, and a checkpoint captures them with everything else.
+        self._frame_uids = 0
+        self._conn_ids = 0
+
+    def next_frame_uid(self) -> int:
+        """Allocate a physical-frame instance id (stamped at NIC TX)."""
+        self._frame_uids += 1
+        return self._frame_uids
+
+    def next_conn_id(self) -> int:
+        """Allocate a connection id (1-based, unique within this sim)."""
+        self._conn_ids += 1
+        return self._conn_ids
 
     # -- scheduling ------------------------------------------------------
 
@@ -461,6 +478,81 @@ class Simulator:
                 break
         self._events_processed += processed
         return processed
+
+    def run_until_time(
+        self, until: int, stop: Optional[Callable[[], bool]] = None
+    ) -> int:
+        """Process every event due at or before ``until`` — and stop.
+
+        Unlike :meth:`run`, the clock is **not** snapped to ``until`` when
+        the queue drains early or the next entry lies beyond the bound:
+        ``now`` stays at the last executed event.  An interrupted run
+        (``run_until_time(T)`` followed by more running) is therefore
+        scheduling-identical to an uninterrupted one — the property the
+        checkpoint subsystem's witness protocol depends on.  Returns the
+        number of events processed.
+
+        ``stop``, if given, is consulted after every executed event; the
+        run pauses as soon as it returns true — the same per-event
+        granularity at which :meth:`run_until_done` stops when its
+        process finishes, so a caller can halt exactly where an
+        uninterrupted ``run_until_done`` sequence would have.
+        """
+        queue = self._queue
+        fast = self._fast
+        processed = 0
+        while True:
+            if stop is not None and stop():
+                break
+            if queue and (not fast or queue[0][0] == self.now):
+                entry = queue[0]
+                if entry[2] is None:  # lazily-cancelled timer
+                    _heappop(queue)
+                    self._dead -= 1
+                    self.cancelled_popped += 1
+                    continue
+                if entry[0] > until:
+                    break
+                _heappop(queue)
+                self.now = entry[0]
+                entry[2](*entry[3])
+                processed += 1
+            elif fast:
+                while fast:
+                    cb, args = fast.popleft()
+                    if cb is None:  # cancelled zero-delay timer
+                        self.cancelled_popped += 1
+                        continue
+                    cb(*args)
+                    processed += 1
+                    if stop is not None and stop():
+                        break
+            else:
+                break
+        self._events_processed += processed
+        return processed
+
+    def snapshot_state(self) -> dict:
+        """Engine state for :mod:`repro.checkpoint` capture.
+
+        Queue entries appear in raw heap order (deterministic for
+        identical executions) including lazily-deleted timers; callbacks
+        are walked structurally by the capture walker.
+        """
+        return {
+            "now": self.now,
+            "seq": self._seq,
+            "events_processed": self._events_processed,
+            "dead": self._dead,
+            "heap_pushes": self.heap_pushes,
+            "fastlane_hits": self.fastlane_hits,
+            "cancelled_popped": self.cancelled_popped,
+            "heap_compactions": self.heap_compactions,
+            "frame_uids": self._frame_uids,
+            "conn_ids": self._conn_ids,
+            "queue": list(self._queue),
+            "fast": list(self._fast),
+        }
 
     def run_until_done(self, process: Process, limit: Optional[int] = None) -> Any:
         """Run until ``process`` finishes and return its result.

@@ -384,6 +384,202 @@ def fingerprint(cluster: Cluster, include_trace: bool = False) -> str:
     return h.hexdigest()
 
 
+class ScenarioRun:
+    """One scenario execution, pausable mid-flight for checkpointing.
+
+    ``run_scenario`` remains the one-shot front door; this class exposes
+    the same execution split into phases so :mod:`repro.checkpoint` can
+    stop the simulation at an exact instant, capture state, and continue:
+
+    * construction wires the cluster, faults, and sender processes (no
+      simulated time passes),
+    * :meth:`run_to` executes every event due at or before a time,
+    * :meth:`finish` runs to completion and returns the
+      :class:`FuzzResult`.
+
+    The split is scheduling-neutral: ``run_to(T)`` + ``finish()`` executes
+    the exact event sequence of a bare ``finish()``.
+    """
+
+    def __init__(
+        self,
+        sc: Scenario,
+        use_monitor: bool = True,
+        collect: bool = False,
+        trace: bool = False,
+        fastpath: bool = False,
+    ) -> None:
+        self.sc = sc
+        self.trace = trace
+        # Rebuild recipe for repro.checkpoint (sc rides separately).
+        self.opts = {
+            "use_monitor": use_monitor,
+            "collect": collect,
+            "trace": trace,
+            "fastpath": fastpath,
+        }
+        self._failure: Optional[str] = None
+        cluster = self.cluster = _build_cluster(sc, trace, fastpath)
+        pairs = sorted({(op.src, op.dst) for op in sc.ops})
+        conn_pairs = sorted({(min(i, j), max(i, j)) for i, j in pairs})
+        handles = {}
+        for i, j in conn_pairs:
+            a, b = cluster.connect(i, j)
+            handles[(i, j)] = a
+            handles[(j, i)] = b
+
+        self.managers = []
+        if sc.control_plane:
+            for i, j in conn_pairs:
+                m1, m2 = cluster.enable_edge_control(i, j)
+                self.managers += [m1, m2]
+
+        self.monitor = (
+            InvariantMonitor.attach(cluster, collect=collect)
+            if use_monitor
+            else None
+        )
+        self.faults = FaultSchedule(list(sc.faults))
+        self.faults.apply(cluster)
+
+        # One send/receive buffer per (src, dst) direction; ops reuse them.
+        max_size = max(
+            (op.size * max(op.segments, 1) for op in sc.ops), default=0
+        ) or 64
+        bufs = {}
+        for i, j in pairs:
+            src_node = cluster.nodes[i]
+            dst_node = cluster.nodes[j]
+            bufs[(i, j)] = (
+                src_node.memory.alloc(max_size),
+                dst_node.memory.alloc(max_size),
+            )
+
+        by_src: dict[int, list[OpSpec]] = {}
+        for op in sc.ops:
+            by_src.setdefault(op.src, []).append(op)
+
+        def sender(src: int, specs: list[OpSpec]):
+            pending = []
+            for spec in specs:
+                handle = handles[(spec.src, spec.dst)]
+                local, remote = bufs[(spec.src, spec.dst)]
+                if spec.kind == "write":
+                    oh = yield from handle.rdma_write(
+                        local, remote, spec.size, flags=spec.flags
+                    )
+                elif spec.kind == "scatter":
+                    segments = [
+                        (remote + k * spec.size, bytes(spec.size))
+                        for k in range(spec.segments)
+                    ]
+                    oh = yield from handle.rdma_write_scatter(
+                        segments, flags=spec.flags
+                    )
+                elif spec.kind == "read":
+                    oh = yield from handle.rdma_read(
+                        local, remote, spec.size, flags=spec.flags
+                    )
+                else:
+                    raise ValueError(f"unknown op kind {spec.kind!r}")
+                pending.append(oh)
+                if spec.wait:
+                    yield from oh.wait()
+            for oh in pending:
+                yield from oh.wait()
+
+        self.procs = [
+            cluster.sim.process(sender(src, specs))
+            for src, specs in sorted(by_src.items())
+        ]
+
+    def state(self) -> dict:
+        """Capture root for the checkpoint walker: everything live."""
+        return {
+            "cluster": self.cluster,
+            "procs": self.procs,
+            "managers": self.managers,
+            "monitor": self.monitor,
+            "faults": self.faults,
+        }
+
+    @property
+    def traffic_done(self) -> bool:
+        """True once every workload process has finished.
+
+        Past this instant an uninterrupted :meth:`finish` stops the
+        managers (killing periodic activity like edge monitors) before
+        any later event runs, so a paused run must not advance beyond it.
+        """
+        return all(p._finished for p in self.procs)
+
+    def run_to(self, time_ns: int) -> None:
+        """Execute every event due at or before ``time_ns``, then pause.
+
+        The pause clamps at the instant the last workload process
+        finishes — exactly where an uninterrupted run's
+        ``run_until_done`` sequence stops before ``finish()`` shuts the
+        managers down.  Running any further would execute periodic
+        events (keepalives, edge monitors) that the uninterrupted run
+        suppresses, breaking ``run-to-end == pause+finish`` composition.
+        """
+        if self._failure is not None or self.traffic_done:
+            return
+        try:
+            self.cluster.sim.run_until_time(
+                time_ns, stop=lambda: self.traffic_done
+            )
+        except InvariantViolation as v:
+            self._failure = f"invariant: {v}"
+        except SimulationError as e:
+            self._failure = f"simulation: {e}"
+
+    def finish(self) -> FuzzResult:
+        """Run to completion and report; never raises."""
+        cluster = self.cluster
+        monitor = self.monitor
+        failure = self._failure
+        if failure is None:
+            try:
+                for proc in self.procs:
+                    cluster.sim.run_until_done(proc, limit=self.sc.limit_ns)
+                for mgr in self.managers:
+                    mgr.stop()
+                cluster.sim.run()  # drain retransmits, acks, fault timers
+                for stack in cluster.stacks:
+                    for conn in stack.protocol.connections.values():
+                        for op in list(conn._frame_op.values()) + [
+                            o for o in conn._pending_reads.values()
+                        ]:
+                            if not op.completed:
+                                raise SimulationError(
+                                    f"op {op!r} incomplete after drain"
+                                )
+                if monitor is not None:
+                    monitor.final_check()
+            except InvariantViolation as v:
+                failure = f"invariant: {v}"
+            except SimulationError as e:
+                failure = f"simulation: {e}"
+        if failure is None and monitor is not None and monitor.violations:
+            failure = f"invariant: {monitor.violations[0]}"
+        return FuzzResult(
+            scenario=self.sc,
+            failure=failure,
+            fingerprint=fingerprint(cluster, include_trace=self.trace),
+            elapsed_ns=cluster.sim.now,
+            checks=monitor.checks_run if monitor is not None else 0,
+            violations=tuple(str(v) for v in monitor.violations)
+            if monitor is not None
+            else (),
+            fastpath_jumps=(
+                cluster.fastpath.stats.jumps
+                if cluster.fastpath is not None
+                else 0
+            ),
+        )
+
+
 def run_scenario(
     sc: Scenario,
     use_monitor: bool = True,
@@ -392,119 +588,13 @@ def run_scenario(
     fastpath: bool = False,
 ) -> FuzzResult:
     """Execute one scenario; never raises — failures land in the result."""
-    # Connection ids come from a process-global counter; pin it so the same
-    # seed yields bit-identical frame headers, stats, and fingerprints no
-    # matter how many scenarios ran before in this process.
-    from ..core import api as _api
-
-    _api._next_conn_id = 1
-    cluster = _build_cluster(sc, trace, fastpath)
-    pairs = sorted({(op.src, op.dst) for op in sc.ops})
-    conn_pairs = sorted({(min(i, j), max(i, j)) for i, j in pairs})
-    handles = {}
-    for i, j in conn_pairs:
-        a, b = cluster.connect(i, j)
-        handles[(i, j)] = a
-        handles[(j, i)] = b
-
-    managers = []
-    if sc.control_plane:
-        for i, j in conn_pairs:
-            m1, m2 = cluster.enable_edge_control(i, j)
-            managers += [m1, m2]
-
-    monitor = (
-        InvariantMonitor.attach(cluster, collect=collect) if use_monitor else None
-    )
-    FaultSchedule(list(sc.faults)).apply(cluster)
-
-    # One send/receive buffer per (src, dst) direction; ops reuse them.
-    max_size = max(
-        (op.size * max(op.segments, 1) for op in sc.ops), default=0
-    ) or 64
-    bufs = {}
-    for i, j in pairs:
-        src_node = cluster.nodes[i]
-        dst_node = cluster.nodes[j]
-        bufs[(i, j)] = (
-            src_node.memory.alloc(max_size),
-            dst_node.memory.alloc(max_size),
-        )
-
-    by_src: dict[int, list[OpSpec]] = {}
-    for op in sc.ops:
-        by_src.setdefault(op.src, []).append(op)
-
-    def sender(src: int, specs: list[OpSpec]):
-        pending = []
-        for spec in specs:
-            handle = handles[(spec.src, spec.dst)]
-            local, remote = bufs[(spec.src, spec.dst)]
-            if spec.kind == "write":
-                oh = yield from handle.rdma_write(
-                    local, remote, spec.size, flags=spec.flags
-                )
-            elif spec.kind == "scatter":
-                segments = [
-                    (remote + k * spec.size, bytes(spec.size))
-                    for k in range(spec.segments)
-                ]
-                oh = yield from handle.rdma_write_scatter(
-                    segments, flags=spec.flags
-                )
-            elif spec.kind == "read":
-                oh = yield from handle.rdma_read(
-                    local, remote, spec.size, flags=spec.flags
-                )
-            else:
-                raise ValueError(f"unknown op kind {spec.kind!r}")
-            pending.append(oh)
-            if spec.wait:
-                yield from oh.wait()
-        for oh in pending:
-            yield from oh.wait()
-
-    failure: Optional[str] = None
-    try:
-        procs = [
-            cluster.sim.process(sender(src, specs))
-            for src, specs in sorted(by_src.items())
-        ]
-        for proc in procs:
-            cluster.sim.run_until_done(proc, limit=sc.limit_ns)
-        for mgr in managers:
-            mgr.stop()
-        cluster.sim.run()  # drain retransmits, acks, fault timers
-        for stack in cluster.stacks:
-            for conn in stack.protocol.connections.values():
-                for op in list(conn._frame_op.values()) + [
-                    o for o in conn._pending_reads.values()
-                ]:
-                    if not op.completed:
-                        raise SimulationError(
-                            f"op {op!r} incomplete after drain"
-                        )
-        if monitor is not None:
-            monitor.final_check()
-    except InvariantViolation as v:
-        failure = f"invariant: {v}"
-    except SimulationError as e:
-        failure = f"simulation: {e}"
-    if failure is None and monitor is not None and monitor.violations:
-        failure = f"invariant: {monitor.violations[0]}"
-    return FuzzResult(
-        scenario=sc,
-        failure=failure,
-        fingerprint=fingerprint(cluster, include_trace=trace),
-        elapsed_ns=cluster.sim.now,
-        checks=monitor.checks_run if monitor is not None else 0,
-        violations=tuple(str(v) for v in monitor.violations)
-        if monitor is not None
-        else (),
-        fastpath_jumps=(
-            cluster.fastpath.stats.jumps if cluster.fastpath is not None else 0
-        ),
-    )
+    return ScenarioRun(
+        sc,
+        use_monitor=use_monitor,
+        collect=collect,
+        trace=trace,
+        fastpath=fastpath,
+    ).finish()
 
 
 # ---------------------------------------------------------------------------
@@ -571,11 +661,9 @@ def run_incarnation_scenario(seed: int) -> IncarnationFuzzResult:
     existing fingerprints stay byte-identical.
     """
     from ..bench.cluster import make_cluster as _make
-    from ..core import api as _api
     from ..core.handshake import dial, enable_listener
 
     rng = random.Random(f"multiedge-fuzz-incarnation:{seed}")
-    _api._next_conn_id = 1
     config = rng.choice(("2L-1G", "2Lu-1G"))
     cluster = _make(config, nodes=2, seed=seed, synthetic_payloads=True)
     recovery = cluster.enable_crash_recovery()
@@ -731,6 +819,95 @@ def fabric_scenario_from_seed(seed: int) -> FabricScenario:
     )
 
 
+class FabricRun:
+    """One fabric fuzz execution, pausable for checkpointing.
+
+    Same phase split as :class:`ScenarioRun`: construction wires the
+    fabric, trunk-churn events, and traffic processes; :meth:`run_to`
+    pauses at an exact instant (e.g. inside a trunk-churn window);
+    :meth:`finish` completes and reports.
+    """
+
+    def __init__(self, seed: int) -> None:
+        from ..bench.cluster import make_cluster as _make
+        from ..fabric import (
+            AllToAll,
+            ElephantMice,
+            FatTreeSpec,
+            Hotspot,
+            LeafSpineSpec,
+            Permutation,
+            TrafficRun,
+        )
+
+        sc = self.sc = fabric_scenario_from_seed(seed)
+        if sc.topology == "leaf-spine":
+            spec = LeafSpineSpec(
+                leaves=sc.leaves,
+                spines=sc.spines,
+                hosts_per_leaf=sc.hosts_per_leaf,
+            )
+        else:
+            spec = FatTreeSpec(k=sc.k)
+        cluster = self.cluster = _make(
+            "1L-1G",
+            nodes=sc.nodes,
+            seed=sc.seed,
+            synthetic_payloads=False,
+            fabric=spec,
+        )
+        fabric = self.fabric = cluster.fabrics[0]
+        for at_ns, kind, a, b, dwell_ns in sc.trunk_events:
+            if kind == "drain":
+                cluster.sim.at(at_ns, fabric.set_trunk_enabled, a, b, False)
+                cluster.sim.at(
+                    at_ns + dwell_ns, fabric.set_trunk_enabled, a, b, True
+                )
+            else:
+                cluster.sim.at(at_ns, fabric.fail_trunk, a, b, dwell_ns)
+        traffic = {
+            "permutation": lambda: Permutation(sc.bytes_per_flow, rounds=2),
+            "all-to-all": lambda: AllToAll(sc.bytes_per_flow),
+            "hotspot": lambda: Hotspot(
+                targets=1, bytes_per_flow=sc.bytes_per_flow
+            ),
+            "elephant-mice": lambda: ElephantMice(
+                elephants=2,
+                elephant_bytes=4 * sc.bytes_per_flow,
+                mice=8,
+                mouse_bytes=max(sc.bytes_per_flow // 8, 64),
+            ),
+        }[sc.traffic]()
+        self.traffic_run = TrafficRun(cluster, traffic, seed=sc.seed)
+
+    def state(self) -> dict:
+        """Capture root for the checkpoint walker."""
+        return {
+            "cluster": self.cluster,
+            "traffic": self.traffic_run.state(),
+        }
+
+    def run_to(self, time_ns: int) -> None:
+        """Execute every event due at or before ``time_ns``, then pause."""
+        self.cluster.sim.run_until_time(time_ns)
+
+    def finish(self) -> FabricFuzzResult:
+        result = self.traffic_run.finish()
+        cluster = self.cluster
+        violations = [
+            v for fab in cluster.fabrics for v in fab.routing_invariants()
+        ]
+        return FabricFuzzResult(
+            scenario=self.sc,
+            flows=result.flows,
+            messages_received=result.messages_received,
+            data_intact=result.data_intact,
+            switch_drops=result.switch_drops,
+            repins=sum(sw.repins for sw in self.fabric.switches),
+            violations=tuple(violations),
+        )
+
+
 def run_fabric_scenario(seed: int) -> FabricFuzzResult:
     """One randomized multi-switch fabric run with trunk churn.
 
@@ -740,64 +917,7 @@ def run_fabric_scenario(seed: int) -> FabricFuzzResult:
     (structural acyclicity, ECMP determinism, switch and trunk frame
     conservation) and end-to-end data integrity.
     """
-    from ..bench.cluster import make_cluster as _make
-    from ..core import api as _api
-    from ..fabric import (
-        AllToAll,
-        ElephantMice,
-        FatTreeSpec,
-        Hotspot,
-        LeafSpineSpec,
-        Permutation,
-        run_traffic,
-    )
-
-    sc = fabric_scenario_from_seed(seed)
-    _api._next_conn_id = 1
-    if sc.topology == "leaf-spine":
-        spec = LeafSpineSpec(
-            leaves=sc.leaves,
-            spines=sc.spines,
-            hosts_per_leaf=sc.hosts_per_leaf,
-        )
-    else:
-        spec = FatTreeSpec(k=sc.k)
-    cluster = _make(
-        "1L-1G",
-        nodes=sc.nodes,
-        seed=sc.seed,
-        synthetic_payloads=False,
-        fabric=spec,
-    )
-    fabric = cluster.fabrics[0]
-    for at_ns, kind, a, b, dwell_ns in sc.trunk_events:
-        if kind == "drain":
-            cluster.sim.at(at_ns, fabric.set_trunk_enabled, a, b, False)
-            cluster.sim.at(at_ns + dwell_ns, fabric.set_trunk_enabled, a, b, True)
-        else:
-            cluster.sim.at(at_ns, fabric.fail_trunk, a, b, dwell_ns)
-    traffic = {
-        "permutation": lambda: Permutation(sc.bytes_per_flow, rounds=2),
-        "all-to-all": lambda: AllToAll(sc.bytes_per_flow),
-        "hotspot": lambda: Hotspot(targets=1, bytes_per_flow=sc.bytes_per_flow),
-        "elephant-mice": lambda: ElephantMice(
-            elephants=2,
-            elephant_bytes=4 * sc.bytes_per_flow,
-            mice=8,
-            mouse_bytes=max(sc.bytes_per_flow // 8, 64),
-        ),
-    }[sc.traffic]()
-    result = run_traffic(cluster, traffic, seed=sc.seed)
-    violations = [v for fab in cluster.fabrics for v in fab.routing_invariants()]
-    return FabricFuzzResult(
-        scenario=sc,
-        flows=result.flows,
-        messages_received=result.messages_received,
-        data_intact=result.data_intact,
-        switch_drops=result.switch_drops,
-        repins=sum(sw.repins for sw in fabric.switches),
-        violations=tuple(violations),
-    )
+    return FabricRun(seed).finish()
 
 
 # ---------------------------------------------------------------------------
@@ -863,17 +983,28 @@ def shrink_scenario(
             if still_fails(cand):
                 sc = cand
                 changed = True
-        # Simplify knobs.
-        for simpler in (
-            replace(sc, control_plane=False),
-            replace(sc, striping=None),
-            replace(sc, tx_ring_frames=None),
-            replace(sc, congestion="static", pacing=False),
-            replace(sc, ecn_threshold=None),
-            replace(sc, nodes=2) if sc.nodes > 2 and all(
-                op.src < 2 and op.dst < 2 for op in sc.ops
-            ) else sc,
+        # Simplify knobs.  Each candidate must be rebuilt from the
+        # *current* scenario: materializing the whole tuple up front
+        # would resurrect knobs an earlier adoption in this very pass
+        # just simplified, and the pass would oscillate (adopt A, adopt
+        # B-with-A-reverted, re-adopt A, ...) until the run budget was
+        # gone.
+        def _shrink_nodes(s: Scenario) -> Scenario:
+            if s.nodes > 2 and all(
+                op.src < 2 and op.dst < 2 for op in s.ops
+            ):
+                return replace(s, nodes=2)
+            return s
+
+        for simplify in (
+            lambda s: replace(s, control_plane=False),
+            lambda s: replace(s, striping=None),
+            lambda s: replace(s, tx_ring_frames=None),
+            lambda s: replace(s, congestion="static", pacing=False),
+            lambda s: replace(s, ecn_threshold=None),
+            _shrink_nodes,
         ):
+            simpler = simplify(sc)
             if simpler != sc and still_fails(simpler):
                 sc = simpler
                 changed = True

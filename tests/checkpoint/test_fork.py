@@ -1,0 +1,78 @@
+"""Unit tests for the os.fork-based process checkpointing primitives."""
+
+import pytest
+
+from repro.checkpoint.fork import HAVE_FORK, ForkPoint, fork_map
+
+pytestmark = pytest.mark.skipif(not HAVE_FORK, reason="requires os.fork")
+
+
+class TestForkMap:
+    def test_results_in_order(self):
+        assert fork_map([lambda: 1, lambda: "two", lambda: [3]]) == [
+            1,
+            "two",
+            [3],
+        ]
+
+    def test_children_inherit_but_do_not_share_state(self):
+        # Each child mutates its copy-on-write view; the parent's object
+        # and the other children never see it.
+        box = {"n": 0}
+
+        def bump():
+            box["n"] += 1
+            return box["n"]
+
+        assert fork_map([bump, bump, bump]) == [1, 1, 1]
+        assert box["n"] == 0
+
+    def test_child_exception_surfaces(self):
+        with pytest.raises(RuntimeError, match="ZeroDivisionError"):
+            fork_map([lambda: 1 / 0])
+
+
+class TestForkPoint:
+    def test_setup_runs_once_probes_fork_from_it(self):
+        calls = []
+
+        def setup():
+            calls.append(1)  # child-side; parent's list stays empty
+            return {"base": 100, "probes": 0}
+
+        def handler(state, req):
+            state["probes"] += 1  # grandchild-local mutation
+            return (state["base"] + req, state["probes"])
+
+        with ForkPoint(setup, handler) as fp:
+            # Every probe sees probes==0: each grandchild forks from the
+            # pristine parked state, not from the previous probe.
+            assert fp.call(1) == (101, 1)
+            assert fp.call(2) == (102, 1)
+            assert fp.call(3) == (103, 1)
+        assert calls == []  # setup ran in the child process only
+
+    def test_setup_failure_raises(self):
+        def bad_setup():
+            raise ValueError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            ForkPoint(bad_setup, lambda s, r: None)
+
+    def test_probe_failure_raises_but_server_survives(self):
+        def handler(state, req):
+            if req == "bad":
+                raise ValueError("probe boom")
+            return req
+
+        with ForkPoint(lambda: None, handler) as fp:
+            with pytest.raises(RuntimeError, match="probe boom"):
+                fp.call("bad")
+            assert fp.call("good") == "good"
+
+    def test_call_after_close_rejected(self):
+        fp = ForkPoint(lambda: None, lambda s, r: r)
+        fp.close()
+        fp.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            fp.call(1)

@@ -1,0 +1,88 @@
+"""Restore semantics: double restore, in-process isolation, mismatch errors."""
+
+import pytest
+
+from repro.checkpoint import (
+    FORMAT_VERSION,
+    CheckpointMismatch,
+    restore,
+    take_checkpoint,
+)
+from repro.verify.fuzz import ScenarioRun, run_scenario, scenario_from_seed
+
+
+def _paused(sc, t):
+    run = ScenarioRun(sc)
+    run.run_to(t)
+    return run
+
+
+class TestRestoreTwice:
+    def test_two_restores_in_one_process_are_identical(self):
+        """Regression for module-level mutable state escaping snapshots.
+
+        When frame-uid / connection-id counters were process globals, the
+        second restored simulator in a process continued the first one's
+        numbering and diverged.  Both restores must now verify their
+        fingerprint and finish with identical results — with both live
+        simulators coexisting in this process.
+        """
+        sc = scenario_from_seed(9, "mixed", "outage")
+        reference = run_scenario(sc)
+        ck = take_checkpoint(_paused(sc, 1_500_000))
+
+        first = restore(ck)  # fingerprint-verified
+        second = restore(ck)  # again, while `first` is still live
+        # Interleave: step the second before finishing the first, so any
+        # shared hidden state between the two simulators would cross-talk.
+        second.run_to(ck.time_ns + 500_000)
+        assert first.finish() == reference
+        assert second.finish() == reference
+
+    def test_interleaved_fresh_runs_do_not_interfere(self):
+        sc_x = scenario_from_seed(9, "mixed", "outage")
+        sc_y = scenario_from_seed(10, "bulk", "none")
+        ref_x = run_scenario(sc_x)
+        ref_y = run_scenario(sc_y)
+        run_x, run_y = ScenarioRun(sc_x), ScenarioRun(sc_y)
+        run_x.run_to(1_000_000)
+        run_y.run_to(1_000_000)
+        run_x.run_to(2_000_000)
+        assert run_y.finish() == ref_y
+        assert run_x.finish() == ref_x
+
+
+class TestRestoreErrors:
+    def test_tampered_fingerprint_raises_with_paths(self):
+        sc = scenario_from_seed(9, "mixed", "outage")
+        ck = take_checkpoint(_paused(sc, 1_500_000))
+        ck.fingerprint = "0" * 64
+        # Also tamper one captured leaf so the diff names it.
+        path = next(iter(ck.state))
+        ck.state = {**ck.state, path: "<tampered>"}
+        with pytest.raises(CheckpointMismatch) as exc:
+            restore(ck)
+        assert any(p == path for p, _, _ in exc.value.diffs)
+
+    def test_format_version_guard(self):
+        sc = scenario_from_seed(9, "mixed", "outage")
+        ck = take_checkpoint(_paused(sc, 1_500_000))
+        ck.format_version = FORMAT_VERSION + 1
+        with pytest.raises(ValueError, match="format"):
+            restore(ck)
+
+    def test_unknown_run_type_rejected(self):
+        with pytest.raises(TypeError):
+            take_checkpoint(object())
+
+
+class TestOverrides:
+    def test_trace_override_skips_verify_and_replays(self):
+        sc = scenario_from_seed(9, "mixed", "outage")
+        reference = run_scenario(sc, trace=True)
+        ck = take_checkpoint(_paused(sc, 1_500_000))
+        traced = restore(ck, trace=True)  # capture shape differs: no verify
+        assert traced.trace
+        res = traced.finish()
+        # The traced replay sees the identical frame sequence.
+        assert res.fingerprint == reference.fingerprint

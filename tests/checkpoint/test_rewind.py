@@ -1,0 +1,78 @@
+"""Rewind-to-violation: periodic checkpoints + traced replay of the window."""
+
+import pytest
+
+from repro.checkpoint.rewind import run_with_rewind
+from repro.verify.fuzz import ScenarioRun, scenario_from_seed
+from repro.verify.monitor import InvariantMonitor
+
+# Mid-traffic for seed 1, whose workload processes finish at ~1.36 ms
+# (run_to clamps there, so a later instant would never be reached live).
+PLANT_AT = 1_000_000
+
+
+@pytest.fixture
+def planted_violation(monkeypatch):
+    """Schedule a synthetic violation at a fixed instant in every
+    ScenarioRun built while active — original run and replays alike, so
+    the injected event is part of the deterministic schedule."""
+    orig = ScenarioRun.__init__
+
+    def patched(self, *args, **kwargs):
+        orig(self, *args, **kwargs)
+        if self.monitor is not None:
+            self.cluster.sim.schedule(
+                PLANT_AT, self.monitor._violation, "planted", "injected"
+            )
+
+    monkeypatch.setattr(ScenarioRun, "__init__", patched)
+
+
+class TestCleanRun:
+    def test_checkpoint_trail_no_rewind(self):
+        sc = scenario_from_seed(1)
+        rr = run_with_rewind(sc, interval_ns=300_000)
+        assert rr.result.ok
+        assert rr.violation is None and rr.debug_run is None
+        assert len(rr.checkpoints) >= 2
+        times = [ck.time_ns for ck in rr.checkpoints]
+        assert times == sorted(times)
+        assert rr.trace_records == []
+
+
+class TestRewind:
+    def test_rewinds_to_nearest_checkpoint_with_trace(self, planted_violation):
+        sc = scenario_from_seed(1)
+        rr = run_with_rewind(sc, interval_ns=400_000, collect=True)
+        assert rr.violation is not None
+        assert rr.violation.invariant == "planted"
+        assert rr.violation.time_ns == PLANT_AT
+        # Nearest checkpoint at or before the violation, and no later one
+        # also at or before it.
+        assert rr.checkpoint is not None
+        assert rr.checkpoint.time_ns <= PLANT_AT
+        later = [
+            ck
+            for ck in rr.checkpoints
+            if rr.checkpoint.time_ns < ck.time_ns <= PLANT_AT
+        ]
+        assert later == []
+        # The debug replay is traced, paused at the violation instant, and
+        # actually captured frames in the failure window.
+        assert rr.debug_run is not None and rr.debug_run.trace
+        assert rr.debug_run.cluster.sim.now <= PLANT_AT
+        window = [
+            rec
+            for rec in rr.trace_records
+            if rr.checkpoint.time_ns <= rec.time <= PLANT_AT
+        ]
+        assert window, "no frames traced in the rewound window"
+
+    def test_on_violation_hook_fires_with_stamped_time(self):
+        mon = InvariantMonitor(collect=True)
+        seen = []
+        mon.on_violation = seen.append
+        mon._violation("test-invariant", "detail")
+        assert len(seen) == 1
+        assert seen[0].invariant == "test-invariant"
+        assert seen[0].time_ns == 0  # no cluster attached: stamped zero

@@ -1,0 +1,144 @@
+"""Unit tests for the reflective state capture walker."""
+
+import random
+from collections import deque
+
+import numpy as np
+
+from repro.checkpoint.state import capture_state, diff_states, state_fingerprint
+
+
+class TestScalars:
+    def test_scalars_by_repr(self):
+        st = capture_state({"i": 7, "f": 0.1, "s": "hi", "b": True, "n": None})
+        assert st["$['i']"] == "7"
+        assert st["$['f']"] == repr(0.1)
+        assert st["$['s']"] == "'hi'"
+        assert st["$['b']"] == "True"
+        assert st["$['n']"] == "None"
+
+    def test_numpy_scalars_match_python(self):
+        assert capture_state(np.int64(5)) == capture_state(5)
+
+    def test_bytes_hashed_by_content(self):
+        a = capture_state(b"x" * 1000)
+        b = capture_state(bytearray(b"x" * 1000))
+        assert a == b
+        assert capture_state(b"y" * 1000) != a
+
+
+class TestContainers:
+    def test_set_order_independent(self):
+        # Same elements inserted in different orders: identical capture.
+        s1 = {f"k{i}" for i in range(20)}
+        s2 = set()
+        for i in reversed(range(20)):
+            s2.add(f"k{i}")
+        assert capture_state(s1) == capture_state(s2)
+
+    def test_dict_insertion_order_is_state(self):
+        # Iteration order is real simulator state (e.g. retransmit queues).
+        # The captured maps are equal *as dicts* (same keys and values);
+        # only the fingerprint, which hashes entries in insertion order,
+        # tells them apart.
+        assert state_fingerprint(
+            capture_state({"a": 1, "b": 2})
+        ) != state_fingerprint(capture_state({"b": 2, "a": 1}))
+
+    def test_nested_list_deque(self):
+        st = capture_state([deque([1, 2]), (3,)])
+        assert st["$"] == "<list:2>"
+        assert st["$[0]"] == "<deque:2>"
+        assert st["$[1]"] == "<tuple:1>"
+        assert st["$[0][1]"] == "2"
+
+
+class TestAliasing:
+    def test_shared_object_vs_equal_copies_differ(self):
+        # The PR-7 frame-aliasing bug class: two queues referencing ONE
+        # mutable object must not fingerprint like two independent copies.
+        shared = [0]
+        aliased = {"q1": shared, "q2": shared}
+        copied = {"q1": [0], "q2": [0]}
+        fa = state_fingerprint(capture_state(aliased))
+        fc = state_fingerprint(capture_state(copied))
+        assert fa != fc
+        st = capture_state(aliased)
+        assert st["$['q2']"] == "<ref:$['q1']>"
+
+    def test_cycles_terminate(self):
+        a = {}
+        a["self"] = a
+        st = capture_state(a)
+        assert st["$['self']"] == "<ref:$>"
+
+
+class TestRngCapture:
+    def test_numpy_generator_mid_sequence(self):
+        g1 = np.random.Generator(np.random.PCG64(42))
+        g2 = np.random.Generator(np.random.PCG64(42))
+        assert capture_state(g1) == capture_state(g2)
+        g1.integers(0, 100, size=5)
+        assert capture_state(g1) != capture_state(g2)
+        g2.integers(0, 100, size=5)
+        assert capture_state(g1) == capture_state(g2)
+
+    def test_python_random_mid_sequence(self):
+        r1, r2 = random.Random(1), random.Random(1)
+        r1.random()
+        assert capture_state(r1) != capture_state(r2)
+        r2.random()
+        assert capture_state(r1) == capture_state(r2)
+
+
+def _gen(n):
+    total = 0
+    for i in range(n):
+        total += i
+        yield total
+
+
+class TestGenerators:
+    def test_suspended_generator_captures_frame(self):
+        g1, g2 = _gen(10), _gen(10)
+        next(g1), next(g2)
+        assert capture_state(g1) == capture_state(g2)
+        next(g1)  # g1 advances: its locals (i, total) now differ
+        assert capture_state(g1) != capture_state(g2)
+
+    def test_finished_generator(self):
+        g = _gen(1)
+        list(g)
+        assert capture_state(g)["$"] == "<gen:_gen:done>"
+
+
+class SnapObj:
+    def __init__(self):
+        self.kept = 1
+        self.derived_cache = object()  # would not capture deterministically
+
+    def snapshot_state(self):
+        return {"kept": self.kept}
+
+
+class TestSnapshotProtocol:
+    def test_snapshot_state_preferred_over_attrs(self):
+        a, b = SnapObj(), SnapObj()
+        assert capture_state(a) == capture_state(b)  # cache ignored
+
+
+class TestFingerprint:
+    def test_fingerprint_stable_and_sensitive(self):
+        root = {"x": [1, 2, {"y": 0.5}]}
+        f1 = state_fingerprint(capture_state(root))
+        f2 = state_fingerprint(capture_state({"x": [1, 2, {"y": 0.5}]}))
+        assert f1 == f2 and len(f1) == 64
+        assert f1 != state_fingerprint(capture_state({"x": [1, 2, {"y": 0.6}]}))
+
+    def test_diff_states_reports_paths(self):
+        a = capture_state({"k": 1, "only_a": 2})
+        b = capture_state({"k": 9, "only_b": 3})
+        diffs = dict((p, (x, y)) for p, x, y in diff_states(a, b))
+        assert diffs["$['k']"] == ("1", "9")
+        assert diffs["$['only_a']"][1] == "<absent>"
+        assert diffs["$['only_b']"][0] == "<absent>"

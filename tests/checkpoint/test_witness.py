@@ -1,0 +1,133 @@
+"""Determinism witness: run-to-end == pause+checkpoint+finish == restore+finish.
+
+For every cell the protocol is:
+
+* **A** — run the scenario start to finish (the reference),
+* **B** — same run paused at T (mid-fault-window when the cell has
+  faults), checkpointed with a verified state capture, then finished,
+* **C** — the checkpoint *restored* (rebuild + replay to T, fingerprint
+  re-verified against the capture) and finished.
+
+All three results must be equal, dataclass-field for dataclass-field —
+including the run's own bit-determinism fingerprint.  Any state the
+capture misses, any module-level mutable leaking between runs, any clock
+snap in the pause path turns into a hard inequality here.
+
+The representative diagonal (one cell per workload, every fault profile
+covered) runs in tier-1; the full workload × fault grid is the same code
+behind ``REPRO_FULL_WITNESS=1`` (exercised by the checkpoint-smoke CI
+job).
+"""
+
+import itertools
+import os
+
+import pytest
+
+from repro.bench.crash import CrashRun, run_crash
+from repro.checkpoint import restore, take_checkpoint
+from repro.verify.fuzz import (
+    FAULT_PROFILES,
+    WORKLOADS,
+    FabricRun,
+    ScenarioRun,
+    fabric_scenario_from_seed,
+    run_scenario,
+    scenario_from_seed,
+)
+
+FULL_GRID = os.environ.get("REPRO_FULL_WITNESS") == "1"
+
+
+def _pause_time(sc) -> int:
+    """Mid-fault-window for faulty cells, an early instant otherwise."""
+    if sc.faults:
+        return min(f.at_ns for f in sc.faults) + 1_000
+    return 1_000_000
+
+
+def _witness_fuzz(workload: str, profile: str, seed: int) -> None:
+    sc = scenario_from_seed(seed, workload, profile)
+    res_a = run_scenario(sc)
+
+    run_b = ScenarioRun(sc)
+    run_b.run_to(_pause_time(sc))
+    ck = take_checkpoint(run_b)
+    res_b = run_b.finish()
+    assert res_b == res_a, (
+        f"{workload}/{profile}: pausing changed the run\n{res_b}\n{res_a}"
+    )
+
+    run_c = restore(ck)  # raises CheckpointMismatch on any state drift
+    res_c = run_c.finish()
+    assert res_c == res_a, (
+        f"{workload}/{profile}: restore changed the run\n{res_c}\n{res_a}"
+    )
+
+
+class TestFuzzGridWitness:
+    @pytest.mark.parametrize(
+        "workload,profile",
+        [
+            # One cell per workload; all five fault profiles covered.
+            ("bulk", "none"),
+            ("small", "outage"),
+            ("scatter", "flap"),
+            ("read", "ber"),
+            ("mixed", "chaos"),
+        ],
+    )
+    def test_representative_cells(self, workload, profile):
+        _witness_fuzz(workload, profile, seed=31)
+
+    @pytest.mark.skipif(
+        not FULL_GRID, reason="full grid behind REPRO_FULL_WITNESS=1"
+    )
+    @pytest.mark.parametrize(
+        "workload,profile", list(itertools.product(WORKLOADS, FAULT_PROFILES))
+    )
+    def test_full_grid(self, workload, profile):
+        _witness_fuzz(workload, profile, seed=31)
+
+    def test_checkpoint_inside_fault_window(self):
+        """T lands between a chaos cell's first and last fault."""
+        sc = scenario_from_seed(3, "mixed", "chaos")
+        starts = sorted(f.at_ns for f in sc.faults)
+        assert len(starts) >= 2, "seed 3 chaos no longer draws several faults"
+        t = starts[0] + 1_000
+        assert t < starts[-1], "pause no longer inside the fault window"
+        res_a = run_scenario(sc)
+        run_b = ScenarioRun(sc)
+        run_b.run_to(t)
+        ck = take_checkpoint(run_b)
+        assert ck.time_ns <= t
+        assert run_b.finish() == res_a
+        assert restore(ck).finish() == res_a
+
+
+class TestCrashWitness:
+    def test_checkpoint_inside_crash_window(self):
+        """T = 12 ms sits between the crash (10 ms) and restart (15 ms)."""
+        res_a = run_crash()
+
+        run_b = CrashRun()
+        run_b.run_to(12_000_000)
+        ck = take_checkpoint(run_b)
+        assert run_b.finish() == res_a
+
+        assert restore(ck).finish() == res_a
+
+
+class TestFabricWitness:
+    def test_trunk_churn_cell(self):
+        """Seed 7: leaf-spine with trunk drain/fail events mid-run."""
+        sc = fabric_scenario_from_seed(7)
+        assert sc.trunk_events
+        res_a = FabricRun(7).finish()
+
+        run_b = FabricRun(7)
+        run_b.run_to(min(ev[0] for ev in sc.trunk_events) + 1_000)
+        ck = take_checkpoint(run_b)
+        assert run_b.finish() == res_a
+
+        assert restore(ck).finish() == res_a

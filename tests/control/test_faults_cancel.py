@@ -1,0 +1,60 @@
+"""Withdrawing scheduled faults before they fire (shrinker fast path)."""
+
+import pytest
+
+from repro.bench import make_cluster
+from repro.control import FaultSchedule, Flap, Outage
+
+MS = 1_000_000
+
+
+def test_cancelled_outage_never_fires():
+    cluster = make_cluster("1L-1G", nodes=2)
+    sched = FaultSchedule([Outage(at_ns=2 * MS, node=0, rail=0, duration_ns=MS)])
+    sched.apply(cluster)
+    cable = cluster.cable(0, 0)
+    sched.cancel_pending(0)
+    cluster.sim.run(until=5 * MS)
+    assert not cable.ab.failed and not cable.ba.failed
+
+
+def test_cancel_covers_every_flap_occurrence():
+    cluster = make_cluster("1L-1G", nodes=2)
+    sched = FaultSchedule(
+        [Flap(at_ns=MS, node=0, rail=0, period_ns=MS, down_ns=MS // 2, count=3)]
+    )
+    sched.apply(cluster)
+    assert len(sched._handles[0]) == 3
+    sched.cancel_pending(0)
+    cluster.sim.run(until=10 * MS)
+    assert not cluster.cable(0, 0).ab.failed
+
+
+def test_cancel_requires_future_start_time():
+    cluster = make_cluster("1L-1G", nodes=2)
+    sched = FaultSchedule([Outage(at_ns=MS, node=0, rail=0, duration_ns=MS)])
+    sched.apply(cluster)
+    cluster.sim.run(until=2 * MS)
+    with pytest.raises(ValueError, match="already have fired"):
+        sched.cancel_pending(0)
+
+
+def test_cancel_before_apply_rejected():
+    sched = FaultSchedule([Outage(at_ns=MS, node=0, rail=0, duration_ns=MS)])
+    with pytest.raises(RuntimeError, match="not applied"):
+        sched.cancel_pending(0)
+
+
+def test_uncancelled_faults_still_fire():
+    cluster = make_cluster("1L-1G", nodes=2)
+    sched = FaultSchedule(
+        [
+            Outage(at_ns=2 * MS, node=0, rail=0, duration_ns=20 * MS),
+            Outage(at_ns=3 * MS, node=1, rail=0, duration_ns=20 * MS),
+        ]
+    )
+    sched.apply(cluster)
+    sched.cancel_pending(0)
+    cluster.sim.run(until=5 * MS)
+    assert not cluster.cable(0, 0).ab.failed  # cancelled
+    assert cluster.cable(1, 0).ab.failed  # survived the sibling's cancel

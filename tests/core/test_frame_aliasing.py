@@ -1,0 +1,80 @@
+"""Regression: a retransmission must never re-send the in-flight object.
+
+The PR-7 era bug: the retransmit path pushed the *stored* master frame
+(``rec.frame``) back onto a NIC, so transit mutations (hop counts, ECN CE
+marks, corruption flags) accumulated on the same object a previous copy
+— possibly still mid-journey on another rail — and the stored master
+itself.  These tests transmit through a real cluster under a forced
+outage and assert every wire transmission is its own object.
+"""
+
+from repro.bench import make_cluster
+from repro.ethernet.nic import Nic
+
+US = 1_000
+MS = 1_000_000
+
+
+def _run_outage_transfer(monkeypatch, size=262_144):
+    cluster = make_cluster("1L-1G", nodes=2, seed=0, synthetic_payloads=True)
+    a, b = cluster.connect(0, 1)
+
+    transmitted = []  # every frame object handed to any NIC, kept alive
+    orig = Nic.transmit
+
+    def spy(self, frame):
+        transmitted.append(frame)
+        return orig(self, frame)
+
+    monkeypatch.setattr(Nic, "transmit", spy)
+
+    # Kill the only rail mid-transfer; timeouts then retransmit the window.
+    cable = cluster.cable(0, 0)
+    cluster.sim.schedule(200 * US, cable.fail_for, 400 * US)
+
+    src = a.node.memory.alloc(size)
+    dst = b.node.memory.alloc(size)
+
+    def app():
+        handle = yield from a.rdma_write(src, dst, size)
+        yield from handle.wait()
+
+    proc = cluster.sim.process(app())
+    cluster.sim.run_until_done(proc, limit=5_000 * MS)
+    cluster.sim.run()  # drain trailing acks/retransmits
+    return cluster, a, transmitted
+
+
+def test_every_wire_transmission_is_a_distinct_object(monkeypatch):
+    cluster, a, transmitted = _run_outage_transfer(monkeypatch)
+    assert a.stats.retransmitted_frames > 0, "outage caused no retransmits"
+    # With the aliasing bug, a retransmitted seq re-sends the same Frame
+    # object; the spy list keeps every frame alive, so id() is unambiguous.
+    assert len({id(f) for f in transmitted}) == len(transmitted)
+
+
+def test_per_sim_uids_stamp_each_transmission_exactly_once(monkeypatch):
+    cluster, a, transmitted = _run_outage_transfer(monkeypatch)
+    uids = [f.uid for f in transmitted]
+    # transmit() stamps a fresh per-simulator uid per wire frame: dense,
+    # unique, starting at 1.  A re-sent master would carry its old uid.
+    assert sorted(uids) == list(range(1, len(transmitted) + 1))
+
+
+def test_retransmitted_copies_start_transit_clean(monkeypatch):
+    cluster, a, transmitted = _run_outage_transfer(monkeypatch)
+    from repro.ethernet.frame import ECN_CE
+
+    by_key = {}
+    for f in transmitted:
+        by_key.setdefault(
+            (f.header.connection_id, f.header.frame_type, f.header.seq), []
+        ).append(f)
+    resent = [fs for fs in by_key.values() if len(fs) > 1]
+    assert resent, "no seq was transmitted more than once"
+    for frames in resent:
+        # Each copy accrued its own transit state; under aliasing the later
+        # copies inherit (and double) the earlier copies' hop counts.
+        assert all(f.hops <= 1 for f in frames)
+        assert all(not f.corrupted for f in frames)
+        assert all(not (f.header.flags & ECN_CE) or f.hops > 0 for f in frames)

@@ -74,9 +74,29 @@ def test_frame_rejects_payload_length_mismatch():
         Frame(src_mac=1, dst_mac=2, header=header, payload=bytes(5))
 
 
-def test_frame_uids_are_unique():
+def test_frame_uid_unstamped_until_transmit():
+    # uids come from the transmitting NIC's simulator counter, not module
+    # state: a freshly built frame is unstamped, and two simulators hand
+    # out independent sequences (no cross-simulator interference).
+    from repro.sim import Simulator
+
     a, b = make_frame(), make_frame()
-    assert a.uid != b.uid
+    assert a.uid == 0 and b.uid == 0
+    sim1, sim2 = Simulator(), Simulator()
+    assert [sim1.next_frame_uid() for _ in range(3)] == [1, 2, 3]
+    assert sim2.next_frame_uid() == 1
+
+
+def test_wire_copy_is_independent():
+    orig = make_frame()
+    orig.hops = 3
+    orig.corrupted = True
+    copy = orig.wire_copy()
+    assert copy.header is not orig.header
+    assert copy.header.seq == orig.header.seq
+    assert copy.hops == 0 and not copy.corrupted and copy.uid == 0
+    copy.header.ack = 99
+    assert orig.header.ack != 99
 
 
 def test_is_data():

@@ -95,16 +95,29 @@ def test_corrupted_frame_dropped_at_crc():
     assert b.counters.rx_dropped_crc == 1
 
 
-def test_transmit_clears_stale_corruption_flag():
+def test_retransmit_copy_sheds_stale_corruption():
+    # A retransmission is a fresh physical frame: senders clone via
+    # Frame.wire_copy(), so corruption that hit a previous copy on the
+    # wire never rides along (transmit itself no longer launders flags —
+    # the copy is independent by construction).
     sim = Simulator()
     a, b = make_pair(sim)
     f = data_frame()
-    f.corrupted = True  # e.g. a previous copy was corrupted on the wire
-    a.transmit(f)
+    f.corrupted = True  # a previous copy was corrupted on the wire
+    a.transmit(f.wire_copy())
     sim.run()
     frames, _ = b.poll()
     assert len(frames) == 1
     assert b.counters.rx_dropped_crc == 0
+
+
+def test_transmit_stamps_per_sim_uid():
+    sim = Simulator()
+    a, b = make_pair(sim)
+    f1, f2 = data_frame(), data_frame(seq=1)
+    a.transmit(f1)
+    a.transmit(f2)
+    assert (f1.uid, f2.uid) == (1, 2)
 
 
 def test_interrupt_fires_after_coalesce_threshold():

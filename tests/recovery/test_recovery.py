@@ -23,7 +23,6 @@ from repro.core import (
     RetransmitParams,
     RetransmitTimer,
 )
-from repro.core import api as _api
 from repro.dsm.region import PageState
 from repro.dsm.runtime import DsmRuntime
 from repro.ethernet import Frame, FrameType, MultiEdgeHeader
@@ -131,7 +130,6 @@ class TestRetransmitTimerEdgeCases:
 
 
 def _two_node_cluster(config="1L-1G", **kw):
-    _api._next_conn_id = 1
     cluster = make_cluster(config, nodes=2, synthetic_payloads=True, **kw)
     a, b = cluster.connect(0, 1)
     return cluster, a, b
@@ -256,7 +254,6 @@ class TestIncarnationGuard:
 
 def _crash_stream(crash_specs, run_ns, config="2Lu-1G"):
     """Journaled 0->1 stream with scheduled receiver crashes."""
-    _api._next_conn_id = 1
     cluster = make_cluster(config, nodes=2, seed=0, synthetic_payloads=True)
     cluster.connect(0, 1)
     cluster.enable_edge_control(0, 1)
@@ -323,7 +320,6 @@ class TestClusterRecoveryEndToEnd:
 
 class TestDomainHooks:
     def test_mp_recv_from_crashed_peer_raises(self):
-        _api._next_conn_id = 1
         cluster = make_cluster("1L-1G", nodes=2, synthetic_payloads=True)
         cluster.connect(0, 1)
         recovery = cluster.enable_crash_recovery()
@@ -342,7 +338,6 @@ class TestDomainHooks:
         assert len(caught) == 1 and caught[0].peer_node == 1
 
     def test_dsm_invalidates_cached_pages_homed_at_crashed_peer(self):
-        _api._next_conn_id = 1
         cluster = make_cluster("1L-1G", nodes=2, synthetic_payloads=True)
         recovery = cluster.enable_crash_recovery()
         runtime = DsmRuntime(cluster)

@@ -1,5 +1,6 @@
 """Measurement probes and cluster-wide summaries."""
 
+from .latency import LatencyHistogram, SloReport, SloSpec
 from .probes import (
     CwndProbe,
     EdgeScoreProbe,
@@ -22,6 +23,9 @@ from .summary import (
 )
 
 __all__ = [
+    "LatencyHistogram",
+    "SloSpec",
+    "SloReport",
     "ThroughputProbe",
     "QueueProbe",
     "InflightProbe",

@@ -123,6 +123,17 @@ class ClusterSummary:
     # Per-switch roll-up, keyed by switch name (repro.fabric gives every
     # fabric switch a distinct name; classic configs list one per rail).
     switches: list["SwitchCounters"] = field(default_factory=list)
+    # Serving layer (repro.serve; all zero without enable_serving()).
+    requests_generated: int = 0
+    requests_completed: int = 0
+    requests_shed: int = 0  # server-side sheds + client-side outbox rejects
+    requests_failed: int = 0
+    requests_replayed: int = 0
+    deadline_missed: int = 0
+    serve_p50_ns: int = 0
+    serve_p99_ns: int = 0
+    serve_p999_ns: int = 0
+    serve_shed_fraction: float = 0.0
 
     @property
     def tier_drops(self) -> dict:
@@ -276,6 +287,22 @@ def summarize_cluster(
         for t in edge_history
         if t.new.value == "up" and t.old.value in ("down", "recovering")
     )
+    serve = getattr(cluster, "serve", None)
+    serve_fields: dict = {}
+    if serve is not None:
+        merged = serve.merged_histogram()
+        serve_fields = {
+            "requests_generated": serve.generated,
+            "requests_completed": serve.completed,
+            "requests_shed": serve.shed + serve.shed_client,
+            "requests_failed": serve.failed,
+            "requests_replayed": serve.replayed,
+            "deadline_missed": serve.deadline_missed,
+            "serve_p50_ns": merged.p50,
+            "serve_p99_ns": merged.p99,
+            "serve_p999_ns": merged.p999,
+            "serve_shed_fraction": serve.shed_fraction,
+        }
     manager = getattr(cluster, "fastpath", None)
     ff = manager.stats if manager is not None else None
     n = len(cluster.stacks)
@@ -338,6 +365,7 @@ def summarize_cluster(
         messages_journaled=journaled,
         messages_redelivered=redelivered,
         switches=switch_counters,
+        **serve_fields,
     )
 
 

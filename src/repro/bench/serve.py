@@ -1,0 +1,294 @@
+"""Serving scenario runner: open-loop RPC load over a MultiEdge cluster.
+
+:func:`run_serve` is the reusable harness behind
+``benchmarks/bench_serve.py`` and ``examples/serving.py``: it stands up
+a cluster, wires an :class:`~repro.mp.MpWorld`, attaches a
+:class:`~repro.serve.ServeRuntime`, optionally arms congestion control,
+a multi-switch fabric, and a mid-run server crash/restart fault, then
+drives the open-loop load to completion and rolls the runtime's
+accounting into one comparable :class:`ServeResult`.
+
+:class:`ServeRun` is the phase-split form (``__init__`` / ``state()`` /
+``run_to(T)`` / ``finish()``) the checkpoint subsystem needs: pausing a
+run mid-spike and finishing must give the identical result to running
+straight through (the witness protocol), and ``state()`` is the capture
+root for the reflective walker.
+
+Everything is deterministic: same parameters + same seed give the same
+:class:`ServeResult`, byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..control import Crash, DetectorParams, FaultSchedule, Restart
+from ..serve import ArrivalSpec, ServeConfig, ServerSpec, enable_serving
+from ..serve.runtime import ServeRuntime
+from .cluster import make_cluster
+
+__all__ = ["ServeResult", "ServeRun", "run_serve"]
+
+_MS = 1_000_000
+
+
+@dataclass
+class ServeResult:
+    """Everything measured by one serving run."""
+
+    config: str
+    policy: str
+    arrival_kind: str
+    clients: int
+    servers: int
+    elapsed_ns: int
+    # Request conservation (client-side view).
+    generated: int
+    completed: int
+    shed: int
+    shed_client: int
+    failed: int
+    replayed: int
+    duplicate_responses: int
+    deadline_missed: int
+    pending: int
+    # Tail latency (merged across per-server histograms), ns.
+    p50_ns: int
+    p99_ns: int
+    p999_ns: int
+    mean_ns: float
+    max_ns: int
+    # Phase decomposition p99s, ns.
+    queueing_p99_ns: int
+    service_p99_ns: int
+    network_p99_ns: int
+    # Server-side counters, by rank.
+    server_received: dict = field(default_factory=dict)
+    server_served: dict = field(default_factory=dict)
+    server_shed: dict = field(default_factory=dict)
+    server_peak_queue: dict = field(default_factory=dict)
+    # SLO + windows (empty without a spec / window_ns).
+    slo_attained: Optional[bool] = None
+    slo_clauses: dict = field(default_factory=dict)
+    windows: list = field(default_factory=list)
+    # Fault interplay.
+    crashes: int = 0
+    reconnects: int = 0
+    # Invariants + determinism.
+    violations: tuple = ()
+    fingerprint: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def shed_fraction(self) -> float:
+        answered = self.completed + self.shed + self.shed_client
+        return (self.shed + self.shed_client) / answered if answered else 0.0
+
+
+class ServeRun:
+    """One serving scenario, pausable mid-flight for checkpointing."""
+
+    def __init__(
+        self,
+        config: str = "1L-1G",
+        n_clients: int = 2,
+        n_servers: int = 2,
+        policy: str = "round-robin",
+        arrival: Optional[ArrivalSpec] = None,
+        server: Optional[ServerSpec] = None,
+        duration_ns: int = 20 * _MS,
+        window_ns: int = 0,
+        outbox_cap: int = 0,
+        slo=None,
+        seed: int = 0,
+        congestion: str = "static",
+        ecn_threshold_frames: Optional[int] = None,
+        fabric=None,
+        crash_server: Optional[int] = None,
+        crash_ns: int = 0,
+        restart_delay_ns: int = 0,
+        use_monitor: bool = False,
+        drain_grace_ns: int = 300 * _MS,
+    ) -> None:
+        arrival = arrival or ArrivalSpec()
+        server = server or ServerSpec()
+        n_nodes = n_clients + n_servers
+        clients = tuple(range(n_clients))
+        servers = tuple(range(n_clients, n_nodes))
+        self.duration_ns = duration_ns
+        self.drain_grace_ns = drain_grace_ns
+        # Rebuild recipe for repro.checkpoint.
+        self.recipe = {
+            "config": config,
+            "n_clients": n_clients,
+            "n_servers": n_servers,
+            "policy": policy,
+            "arrival": arrival,
+            "server": server,
+            "duration_ns": duration_ns,
+            "window_ns": window_ns,
+            "outbox_cap": outbox_cap,
+            "slo": slo,
+            "seed": seed,
+            "congestion": congestion,
+            "ecn_threshold_frames": ecn_threshold_frames,
+            "fabric": fabric,
+            "crash_server": crash_server,
+            "crash_ns": crash_ns,
+            "restart_delay_ns": restart_delay_ns,
+            "use_monitor": use_monitor,
+            "drain_grace_ns": drain_grace_ns,
+        }
+        cluster = self.cluster = make_cluster(
+            config,
+            nodes=n_nodes,
+            seed=seed,
+            synthetic_payloads=False,
+            **({"fabric": fabric} if fabric is not None else {}),
+        )
+        cluster.config.protocol = replace(
+            cluster.config.protocol, congestion=congestion
+        )
+        if ecn_threshold_frames is not None:
+            cluster.set_ecn_threshold(ecn_threshold_frames)
+
+        self.recovery = None
+        if crash_server is not None:
+            self.recovery = cluster.enable_crash_recovery()
+            # The control plane watches every client<->server edge so a
+            # server crash escalates to PEER_DOWN and auto-reconnects.
+            for c in clients:
+                for s in servers:
+                    cluster.enable_edge_control(
+                        c, s, detector_params=DetectorParams()
+                    )
+
+        from ..mp import MpWorld
+
+        self.world = MpWorld(cluster)
+        self.runtime: ServeRuntime = enable_serving(
+            cluster,
+            self.world,
+            ServeConfig(
+                clients=clients,
+                servers=servers,
+                arrival=arrival,
+                server=server,
+                policy=policy,
+                duration_ns=duration_ns,
+                window_ns=window_ns,
+                outbox_cap=outbox_cap,
+                slo=slo,
+            ),
+        )
+        self.monitor = None
+        if use_monitor:
+            from ..verify.monitor import InvariantMonitor
+
+            self.monitor = InvariantMonitor.attach(cluster, collect=True)
+        if crash_server is not None:
+            FaultSchedule(
+                [
+                    Crash(at_ns=crash_ns, node=crash_server),
+                    Restart(
+                        at_ns=crash_ns,
+                        node=crash_server,
+                        delay_ns=restart_delay_ns,
+                    ),
+                ]
+            ).apply(cluster)
+        self.runtime.start()
+        self._finished = False
+
+    # -- checkpoint protocol ----------------------------------------------
+
+    def state(self) -> dict:
+        """Capture root for the checkpoint walker."""
+        return {
+            "cluster": self.cluster,
+            "world": self.world,
+            "runtime": self.runtime,
+            "recovery": self.recovery,
+            "monitor": self.monitor,
+        }
+
+    @property
+    def traffic_done(self) -> bool:
+        return not self.runtime.active
+
+    def run_to(self, time_ns: int) -> None:
+        """Execute every event due at or before ``time_ns``, then pause."""
+        self.cluster.sim.run_until_time(time_ns)
+
+    def finish(self) -> ServeResult:
+        cluster = self.cluster
+        cluster.sim.run_until_time(self.duration_ns)
+        # Heartbeat probes recur forever; stop them so the drain converges.
+        for mgr in list(cluster.control_planes.values()):
+            mgr.stop()
+        # The drain must stay bounded: a peer that crashed close enough to
+        # the end of the run that the detector never escalated PEER_DOWN
+        # leaves survivor-side connections retransmitting into the void
+        # forever (request accounting is still complete — crash replay is
+        # driven by the recovery manager, not by detection).
+        cluster.sim.run(until=self.duration_ns + self.drain_grace_ns)
+        self._finished = True
+        return self._report()
+
+    def _report(self) -> ServeResult:
+        from ..verify.fuzz import fingerprint
+
+        rt = self.runtime
+        rt.fail_pending()
+        violations = list(rt.check_invariants())
+        if self.monitor is not None:
+            self.monitor.final_check()
+            violations.extend(str(v) for v in self.monitor.violations)
+        merged = rt.merged_histogram()
+        slo = rt.slo_report(merged)
+        cfg = self.recipe
+        return ServeResult(
+            config=cfg["config"],
+            policy=cfg["policy"],
+            arrival_kind=cfg["arrival"].kind,
+            clients=cfg["n_clients"],
+            servers=cfg["n_servers"],
+            elapsed_ns=self.cluster.sim.now,
+            generated=rt.generated,
+            completed=rt.completed,
+            shed=rt.shed,
+            shed_client=rt.shed_client,
+            failed=rt.failed,
+            replayed=rt.replayed,
+            duplicate_responses=rt.duplicate_responses,
+            deadline_missed=rt.deadline_missed,
+            pending=rt.pending,
+            p50_ns=merged.p50,
+            p99_ns=merged.p99,
+            p999_ns=merged.p999,
+            mean_ns=merged.mean,
+            max_ns=merged.max_value or 0,
+            queueing_p99_ns=rt.hist_queueing.p99,
+            service_p99_ns=rt.hist_service.p99,
+            network_p99_ns=rt.hist_network.p99,
+            server_received={s: l.received for s, l in rt.servers.items()},
+            server_served={s: l.served for s, l in rt.servers.items()},
+            server_shed={s: l.shed for s, l in rt.servers.items()},
+            server_peak_queue={s: l.peak_queue for s, l in rt.servers.items()},
+            slo_attained=None if slo is None else slo.attained,
+            slo_clauses={} if slo is None else dict(slo.clauses),
+            windows=rt.window_reports(),
+            crashes=self.recovery.crashes if self.recovery else 0,
+            reconnects=self.recovery.reconnects if self.recovery else 0,
+            violations=tuple(violations),
+            fingerprint=fingerprint(self.cluster),
+        )
+
+
+def run_serve(**kwargs) -> ServeResult:
+    """One-shot front door: build, run to completion, report."""
+    return ServeRun(**kwargs).finish()

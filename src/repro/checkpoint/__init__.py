@@ -72,7 +72,7 @@ class Checkpoint:
     """
 
     format_version: int
-    kind: str  # "fuzz" | "crash" | "fabric"
+    kind: str  # "fuzz" | "crash" | "fabric" | "serve"
     recipe: dict
     time_ns: int
     fingerprint: str
@@ -89,6 +89,7 @@ def take_checkpoint(run) -> Checkpoint:
     :class:`~repro.bench.crash.CrashRun`, or
     :class:`~repro.verify.fuzz.FabricRun`)."""
     from ..bench.crash import CrashRun
+    from ..bench.serve import ServeRun
     from ..verify.fuzz import FabricRun, ScenarioRun
 
     if isinstance(run, ScenarioRun):
@@ -97,6 +98,8 @@ def take_checkpoint(run) -> Checkpoint:
         kind, recipe = "crash", dict(run.recipe)
     elif isinstance(run, FabricRun):
         kind, recipe = "fabric", {"seed": run.sc.seed}
+    elif isinstance(run, ServeRun):
+        kind, recipe = "serve", dict(run.recipe)
     else:
         raise TypeError(f"cannot checkpoint {type(run).__name__}")
     state, fp = _capture(run)
@@ -122,6 +125,7 @@ def restore(ck: Checkpoint, verify: bool = True, **overrides):
     record-only but changes the capture, so it forces ``verify=False``).
     """
     from ..bench.crash import CrashRun
+    from ..bench.serve import ServeRun
     from ..verify.fuzz import FabricRun, ScenarioRun
 
     if ck.format_version != FORMAT_VERSION:
@@ -138,6 +142,8 @@ def restore(ck: Checkpoint, verify: bool = True, **overrides):
         run = CrashRun(**recipe)
     elif ck.kind == "fabric":
         run = FabricRun(**recipe)
+    elif ck.kind == "serve":
+        run = ServeRun(**recipe)
     else:
         raise ValueError(f"unknown checkpoint kind {ck.kind!r}")
     run.run_to(ck.time_ns)

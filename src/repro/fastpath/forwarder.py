@@ -503,6 +503,17 @@ class FastpathManager:
     def fabric_disqualify_reason(self, conn, peer) -> Optional[str]:
         cluster = self.cluster
         config = cluster.config
+        serve = getattr(cluster, "serve", None)
+        if serve is not None:
+            # Open-loop serving traffic (repro.serve): an armed arrival
+            # source guarantees future requests at times the analytic
+            # model cannot see, and request/response traffic is
+            # bidirectional by construction — the reverse leg would be
+            # jumped over.  Both must refuse fast-forward.
+            if serve.arrivals_armed:
+                return "serve-arrivals-armed"
+            if serve.active:
+                return "serve-traffic-active"
         if getattr(cluster, "fabrics", None):
             # Multi-switch datacenter fabric (repro.fabric): per-hop
             # store-and-forward latency and ECMP path choice are exactly

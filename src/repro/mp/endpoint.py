@@ -274,6 +274,12 @@ class MpEndpoint:
         cpu = self.stack.node.protocol_cpu
         while True:
             note = yield from ps.conn.wait_notification(cpu=cpu)
+            if ps.conn.conn.closed:
+                # This incarnation died (node crash destroyed the
+                # endpoint); drop the notification and retire.  After a
+                # reconnect, rewire_pair() spawns a fresh listener on
+                # the new endpoints.
+                return
             if note.address == ps.my_credit_cell:
                 consumed = int.from_bytes(memory.read(ps.my_credit_cell, 8), "big")
                 ps.peer_consumed = max(ps.peer_consumed, consumed)
@@ -304,7 +310,12 @@ class MpEndpoint:
             envelope = memory.read(base, ENVELOPE_BYTES)
             kind, src, tag, msg_id, size, addr = _ENVELOPE.unpack(envelope)
             if ps.processed % CREDIT_EVERY == 0:
-                yield from self._send_credit(ps)
+                try:
+                    yield from self._send_credit(ps)
+                except RuntimeError:
+                    if ps.conn.conn.closed:
+                        return  # crashed mid-credit; listener retires
+                    raise
             if kind == KIND_EAGER:
                 data = memory.read(base + ENVELOPE_BYTES, size)
                 self._deliver(MpMessage(source=src, tag=tag, data=data))
@@ -418,6 +429,46 @@ class MpWorld:
                     ep.on_peer_crashed(node_id)
 
         recovery.subscribe_crash(on_crash)
+
+    def rewire_pair(self, i: int, j: int) -> None:
+        """Rebuild the eager rings between ``i`` and ``j`` after a crash.
+
+        A node crash destroys the pair's connection endpoints; once the
+        recovery layer has re-dialled and refreshed the cluster's cached
+        handles, the old per-peer state (ring bases, credit cells,
+        sequence counters) refers to a dead incarnation.  This allocates
+        fresh rings on both sides, cross-links them, and spawns new
+        listener processes on the fresh connection.  The old listeners
+        stay parked on the destroyed endpoints' notification queues
+        forever, which is harmless — destroyed connections never notify.
+        """
+        if i == j:
+            raise ValueError("cannot rewire a rank to itself")
+        for rank, peer in ((i, j), (j, i)):
+            ep = self.endpoints[rank]
+            here, _ = self.cluster.connect(rank, peer)
+            memory = ep.stack.node.memory
+            ps = _PeerState(conn=here)
+            ps.my_ring_base = memory.alloc(RING_SLOTS * SLOT_BYTES)
+            ps.my_credit_cell = memory.alloc(8)
+            ep._peers[peer] = ps
+        self.endpoints[j]._peers[i].peer_ring_base = (
+            self.endpoints[i]._peers[j].my_ring_base
+        )
+        self.endpoints[j]._peers[i].peer_credit_cell = (
+            self.endpoints[i]._peers[j].my_credit_cell
+        )
+        self.endpoints[i]._peers[j].peer_ring_base = (
+            self.endpoints[j]._peers[i].my_ring_base
+        )
+        self.endpoints[i]._peers[j].peer_credit_cell = (
+            self.endpoints[j]._peers[i].my_credit_cell
+        )
+        for rank, peer in ((i, j), (j, i)):
+            ep = self.endpoints[rank]
+            ep.sim.process(
+                ep._listener(peer), name=f"mp.relisten{rank}-{peer}"
+            )
 
     def start(self, program) -> list:
         """Spawn ``program(endpoint)`` on every rank without running.

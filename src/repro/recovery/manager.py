@@ -132,6 +132,7 @@ class ClusterRecovery:
         self.duplicate_msgs_suppressed_destroyed = 0
 
         self._reconnect_watchers: list[Callable[[int, int], None]] = []
+        self._reconnect_pair_watchers: list[Callable[[int, int, int], None]] = []
         self._crash_subscribers: list[Callable[[int], None]] = []
         self._restart_subscribers: list[Callable[[int], None]] = []
         # (node, peer) -> DetectorParams used before the crash, for re-arm.
@@ -187,6 +188,19 @@ class ClusterRecovery:
     def add_reconnect_watcher(self, cb: Callable[[int, int], None]) -> None:
         """Run ``cb(now_ns, latency_ns)`` after every successful reconnect."""
         self._reconnect_watchers.append(cb)
+
+    def add_reconnect_pair_watcher(
+        self, cb: Callable[[int, int, int], None]
+    ) -> None:
+        """Run ``cb(node_id, peer, now_ns)`` after a pair reconnects.
+
+        Unlike :meth:`add_reconnect_watcher` the callback learns *which*
+        pair came back, and runs after the cluster's cached connection
+        handles have been refreshed — so layers that keep per-pair wiring
+        (the mp eager rings, the serving layer) can rebuild on the fresh
+        endpoints.
+        """
+        self._reconnect_pair_watchers.append(cb)
 
     # -- receiver-side dedup ----------------------------------------------
 
@@ -333,3 +347,5 @@ class ClusterRecovery:
         for ch in self.channels:
             if ch.dead is None and ch.src == node_id and ch.dst == peer:
                 ch.rebind(handle)
+        for watcher in self._reconnect_pair_watchers:
+            watcher(node_id, peer, self.sim.now)

@@ -1,0 +1,536 @@
+"""The serving runtime: sources, balancer, servers, and accounting.
+
+:class:`ServeRuntime` wires the pieces of :mod:`repro.serve` onto a
+cluster + :class:`~repro.mp.MpWorld`:
+
+* one open-loop :class:`~repro.serve.arrivals.ArrivalSource` per client
+  rank (batched generation — a single armed scheduler event per source);
+* one load-balancer instance choosing a server per request;
+* one bounded-queue :class:`~repro.serve.server.ServerLoop` per server
+  rank;
+* per-(src, dst) **outboxes** — exactly one sender process per directed
+  pair, because concurrent mp sends to the same peer would race on the
+  eager ring slots.  The process count is fixed at wiring time and
+  independent of request volume: open-loop load at any rate runs on
+  O(clients x servers) processes.
+
+The runtime is also the measurement plane: per-server mergeable
+latency histograms, phase decomposition (queueing / service / network),
+optional fixed-width attainment windows, and the request-conservation
+counters the invariant monitor checks:
+
+    generated == completed + shed + shed_client + failed + pending
+
+Crash interplay (with :mod:`repro.recovery`): when a server crashes,
+its queued requests vanish with its memory; the client-side journal
+(the ``outstanding`` table) replays every unanswered request to a
+surviving server — or parks it until the crashed one reconnects — with
+latency still measured from the *original* arrival, so the outage shows
+up in the tail exactly as a user would feel it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from ..analysis.latency import LatencyHistogram, SloSpec
+from ..sim import Event
+from .arrivals import ArrivalSource, ArrivalSpec, Request
+from .balancer import make_balancer
+from .server import (
+    FLAG_SHED,
+    TAG_REQ,
+    TAG_RESP,
+    ServerLoop,
+    ServerSpec,
+    pack_request,
+    pack_response,
+    unpack_response,
+)
+
+__all__ = ["ServeConfig", "ServeRuntime", "enable_serving"]
+
+# Client ranks get disjoint request-id spaces.
+_REQ_ID_STRIDE = 1 << 40
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Static description of one serving deployment on a cluster."""
+
+    clients: tuple
+    servers: tuple
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    server: ServerSpec = field(default_factory=ServerSpec)
+    policy: str = "round-robin"
+    duration_ns: int = 10_000_000
+    window_ns: int = 0  # 0 = no windowed attainment tracking
+    outbox_cap: int = 0  # 0 = unbounded client outboxes
+    slo: Optional[SloSpec] = None
+
+    def __post_init__(self) -> None:
+        if not self.clients or not self.servers:
+            raise ValueError("need at least one client and one server")
+        if set(self.clients) & set(self.servers):
+            raise ValueError("a rank cannot be both client and server")
+        if self.duration_ns < 1:
+            raise ValueError("duration_ns must be positive")
+
+
+class _Outbox:
+    """Serialized sender for one directed (src -> dst) mp pair."""
+
+    def __init__(self, runtime: "ServeRuntime", src: int, dst: int) -> None:
+        self.runtime = runtime
+        self.src = src
+        self.dst = dst
+        self.ep = runtime.world.endpoints[src]
+        self.entries: deque = deque()  # (payload, tag, req_or_none)
+        self._wake: Optional[Event] = None
+        self.sim = runtime.cluster.sim
+        self.sim.process(self._drain(), name=f"serve.out{src}->{dst}")
+
+    def push(self, payload: bytes, tag: int, req: Optional[Request]) -> None:
+        self.entries.append((payload, tag, req))
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.trigger()
+            self._wake = None
+
+    def purge_requests(self) -> list[Request]:
+        """Drop queued *request* entries (crash replay); keep responses."""
+        kept, dropped = deque(), []
+        for payload, tag, req in self.entries:
+            if tag == TAG_REQ and req is not None:
+                dropped.append(req)
+            else:
+                kept.append((payload, tag, req))
+        self.entries = kept
+        return dropped
+
+    def _drain(self) -> Generator:
+        while True:
+            if not self.entries:
+                self._wake = Event(self.sim)
+                yield self._wake
+                continue
+            payload, tag, req = self.entries.popleft()
+            if req is not None:
+                req.t_dispatch = self.sim.now
+            try:
+                yield from self.ep.send(self.dst, payload, tag=tag)
+            except RuntimeError:
+                # Typed peer-crash (or destroyed-connection) failure.
+                if tag == TAG_REQ and req is not None:
+                    self.runtime._on_request_send_failed(req, self.dst)
+                else:
+                    self.runtime.responses_dropped += 1
+
+
+class ServeRuntime:
+    """Everything :mod:`repro.serve` hangs off one cluster (see module
+    docstring)."""
+
+    def __init__(self, cluster, world, config: ServeConfig) -> None:
+        if cluster.config.protocol.synthetic_payloads:
+            raise ValueError(
+                "the serving layer reads request headers out of payload "
+                "bytes; build the cluster with synthetic_payloads=False"
+            )
+        for rank in (*config.clients, *config.servers):
+            if not 0 <= rank < cluster.config.nodes:
+                raise ValueError(f"rank {rank} outside the cluster")
+        self.cluster = cluster
+        self.world = world
+        self.config = config
+        self.sim = cluster.sim
+        seed = cluster.config.seed
+        self.balancer = make_balancer(
+            config.policy, config.servers, cluster=cluster
+        )
+        self.sources: dict[int, ArrivalSource] = {}
+        for client in config.clients:
+            rng = cluster.rng.stream(f"serve:{seed}:arrivals:{client}")
+            self.sources[client] = ArrivalSource(
+                self.sim,
+                rng,
+                config.arrival,
+                client,
+                deliver=self._on_arrival,
+                req_id_base=client * _REQ_ID_STRIDE,
+            )
+        self.servers: dict[int, ServerLoop] = {}
+        for rank in config.servers:
+            rng = cluster.rng.stream(f"serve:{seed}:svc:{rank}")
+            self.servers[rank] = ServerLoop(
+                self, world.endpoints[rank], config.server, rng
+            )
+        self.outboxes: dict[tuple[int, int], _Outbox] = {}
+        # Which servers each client can currently reach (recovery windows
+        # shrink this; reconnects grow it back).
+        self.reachable: dict[int, set] = {
+            c: set(config.servers) for c in config.clients
+        }
+        # Client-side journal: every dispatched-but-unanswered request.
+        self.outstanding: dict[int, Request] = {}
+        # Requests with no eligible server right now (crash windows).
+        self.holding: deque = deque()
+        # -- conservation counters (client-side view) ----------------------
+        self.generated = 0
+        self.completed = 0  # served responses seen by clients
+        self.shed = 0  # server-shed responses seen by clients
+        self.shed_client = 0  # dropped at a full client outbox
+        self.failed = 0  # typed-failed, never answered
+        self.replayed = 0  # re-dispatches after a server crash
+        self.duplicate_responses = 0  # replay raced a late response
+        self.deadline_missed = 0
+        self.responses_dropped = 0  # server -> dead client (not used yet)
+        # -- measurement plane --------------------------------------------
+        self.hist_by_server: dict[int, LatencyHistogram] = {
+            s: LatencyHistogram() for s in config.servers
+        }
+        self.hist_queueing = LatencyHistogram()
+        self.hist_service = LatencyHistogram()
+        self.hist_network = LatencyHistogram()
+        self.windows: dict[int, dict] = {}
+        self._started = False
+        self._start_ns = 0
+        cluster.serve = self
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm every source and spawn the fixed process set."""
+        if self._started:
+            raise RuntimeError("serving runtime already started")
+        self._started = True
+        self._start_ns = self.sim.now
+        stop_at = self._start_ns + self.config.duration_ns
+        for loop in self.servers.values():
+            loop.start()
+        for source in self.sources.values():
+            source.stop_at_ns = stop_at
+            source.start()
+        for client in self.config.clients:
+            self.sim.process(
+                self._collector(client), name=f"serve.col{client}"
+            )
+
+    def attach_recovery(self, recovery) -> None:
+        """Subscribe the serving layer to crash/reconnect notifications."""
+        recovery.subscribe_crash(self._on_node_crashed)
+        recovery.add_reconnect_pair_watcher(self._on_pair_reconnected)
+
+    # -- fastpath / checkpoint visibility ---------------------------------
+
+    @property
+    def arrivals_armed(self) -> bool:
+        """An open-loop source holds an armed future arrival event."""
+        return any(s.armed for s in self.sources.values())
+
+    @property
+    def active(self) -> bool:
+        """Serving traffic exists now or is guaranteed to appear."""
+        return (
+            self.arrivals_armed
+            or bool(self.outstanding)
+            or bool(self.holding)
+            or any(o.entries for o in self.outboxes.values())
+            or any(s.queue for s in self.servers.values())
+        )
+
+    # -- request path ------------------------------------------------------
+
+    def _on_arrival(self, req: Request) -> None:
+        self.generated += 1
+        self._window(req.t_arrival)["generated"] += 1
+        self._dispatch(req)
+
+    def _dispatch(self, req: Request) -> None:
+        server = self.balancer.choose(req, candidates=self.reachable[req.client])
+        if server is None:
+            self.holding.append(req)
+            return
+        outbox = self._outbox(req.client, server)
+        if self.config.outbox_cap and len(outbox.entries) >= self.config.outbox_cap:
+            self.shed_client += 1
+            self._window(self.sim.now)["shed"] += 1
+            return
+        req.server = server
+        req.attempts += 1
+        self.balancer.note_dispatch(server)
+        self.outstanding[req.req_id] = req
+        payload = pack_request(req.req_id, req.client, 0, req.resp_bytes,
+                               req.req_bytes)
+        outbox.push(payload, TAG_REQ, req)
+
+    def _outbox(self, src: int, dst: int) -> _Outbox:
+        key = (src, dst)
+        if key not in self.outboxes:
+            self.outboxes[key] = _Outbox(self, src, dst)
+        return self.outboxes[key]
+
+    def enqueue_response(self, server: int, client: int, req_id: int,
+                         flags: int, t_rx: int, t_start: int, t_end: int,
+                         resp_bytes: int) -> None:
+        payload = pack_response(req_id, server, flags, t_rx, t_start, t_end,
+                                resp_bytes)
+        self._outbox(server, client).push(payload, TAG_RESP, None)
+
+    def _collector(self, client: int) -> Generator:
+        ep = self.world.endpoints[client]
+        while True:
+            msg = yield from ep.recv(tag=TAG_RESP)
+            req_id, server, flags, t_rx, t_start, t_end = unpack_response(
+                msg.data
+            )
+            req = self.outstanding.pop(req_id, None)
+            if req is None:
+                # A crash replay raced a response that was already on the
+                # wire; the request was answered once already.
+                self.duplicate_responses += 1
+                continue
+            self.balancer.note_done(req.server)
+            now = self.sim.now
+            win = self._window(now)
+            if flags & FLAG_SHED:
+                self.shed += 1
+                win["shed"] += 1
+                continue
+            total = now - req.t_arrival
+            queueing = (req.t_dispatch - req.t_arrival) + (t_start - t_rx)
+            service = t_end - t_start
+            network = max(0, total - queueing - service)
+            self.completed += 1
+            self.hist_by_server[server].record(total)
+            self.hist_queueing.record(queueing)
+            self.hist_service.record(service)
+            self.hist_network.record(network)
+            win["completed"] += 1
+            win["hist"].record(total)
+            if req.deadline_ns and total > req.deadline_ns:
+                self.deadline_missed += 1
+            # A parked request may now have an eligible server again.
+            if self.holding and self.balancer.alive:
+                self._drain_holding()
+
+    def _drain_holding(self) -> None:
+        pending, self.holding = self.holding, deque()
+        for req in pending:
+            self._dispatch(req)
+
+    # -- crash / recovery hooks -------------------------------------------
+
+    def _on_node_crashed(self, node_id: int) -> None:
+        if node_id not in self.servers:
+            return
+        self.balancer.mark_down(node_id)
+        self.servers[node_id].on_crash()
+        for client in self.config.clients:
+            self.reachable[client].discard(node_id)
+        # Requests parked in outboxes toward the dead server never left
+        # the client; re-dispatch them with everything else outstanding.
+        to_replay: list[Request] = []
+        for (src, dst), outbox in self.outboxes.items():
+            if dst == node_id:
+                to_replay.extend(outbox.purge_requests())
+            if src == node_id:
+                outbox.entries.clear()  # dead server's unsent responses
+        for req in list(self.outstanding.values()):
+            if req.server == node_id:
+                to_replay.append(req)
+        for req in to_replay:
+            self._replay(req)
+
+    def _on_request_send_failed(self, req: Request, failed_dst: int) -> None:
+        """The outbox hit a typed failure mid-send for this request.
+
+        The crash notification usually replays the request before the
+        failed sender process resumes; only replay here if the request
+        is still journaled *and* still targeted at the dead leg.
+        """
+        if self.outstanding.get(req.req_id) is req and req.server == failed_dst:
+            self._replay(req)
+
+    def _replay(self, req: Request) -> None:
+        self.outstanding.pop(req.req_id, None)
+        self.balancer.note_done(req.server)
+        req.server = -1
+        self.replayed += 1
+        self._dispatch(req)
+
+    def _on_pair_reconnected(self, node_id: int, peer: int, _now: int) -> None:
+        client, server = (
+            (node_id, peer) if peer in self.servers else (peer, node_id)
+        )
+        if server not in self.servers or client not in self.reachable:
+            return
+        self.world.rewire_pair(client, server)
+        self.reachable[client].add(server)
+        self.balancer.mark_up(server)
+        self._drain_holding()
+
+    # -- measurement -------------------------------------------------------
+
+    def _window(self, t_ns: int) -> dict:
+        if not self.config.window_ns:
+            return self._scratch_window()
+        idx = (t_ns - self._start_ns) // self.config.window_ns
+        win = self.windows.get(idx)
+        if win is None:
+            win = {
+                "generated": 0,
+                "completed": 0,
+                "shed": 0,
+                "hist": LatencyHistogram(),
+            }
+            self.windows[idx] = win
+        return win
+
+    _scratch = None
+
+    def _scratch_window(self) -> dict:
+        if self._scratch is None:
+            self._scratch = {
+                "generated": 0,
+                "completed": 0,
+                "shed": 0,
+                "hist": LatencyHistogram(),
+            }
+        return self._scratch
+
+    def merged_histogram(self) -> LatencyHistogram:
+        """Cluster-wide latency tail: per-server histograms merged."""
+        return LatencyHistogram.merged(self.hist_by_server.values())
+
+    @property
+    def shed_fraction(self) -> float:
+        total = self.completed + self.shed + self.shed_client
+        return (self.shed + self.shed_client) / total if total else 0.0
+
+    @property
+    def deadline_miss_fraction(self) -> float:
+        return self.deadline_missed / self.completed if self.completed else 0.0
+
+    def slo_report(self, hist: Optional[LatencyHistogram] = None):
+        if self.config.slo is None:
+            return None
+        return self.config.slo.evaluate(
+            hist if hist is not None else self.merged_histogram(),
+            shed_fraction=self.shed_fraction,
+            deadline_miss_fraction=self.deadline_miss_fraction,
+        )
+
+    def window_reports(self) -> list[dict]:
+        """Per-window attainment, in time order (needs ``window_ns``)."""
+        out = []
+        for idx in sorted(self.windows):
+            win = self.windows[idx]
+            hist = win["hist"]
+            answered = win["completed"] + win["shed"]
+            shed_frac = win["shed"] / answered if answered else 0.0
+            row = {
+                "window": idx,
+                "t0_ms": round(
+                    (self._start_ns + idx * self.config.window_ns) / 1e6, 3
+                ),
+                "generated": win["generated"],
+                "completed": win["completed"],
+                "shed": win["shed"],
+                "p50_ms": round(hist.p50 / 1e6, 4),
+                "p99_ms": round(hist.p99 / 1e6, 4),
+                "p999_ms": round(hist.p999 / 1e6, 4),
+            }
+            if self.config.slo is not None:
+                row["attained"] = self.config.slo.evaluate(
+                    hist, shed_fraction=shed_frac
+                ).attained
+            out.append(row)
+        return out
+
+    # -- end-of-run accounting --------------------------------------------
+
+    def fail_pending(self) -> int:
+        """Classify still-unanswered requests to dead servers as failed.
+
+        Called by scenario runners at the end of a run whose fault
+        profile leaves a server down; requests that can never be
+        answered become typed failures instead of dangling pending.
+        """
+        failed = 0
+        for req in list(self.outstanding.values()):
+            if req.server not in self.balancer.alive:
+                self.outstanding.pop(req.req_id, None)
+                self.balancer.note_done(req.server)
+                failed += 1
+        still_holding = deque()
+        for req in self.holding:
+            if self.balancer.choose(req, self.reachable[req.client]) is None:
+                failed += 1
+            else:
+                still_holding.append(req)
+        self.holding = still_holding
+        self.failed += failed
+        return failed
+
+    @property
+    def pending(self) -> int:
+        return len(self.outstanding) + len(self.holding)
+
+    def check_invariants(self) -> list[str]:
+        """Request-conservation checks; empty list = all hold."""
+        problems = []
+        accounted = (
+            self.completed
+            + self.shed
+            + self.shed_client
+            + self.failed
+            + self.pending
+        )
+        if self.generated != accounted:
+            problems.append(
+                f"request-conservation: generated {self.generated} != "
+                f"completed {self.completed} + shed {self.shed} + "
+                f"shed_client {self.shed_client} + failed {self.failed} + "
+                f"pending {self.pending}"
+            )
+        merged = self.merged_histogram()
+        if merged.total != self.completed:
+            problems.append(
+                f"histogram-conservation: merged histogram holds "
+                f"{merged.total} samples but {self.completed} requests "
+                "completed"
+            )
+        for name, hist in (
+            ("queueing", self.hist_queueing),
+            ("service", self.hist_service),
+            ("network", self.hist_network),
+        ):
+            if hist.total != self.completed:
+                problems.append(
+                    f"histogram-conservation: {name} phase histogram holds "
+                    f"{hist.total} samples for {self.completed} completions"
+                )
+        tracked = sum(self.balancer.outstanding.values())
+        if tracked != len(self.outstanding):
+            problems.append(
+                f"balancer-accounting: balancer tracks {tracked} "
+                f"outstanding but the journal holds {len(self.outstanding)}"
+            )
+        src_generated = sum(s.generated for s in self.sources.values())
+        if src_generated != self.generated:
+            problems.append(
+                f"arrival-accounting: sources emitted {src_generated}, "
+                f"runtime recorded {self.generated}"
+            )
+        return problems
+
+
+def enable_serving(cluster, world, config: ServeConfig) -> ServeRuntime:
+    """Attach a serving runtime to ``cluster`` (as ``cluster.serve``)."""
+    runtime = ServeRuntime(cluster, world, config)
+    recovery = getattr(cluster, "recovery", None)
+    if recovery is not None:
+        runtime.attach_recovery(recovery)
+    return runtime

@@ -61,6 +61,8 @@ __all__ = [
     "FabricFuzzResult",
     "fabric_scenario_from_seed",
     "run_fabric_scenario",
+    "ServeFuzzResult",
+    "run_serve_scenario",
 ]
 
 WORKLOADS = ("bulk", "small", "scatter", "read", "mixed")
@@ -918,6 +920,115 @@ def run_fabric_scenario(seed: int) -> FabricFuzzResult:
     conservation) and end-to-end data integrity.
     """
     return FabricRun(seed).finish()
+
+
+# ---------------------------------------------------------------------------
+# Serve fuzzing
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServeFuzzResult:
+    """Outcome of one :func:`run_serve_scenario` run."""
+
+    seed: int
+    config: str
+    policy: str
+    arrival_kind: str
+    fault_profile: str
+    generated: int
+    completed: int
+    shed: int  # server-side sheds + client-side outbox rejects
+    failed: int
+    replayed: int
+    violations: tuple[str, ...]
+    fingerprint: str
+
+    @property
+    def ok(self) -> bool:
+        """Request conservation (and every other serve invariant) held.
+
+        Conservation itself — ``generated == completed + shed + failed``
+        with nothing left pending — is one of the ``check_invariants``
+        clauses folded into ``violations``; an empty tuple asserts it.
+        """
+        return self.generated > 0 and not self.violations
+
+
+def run_serve_scenario(seed: int) -> ServeFuzzResult:
+    """One randomized open-loop serving run (repro.serve).
+
+    Parameters come from their own RNG stream
+    (``multiedge-fuzz-serve:<seed>``) so every pre-existing fuzz
+    derivation — and every pinned fingerprint — stays byte-identical.
+    The draw crosses arrival model (Poisson/bursty) x load-balancing
+    policy x fault profile (clean or mid-run server crash/restart) x
+    overload knobs (queue cap, workers, service-time model, client
+    outbox cap), runs under the invariant monitor, and asserts request
+    conservation: every generated request ends as completed, shed
+    (server- or client-side), or failed — across crash replay too.
+    """
+    from ..bench.serve import run_serve
+    from ..serve import ArrivalSpec, ServerSpec
+
+    rng = random.Random(f"multiedge-fuzz-serve:{seed}")
+    arrival_kind = rng.choice(("poisson", "bursty"))
+    policy = rng.choice(
+        ("round-robin", "least-outstanding", "leaf-affinity")
+    )
+    fault_profile = rng.choice(("none", "none", "crash"))
+    config = rng.choice(("1L-1G", "1L-10G"))
+    n_clients = rng.randint(1, 3)
+    n_servers = rng.randint(1, 3)
+    duration_ns = rng.randint(4 * _MS, 8 * _MS)
+    arrival = ArrivalSpec(
+        kind=arrival_kind,
+        rate_rps=rng.choice((10_000, 30_000, 60_000)),
+        request_bytes=("uniform", 32, 1_024),
+        response_bytes=("uniform", 64, 2_048),
+        batch=64,
+    )
+    server = ServerSpec(
+        queue_cap=rng.choice((4, 16, 64)),
+        workers=rng.choice((1, 2, 4)),
+        service=rng.choice(
+            (("fixed", 20_000), ("exp", 30_000), ("uniform", 5_000, 50_000))
+        ),
+    )
+    kwargs: dict = {"outbox_cap": rng.choice((0, 8, 64))}
+    if fault_profile == "crash":
+        n_servers = max(n_servers, 2)
+        kwargs.update(
+            crash_server=n_clients + rng.randrange(n_servers),
+            crash_ns=rng.randint(1 * _MS, duration_ns // 2),
+            restart_delay_ns=rng.randint(500 * _US, 3 * _MS),
+        )
+    res = run_serve(
+        config=config,
+        n_clients=n_clients,
+        n_servers=n_servers,
+        policy=policy,
+        arrival=arrival,
+        server=server,
+        duration_ns=duration_ns,
+        seed=seed,
+        use_monitor=True,
+        **kwargs,
+    )
+    return ServeFuzzResult(
+        seed=seed,
+        config=config,
+        policy=policy,
+        arrival_kind=arrival_kind,
+        fault_profile=fault_profile,
+        generated=res.generated,
+        completed=res.completed,
+        shed=res.shed + res.shed_client,
+        failed=res.failed,
+        replayed=res.replayed,
+        violations=res.violations,
+        fingerprint=res.fingerprint,
+    )
 
 
 # ---------------------------------------------------------------------------

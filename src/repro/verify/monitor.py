@@ -625,6 +625,10 @@ class InvariantMonitor:
         recovery = getattr(self.cluster, "recovery", None)
         if recovery is not None:
             self._check_journals(recovery)
+        serve = getattr(self.cluster, "serve", None)
+        if serve is not None:
+            for problem in serve.check_invariants():
+                self._violation("serve-invariant", problem, "serve runtime")
 
     def _check_journals(self, recovery: Any) -> None:
         """Journal conservation + delivered-implies-logged, per channel."""

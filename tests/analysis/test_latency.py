@@ -1,0 +1,209 @@
+"""Latency histogram: exactness, bucket geometry, merging, SLOs.
+
+The HDR-style histogram is the measurement primitive every serving
+number flows through, so its error bound is load-bearing: percentiles
+must match a sorted-list oracle exactly below the linear region and to
+within half a sub-bucket (1/256 relative) above it, and merging
+per-node histograms must be associative so cluster-wide tails are
+independent of merge order.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import LatencyHistogram, SloSpec
+from repro.analysis.latency import _bucket_bounds, _index_of
+
+
+def _oracle(values, pct):
+    """Nearest-rank percentile over the raw sample list."""
+    ordered = sorted(values)
+    rank = max(1, -(-int(pct * len(ordered)) // 100))
+    return ordered[rank - 1]
+
+
+# ---------------------------------------------------------------------------
+# Bucket geometry
+# ---------------------------------------------------------------------------
+
+
+def test_small_values_are_exact():
+    h = LatencyHistogram()
+    for v in range(256):
+        h.record(v)
+    assert h.total == 256
+    # Every value below 2*128 owns its own bucket.
+    assert len(h.counts) == 256
+    for v in (0, 1, 127, 128, 255):
+        assert _bucket_bounds(_index_of(v)) == (v, v)
+
+
+def test_bucket_bounds_are_a_partition():
+    """Buckets tile the integers: contiguous, non-overlapping, and every
+    value falls inside the bucket its index maps to."""
+    prev_hi = -1
+    for idx in range(_index_of(1 << 22) + 1):
+        lo, hi = _bucket_bounds(idx)
+        assert lo == prev_hi + 1, f"gap or overlap at bucket {idx}"
+        assert hi >= lo
+        prev_hi = hi
+    for v in [255, 256, 257, 511, 512, 1023, 1024, 65_535, 65_536, 10**9]:
+        lo, hi = _bucket_bounds(_index_of(v))
+        assert lo <= v <= hi
+
+
+def test_power_of_two_boundaries():
+    """Exactly 128 sub-buckets per power-of-two region above 256."""
+    for exp in (8, 9, 16, 30):
+        lo_idx = _index_of(1 << exp)
+        hi_idx = _index_of((1 << (exp + 1)) - 1)
+        assert hi_idx - lo_idx + 1 == 128
+
+
+def test_negative_value_rejected():
+    h = LatencyHistogram()
+    with pytest.raises(ValueError):
+        h.record(-1)
+    with pytest.raises(ValueError):
+        h.record(5, count=0)
+
+
+# ---------------------------------------------------------------------------
+# Percentiles vs the sorted-list oracle
+# ---------------------------------------------------------------------------
+
+
+def test_percentile_exact_in_linear_region():
+    rng = random.Random(1)
+    values = [rng.randrange(0, 256) for _ in range(5_000)]
+    h = LatencyHistogram()
+    h.record_many(values)
+    for pct in (1, 25, 50, 90, 99, 99.9, 100):
+        assert h.percentile(pct) == _oracle(values, pct)
+
+
+@pytest.mark.parametrize("dist", ["uniform", "lognormal", "bimodal"])
+def test_percentile_error_bound_property(dist):
+    """Quantization error stays within half a sub-bucket (1/256 relative)
+    of the oracle for heavy-tailed, uniform, and bimodal samples."""
+    rng = random.Random(hash(dist) & 0xFFFF)
+    if dist == "uniform":
+        values = [rng.randrange(1, 10**9) for _ in range(20_000)]
+    elif dist == "lognormal":
+        values = [int(rng.lognormvariate(12, 2)) + 1 for _ in range(20_000)]
+    else:
+        values = [
+            rng.randrange(10_000, 20_000)
+            if rng.random() < 0.9
+            else rng.randrange(10**7, 10**8)
+            for _ in range(20_000)
+        ]
+    h = LatencyHistogram()
+    h.record_many(values)
+    for pct in (10, 50, 90, 99, 99.9, 100):
+        exact = _oracle(values, pct)
+        approx = h.percentile(pct)
+        assert abs(approx - exact) <= max(1, exact / 128), (
+            f"{dist} p{pct}: histogram {approx} vs oracle {exact}"
+        )
+
+
+def test_percentile_empty_and_degenerate():
+    h = LatencyHistogram()
+    assert h.percentile(99) == 0
+    assert h.mean == 0.0
+    h.record(42)
+    assert h.p50 == h.p99 == h.p999 == 42
+    with pytest.raises(ValueError):
+        h.percentile(0)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_min_max_mean_track_exact_values():
+    values = [3, 77, 10**6, 5_000_000_000]
+    h = LatencyHistogram()
+    h.record_many(values)
+    assert h.min_value == 3
+    assert h.max_value == 5_000_000_000
+    assert h.mean == sum(values) / len(values)
+
+
+# ---------------------------------------------------------------------------
+# Merging
+# ---------------------------------------------------------------------------
+
+
+def test_merge_equals_single_histogram():
+    rng = random.Random(7)
+    values = [int(rng.expovariate(1 / 50_000)) for _ in range(9_000)]
+    whole = LatencyHistogram()
+    whole.record_many(values)
+    parts = [LatencyHistogram() for _ in range(4)]
+    for i, v in enumerate(values):
+        parts[i % 4].record(v)
+    assert LatencyHistogram.merged(parts) == whole
+
+
+def test_merge_is_associative_and_commutative():
+    rng = random.Random(13)
+    parts = []
+    for _ in range(3):
+        h = LatencyHistogram()
+        h.record_many(int(rng.expovariate(1 / 80_000)) for _ in range(2_000))
+        parts.append(h)
+    a, b, c = parts
+
+    def clone(h):
+        return LatencyHistogram.merged([h])
+
+    ab_c = clone(a).merge(clone(b)).merge(clone(c))
+    a_bc = clone(a).merge(clone(b).merge(clone(c)))
+    cba = clone(c).merge(clone(b)).merge(clone(a))
+    assert ab_c == a_bc == cba
+
+
+def test_merge_empty_is_identity():
+    h = LatencyHistogram()
+    h.record_many([5, 500, 50_000])
+    before = LatencyHistogram.merged([h])
+    h.merge(LatencyHistogram())
+    assert h == before
+
+
+def test_roundtrip_serialization():
+    h = LatencyHistogram()
+    h.record_many([0, 1, 255, 256, 10**7])
+    assert LatencyHistogram.from_dict(h.to_dict()) == h
+
+
+# ---------------------------------------------------------------------------
+# SLOs
+# ---------------------------------------------------------------------------
+
+
+def test_slo_clauses_and_attainment():
+    h = LatencyHistogram()
+    h.record_many([100_000] * 99 + [50_000_000])  # p99 well under 1 ms
+
+    spec = SloSpec(p50_ms=1.0, p99_ms=1.0, max_shed_fraction=0.01)
+    report = spec.evaluate(h, shed_fraction=0.0)
+    assert report.attained
+    assert report.clauses == {"p50": True, "p99": True, "shed": True}
+
+    # The p999 catches the outlier; the shed clause catches overload.
+    strict = SloSpec(p999_ms=1.0)
+    assert not strict.evaluate(h).attained
+    shed = SloSpec(p99_ms=1.0, max_shed_fraction=0.01)
+    assert not shed.evaluate(h, shed_fraction=0.5).attained
+
+
+def test_slo_unconfigured_clauses_are_omitted():
+    h = LatencyHistogram()
+    h.record(1_000)
+    report = SloSpec(p99_ms=1.0).evaluate(h)
+    assert set(report.clauses) == {"p99"}
+    assert report.attained
+    d = report.to_dict()
+    assert d["attained"] is True and d["clauses"] == {"p99": True}

@@ -25,7 +25,9 @@ import os
 import pytest
 
 from repro.bench.crash import CrashRun, run_crash
+from repro.bench.serve import ServeRun
 from repro.checkpoint import restore, take_checkpoint
+from repro.serve import ArrivalSpec, ServerSpec
 from repro.verify.fuzz import (
     FAULT_PROFILES,
     WORKLOADS,
@@ -131,3 +133,47 @@ class TestFabricWitness:
         assert run_b.finish() == res_a
 
         assert restore(ck).finish() == res_a
+
+
+class TestServeWitness:
+    """Checkpoint mid-spike == run-to-end for the serving layer.
+
+    The pause instant sits inside the crash window with arrival batches
+    pending at both clients, so the capture must carry the arrival
+    sources' pre-drawn batch state, the balancer's liveness view, the
+    journal, and every histogram bucket for the equality to hold.
+    """
+
+    RECIPE = dict(
+        config="1L-10G",
+        n_clients=2,
+        n_servers=2,
+        policy="least-outstanding",
+        arrival=ArrivalSpec(kind="poisson", rate_rps=40_000, batch=64),
+        server=ServerSpec(queue_cap=64, workers=4, service=("fixed", 15_000)),
+        duration_ns=30_000_000,
+        window_ns=5_000_000,
+        seed=14,
+        crash_server=3,
+        crash_ns=8_000_000,
+        restart_delay_ns=4_000_000,
+    )
+
+    def test_checkpoint_inside_crash_window(self):
+        """T = 10 ms sits between the crash (8 ms) and restart (12 ms)."""
+        res_a = ServeRun(**self.RECIPE).finish()
+
+        run_b = ServeRun(**self.RECIPE)
+        run_b.run_to(10_000_000)
+        # The pause caught live open-loop state, not a quiesced lull.
+        assert run_b.runtime.arrivals_armed
+        assert any(
+            s.pending_batch > 0 for s in run_b.runtime.sources.values()
+        ), "no arrival batch pending at the pause instant"
+        ck = take_checkpoint(run_b)
+        assert ck.kind == "serve"
+        res_b = run_b.finish()
+        assert res_b == res_a, "pausing changed the serving run"
+
+        res_c = restore(ck).finish()  # raises CheckpointMismatch on drift
+        assert res_c == res_a, "restore changed the serving run"

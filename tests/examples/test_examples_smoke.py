@@ -131,3 +131,21 @@ def test_leaf_spine():
     assert out.count("data intact=True") == 2
     assert "routing invariants clean=True" in out
     assert "3:1 oversubscribed" in out
+
+
+def test_serving():
+    mod = load_example("serving")
+    mod.DURATION_NS = 25 * 1_000_000  # shrink the post-recovery tail
+    mod.RATE_RPS = 15_000
+    out = run_main(mod)
+    # Both runs conserve every request across the crash.
+    assert out.count("conserved=True") == 2
+    assert out.count("invariant violations=0") == 2
+    assert "replayed=0" not in out
+    replicated, single = out.split("single replica")
+    # Failover hides the outage entirely; the single replica cannot.
+    assert "MISS" not in replicated
+    assert "MISS" in single
+    # ...and the final loaded window after reconnect recovered.
+    windows = [l for l in single.splitlines() if "p99=" in l and "ms  " in l]
+    assert windows and "ok" in windows[-1]

@@ -235,3 +235,54 @@ def test_datacenter_fabric_refuses():
     )
     a, _ = cluster.connect(0, 1)
     assert _reason(a.conn) == "multi-hop-fabric"
+
+
+def test_serve_arrivals_armed_refuses():
+    """An armed open-loop arrival source guarantees future traffic the
+    analytic jump cannot see — the detector must refuse while it lives."""
+    cluster, conn, _ = _pair()
+    cluster.serve = SimpleNamespace(arrivals_armed=True, active=False)
+    assert _reason(conn) == "serve-arrivals-armed"
+
+
+def test_serve_traffic_active_refuses():
+    """Outstanding request/response pairs are bidirectional by
+    construction; jumping one leg would skip the other."""
+    cluster, conn, _ = _pair()
+    cluster.serve = SimpleNamespace(arrivals_armed=False, active=True)
+    assert _reason(conn) == "serve-traffic-active"
+
+
+def test_serve_quiesced_rearms():
+    """Once the serving layer fully drains, the fast path is eligible
+    again — the refusal is load-shaped, not permanent."""
+    cluster, conn, _ = _pair()
+    cluster.serve = SimpleNamespace(arrivals_armed=False, active=False)
+    assert _reason(conn) is None
+
+
+def test_real_serve_runtime_disqualifies_while_armed():
+    """End to end: enable_serving on a fastpath cluster -> disqualified
+    for the whole loaded phase, re-eligible after the drain."""
+    from repro.mp import MpWorld
+    from repro.serve import ArrivalSpec, ServeConfig, enable_serving
+
+    cluster = make_cluster("1L-1G", nodes=2, fastpath=True)
+    world = MpWorld(cluster)
+    rt = enable_serving(
+        cluster,
+        world,
+        ServeConfig(
+            clients=(0,),
+            servers=(1,),
+            arrival=ArrivalSpec(kind="poisson", rate_rps=20_000),
+            duration_ns=1_000_000,
+        ),
+    )
+    rt.start()
+    a, _ = cluster.connect(0, 1)
+    assert _reason(a.conn) == "serve-arrivals-armed"
+    cluster.sim.run_until_time(1_000_000)
+    cluster.sim.run(until=20_000_000)
+    assert not rt.arrivals_armed and not rt.active
+    assert _reason(a.conn) is None

@@ -1,0 +1,224 @@
+"""The serving runtime end to end: conservation, overload, crashes.
+
+Every scenario runs over the real mp/RDMA stack (no shortcuts), asserts
+the request-conservation invariant, and the fault scenarios exercise
+the client-side journal replay across server crash + reconnect.
+"""
+
+import pytest
+
+from repro.analysis import SloSpec, summarize_cluster
+from repro.bench.cluster import make_cluster
+from repro.bench.serve import ServeRun, run_serve
+from repro.serve import ArrivalSpec, ServeConfig, ServerSpec
+
+_MS = 1_000_000
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ServeConfig(clients=(), servers=(1,))
+    with pytest.raises(ValueError):
+        ServeConfig(clients=(0,), servers=(0, 1))  # overlapping ranks
+    with pytest.raises(ValueError):
+        ServeConfig(clients=(0,), servers=(1,), duration_ns=0)
+
+
+def test_synthetic_payload_cluster_rejected():
+    from repro.mp import MpWorld
+    from repro.serve import enable_serving
+
+    cluster = make_cluster("1L-1G", nodes=2, synthetic_payloads=True)
+    world = MpWorld(cluster)
+    with pytest.raises(ValueError, match="synthetic_payloads"):
+        enable_serving(
+            cluster, world, ServeConfig(clients=(0,), servers=(1,))
+        )
+
+
+def test_steady_state_conservation_and_decomposition():
+    r = run_serve(
+        config="1L-10G",
+        n_clients=2,
+        n_servers=2,
+        policy="least-outstanding",
+        arrival=ArrivalSpec(kind="poisson", rate_rps=40_000, batch=64),
+        server=ServerSpec(queue_cap=64, workers=4, service=("fixed", 10_000)),
+        duration_ns=5 * _MS,
+        seed=2,
+    )
+    assert r.ok, r.violations
+    assert r.generated > 100
+    assert r.generated == r.completed  # nothing shed, failed, or pending
+    # Phase decomposition: every completion contributed one sample per
+    # phase, and service time can never undercut the fixed service model.
+    assert r.service_p99_ns >= 10_000
+    assert r.p99_ns >= r.service_p99_ns
+    # Both servers took traffic.
+    assert all(v > 0 for v in r.server_served.values())
+
+
+def test_runs_are_deterministic():
+    import dataclasses
+
+    kw = dict(
+        n_clients=2,
+        n_servers=2,
+        arrival=ArrivalSpec(rate_rps=30_000),
+        duration_ns=4 * _MS,
+        seed=6,
+    )
+    assert dataclasses.asdict(run_serve(**kw)) == dataclasses.asdict(
+        run_serve(**kw)
+    )
+
+
+def test_overload_sheds_explicitly():
+    """Queue at capacity -> shed response + counter, never silent growth."""
+    r = run_serve(
+        n_clients=1,
+        n_servers=1,
+        arrival=ArrivalSpec(kind="poisson", rate_rps=50_000, batch=64),
+        server=ServerSpec(queue_cap=2, workers=1, service=("fixed", 100_000)),
+        duration_ns=5 * _MS,
+        seed=4,
+    )
+    assert r.ok, r.violations
+    assert r.shed > 0
+    assert r.generated == r.completed + r.shed
+    assert max(r.server_peak_queue.values()) <= 2
+    assert r.shed_fraction > 0.3  # rate is ~5x service capacity
+
+
+def test_client_outbox_cap_sheds_at_the_client():
+    r = run_serve(
+        config="1L-1G",
+        n_clients=1,
+        n_servers=1,
+        arrival=ArrivalSpec(
+            kind="poisson", rate_rps=80_000,
+            request_bytes=("fixed", 4096), batch=64,
+        ),
+        server=ServerSpec(queue_cap=256, workers=4, service=("fixed", 1_000)),
+        duration_ns=5 * _MS,
+        outbox_cap=4,
+        seed=8,
+    )
+    assert r.ok, r.violations
+    assert r.shed_client > 0
+
+
+def test_deadline_miss_accounting():
+    r = run_serve(
+        n_clients=1,
+        n_servers=1,
+        arrival=ArrivalSpec(
+            kind="poisson", rate_rps=30_000, deadline_ns=50_000, batch=64
+        ),
+        server=ServerSpec(queue_cap=64, workers=1, service=("fixed", 80_000)),
+        duration_ns=3 * _MS,
+        seed=10,
+    )
+    assert r.ok, r.violations
+    # Service alone exceeds the deadline: every completion missed it.
+    assert r.deadline_missed == r.completed > 0
+
+
+def test_slo_report_and_windows():
+    slo = SloSpec(p99_ms=5.0, max_shed_fraction=0.5)
+    r = run_serve(
+        n_clients=2,
+        n_servers=2,
+        arrival=ArrivalSpec(rate_rps=20_000),
+        duration_ns=10 * _MS,
+        window_ns=2 * _MS,
+        slo=slo,
+        seed=12,
+    )
+    assert r.ok, r.violations
+    assert r.slo_attained is True
+    assert "p99" in r.slo_clauses and "shed" in r.slo_clauses
+    assert len(r.windows) >= 4
+    assert sum(w["generated"] for w in r.windows) == r.generated
+    assert sum(w["completed"] for w in r.windows) == r.completed
+    assert all("attained" in w for w in r.windows)
+
+
+def test_crash_replays_journal_and_recovers():
+    r = run_serve(
+        config="1L-10G",
+        n_clients=2,
+        n_servers=2,
+        policy="least-outstanding",
+        arrival=ArrivalSpec(kind="poisson", rate_rps=40_000, batch=64),
+        server=ServerSpec(queue_cap=64, workers=4, service=("fixed", 15_000)),
+        duration_ns=30 * _MS,
+        seed=14,
+        crash_server=3,
+        crash_ns=8 * _MS,
+        restart_delay_ns=4 * _MS,
+    )
+    assert r.ok, r.violations
+    assert r.crashes == 1
+    assert r.reconnects >= 1
+    assert r.replayed > 0
+    # The journal replay means the crash loses nothing.
+    assert r.generated == r.completed
+    # The crashed server served again after reconnect: its share of the
+    # completions exceeds what it served before dying.
+    assert r.server_served[3] > 0
+
+
+def test_single_server_crash_parks_then_drains():
+    """With no surviving server, requests park in the holding queue and
+    drain when the crashed server reconnects."""
+    r = run_serve(
+        config="1L-10G",
+        n_clients=1,
+        n_servers=1,
+        arrival=ArrivalSpec(kind="poisson", rate_rps=20_000, batch=64),
+        server=ServerSpec(queue_cap=256, workers=4, service=("fixed", 5_000)),
+        duration_ns=40 * _MS,
+        seed=16,
+        crash_server=1,
+        crash_ns=10 * _MS,
+        restart_delay_ns=5 * _MS,
+    )
+    assert r.ok, r.violations
+    assert r.crashes == 1 and r.reconnects >= 1
+    assert r.generated == r.completed
+    assert r.pending == 0
+
+
+def test_summary_carries_serve_counters():
+    run = ServeRun(
+        n_clients=1,
+        n_servers=1,
+        arrival=ArrivalSpec(rate_rps=20_000),
+        duration_ns=3 * _MS,
+        seed=18,
+    )
+    result = run.finish()
+    s = summarize_cluster(run.cluster)
+    assert s.requests_generated == result.generated > 0
+    assert s.requests_completed == result.completed
+    assert s.serve_p99_ns == result.p99_ns
+    assert s.serve_shed_fraction == result.shed_fraction
+
+
+def test_monitor_reports_serve_invariant_breakage():
+    """A cooked conservation violation surfaces through final_check."""
+    run = ServeRun(
+        n_clients=1,
+        n_servers=1,
+        arrival=ArrivalSpec(rate_rps=20_000),
+        duration_ns=2 * _MS,
+        seed=20,
+        use_monitor=True,
+    )
+    run.cluster.sim.run_until_time(run.duration_ns)
+    run.cluster.sim.run(until=run.duration_ns + 100 * _MS)
+    run.runtime.generated += 5  # cook the books
+    monitor = run.monitor
+    monitor.final_check()
+    assert any("serve-invariant" in str(v) for v in monitor.violations)

@@ -1,0 +1,55 @@
+"""Serve-off runs are fingerprint-identical to the pre-serving tree.
+
+The serving layer is opt-in: a cluster without :func:`enable_serving`
+must execute byte-for-byte the same event sequence it did before the
+subsystem existed.  These fingerprints were captured from the repo HEAD
+immediately before ``repro.serve`` landed (the checkpoint/restore PR);
+any drift here means the default path changed behaviour.
+"""
+
+from repro.bench.cluster import make_cluster
+from repro.mp import MpWorld
+from repro.verify.fuzz import fingerprint
+
+# (config, nodes, seed) -> fingerprint at the pre-serving HEAD.
+PINNED = {
+    ("1L-1G", 4, 0):
+        "75d90b1d748c7746913ded2857a2b2ee243d133a5e3cb880bf8d80803ed7e3cb",
+    ("2L-1G", 3, 7):
+        "a705a7d395dccf86a367367f379cf1d6b2575c8d4d30d2974e2d7e18026fc6d0",
+    ("1L-10G", 2, 42):
+        "becf6fb4486a3e99dee8b12b3044c0f93fb276ff06994cd81c7319b8de7445db",
+}
+
+
+def _echo_run(config, nodes, seed):
+    cluster = make_cluster(config, nodes=nodes, seed=seed)
+    world = MpWorld(cluster)
+
+    def program(ep):
+        if ep.rank == 0:
+            for peer in range(1, ep.size):
+                for k in range(4):
+                    yield from ep.send(peer, bytes(64 + k), tag=7)
+                    msg = yield from ep.recv(source=peer, tag=8)
+                    assert len(msg.data) == 128
+        else:
+            for k in range(4):
+                msg = yield from ep.recv(source=0, tag=7)
+                yield from ep.send(0, bytes(128), tag=8)
+        return ep.stats_received
+
+    world.run(program)
+    cluster.sim.run()
+    return cluster, fingerprint(cluster)
+
+
+def test_serve_disabled_runs_match_pre_serving_fingerprints():
+    for (config, nodes, seed), want in PINNED.items():
+        cluster, got = _echo_run(config, nodes, seed)
+        assert got == want, (
+            f"serve-off run ({config}, nodes={nodes}, seed={seed}) drifted "
+            f"from the pre-serving baseline: {got}"
+        )
+        # And the serving layer never attached itself.
+        assert getattr(cluster, "serve", None) is None

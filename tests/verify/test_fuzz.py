@@ -141,3 +141,43 @@ class TestFabricFuzz:
         assert sc.trunk_events, "seed 7 no longer draws trunk events"
         res = run_fabric_scenario(7)
         assert res.ok and res.repins > 0
+
+
+class TestServeFuzz:
+    """Randomized serving scenarios: conservation + invariants, pinned."""
+
+    # seed -> fingerprint at the PR that introduced repro.serve.
+    PINNED = {
+        0: "3284f4b7f2089d687071cc62309a0a478dd1801d43a2a05f808bce9f1f37e848",
+        1: "120bc9d1f3e8bc575b1b52b488ca3e830ce24f6bf30e3735a72518238d95a0af",
+        5: "a553532c5f7e49ecaaccd6bf860f83ed0a447d41d657d453fd0765c9123e58dc",
+    }
+
+    def test_request_conservation_across_seeds(self):
+        from repro.verify.fuzz import run_serve_scenario
+
+        for seed in range(4):
+            res = run_serve_scenario(seed)
+            assert res.ok, f"seed {seed}: {res.violations}"
+            assert res.generated == (
+                res.completed + res.shed + res.failed
+            ), f"seed {seed} lost requests"
+
+    def test_crash_seed_replays(self):
+        """Seed 1 draws a crash profile; the journal must replay."""
+        from repro.verify.fuzz import run_serve_scenario
+
+        res = run_serve_scenario(1)
+        assert res.fault_profile == "crash", (
+            "seed 1 no longer draws a crash profile"
+        )
+        assert res.ok and res.replayed > 0
+
+    def test_serve_fingerprints_unchanged(self):
+        from repro.verify.fuzz import run_serve_scenario
+
+        for seed, expected in self.PINNED.items():
+            res = run_serve_scenario(seed)
+            assert res.fingerprint == expected, (
+                f"serve fuzz seed {seed} drifted: {res.fingerprint}"
+            )

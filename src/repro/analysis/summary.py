@@ -134,6 +134,22 @@ class ClusterSummary:
     serve_p99_ns: int = 0
     serve_p999_ns: int = 0
     serve_shed_fraction: float = 0.0
+    # Tail tolerance (repro.serve.tail; all zero without a TailSpec).
+    hedges_sent: int = 0
+    hedges_won: int = 0
+    retries_shed: int = 0  # shed responses retried on another server
+    retries_denied: int = 0  # extra attempts refused by the retry budget
+    breaker_opens: int = 0
+    ejections: int = 0
+    serve_p99_by_server: dict = field(default_factory=dict)
+    # Gray-failure detection (repro.control.grayscore; empty/zero without
+    # enable_gray_detection()).  State residency is summed across every
+    # watched edge, keyed by lifecycle state name ("up", "degraded", ...).
+    edge_state_time_ns: dict = field(default_factory=dict)
+    gray_checks: int = 0
+    gray_degrade_marks: int = 0
+    gray_degrade_clears: int = 0
+    gray_flagged_edges: int = 0  # edges DEGRADED at summary time
 
     @property
     def tier_drops(self) -> dict:
@@ -287,6 +303,22 @@ def summarize_cluster(
         for t in edge_history
         if t.new.value == "up" and t.old.value in ("down", "recovering")
     )
+    # Per-edge state residency (closes each open interval at `elapsed`,
+    # which is a no-op for repeated summaries at the same instant).
+    state_time: dict = {}
+    for mgr in cluster.control_planes.values():
+        for det in mgr.detectors:
+            for st, ns in det.finalize_state_time(elapsed).items():
+                state_time[st.value] = state_time.get(st.value, 0) + ns
+    scorer = getattr(cluster, "gray_scorer", None)
+    gray_fields: dict = {}
+    if scorer is not None:
+        gray_fields = {
+            "gray_checks": scorer.checks,
+            "gray_degrade_marks": scorer.degrade_marks,
+            "gray_degrade_clears": scorer.degrade_clears,
+            "gray_flagged_edges": len(scorer.flagged),
+        }
     serve = getattr(cluster, "serve", None)
     serve_fields: dict = {}
     if serve is not None:
@@ -302,7 +334,19 @@ def summarize_cluster(
             "serve_p99_ns": merged.p99,
             "serve_p999_ns": merged.p999,
             "serve_shed_fraction": serve.shed_fraction,
+            "serve_p99_by_server": {
+                s: h.p99 for s, h in serve.hist_by_server.items()
+            },
         }
+        if serve.tail is not None:
+            serve_fields.update(
+                hedges_sent=serve.tail.hedges_sent,
+                hedges_won=serve.tail.hedges_won,
+                retries_shed=serve.tail.retries_sent,
+                retries_denied=serve.tail.budget.denied,
+                breaker_opens=serve.tail.breaker_opens,
+                ejections=serve.tail.ejections,
+            )
     manager = getattr(cluster, "fastpath", None)
     ff = manager.stats if manager is not None else None
     n = len(cluster.stacks)
@@ -365,6 +409,8 @@ def summarize_cluster(
         messages_journaled=journaled,
         messages_redelivered=redelivered,
         switches=switch_counters,
+        edge_state_time_ns=state_time,
+        **gray_fields,
         **serve_fields,
     )
 

@@ -221,6 +221,9 @@ class Cluster:
         # fault or an explicit enable_crash_recovery() asks for it, so the
         # default path carries zero recovery state.
         self.recovery = None
+        # Differential gray scorer (repro.control.grayscore); None until
+        # enable_gray_detection() asks for it.
+        self.gray_scorer = None
         # Flow-level fast-forward manager (repro.fastpath); None keeps
         # every connection on the exact frame-level path.
         self.fastpath = None
@@ -414,6 +417,8 @@ class Cluster:
                 self.control_planes[key] = mgr
                 if self.recovery is not None:
                     self.recovery.watch_manager(mgr)
+                if self.gray_scorer is not None:
+                    self.gray_scorer.watch(mgr)
             managers.append(mgr)
         return managers[0], managers[1]
 
@@ -446,6 +451,24 @@ class Cluster:
 
             self.recovery = ClusterRecovery(self, params)
         return self.recovery
+
+    def enable_gray_detection(self, params=None):
+        """Attach the differential gray scorer (idempotent).
+
+        Compares every watched edge's health EWMAs against the population
+        median (:mod:`repro.control.grayscore`); outliers enter the
+        DEGRADED lifecycle state and have their striping score capped.
+        Watches every control plane that exists now, and
+        :meth:`enable_edge_control` adds any attached later, so call
+        order does not matter.
+        """
+        if self.gray_scorer is None:
+            from ..control.grayscore import GrayScorer
+
+            self.gray_scorer = GrayScorer(
+                self.sim, list(self.control_planes.values()), params
+            )
+        return self.gray_scorer
 
     def set_ecn_threshold(self, frames: Optional[int]) -> None:
         """Enable (or disable with None) ECN marking on every switch.

@@ -21,10 +21,10 @@ Everything is deterministic: same parameters + same seed give the same
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..control import Crash, DetectorParams, FaultSchedule, Restart
-from ..serve import ArrivalSpec, ServeConfig, ServerSpec, enable_serving
+from ..serve import ArrivalSpec, ServeConfig, ServerSpec, TailSpec, enable_serving
 from ..serve.runtime import ServeRuntime
 from .cluster import make_cluster
 
@@ -75,6 +75,15 @@ class ServeResult:
     # Fault interplay.
     crashes: int = 0
     reconnects: int = 0
+    # Tail tolerance (all zero when the run has no TailSpec).
+    hedges_sent: int = 0
+    hedges_won: int = 0
+    retries_sent: int = 0
+    retries_denied: int = 0
+    breaker_opens: int = 0
+    ejections: int = 0
+    # Per-server end-to-end p99, ns (gray-failure attribution).
+    p99_by_server: dict = field(default_factory=dict)
     # Invariants + determinism.
     violations: tuple = ()
     fingerprint: str = ""
@@ -113,9 +122,13 @@ class ServeRun:
         restart_delay_ns: int = 0,
         use_monitor: bool = False,
         drain_grace_ns: int = 300 * _MS,
+        tail: Optional[TailSpec] = None,
+        faults: Optional[Sequence] = None,
+        gray_detection: bool = False,
     ) -> None:
         arrival = arrival or ArrivalSpec()
         server = server or ServerSpec()
+        faults = tuple(faults or ())
         n_nodes = n_clients + n_servers
         clients = tuple(range(n_clients))
         servers = tuple(range(n_clients, n_nodes))
@@ -142,7 +155,23 @@ class ServeRun:
             "restart_delay_ns": restart_delay_ns,
             "use_monitor": use_monitor,
             "drain_grace_ns": drain_grace_ns,
+            "tail": tail,
+            "faults": faults,
+            "gray_detection": gray_detection,
         }
+        # One merged fault timeline: validation then catches conflicts
+        # between the convenience crash knob and explicit gray events.
+        fault_events = list(faults)
+        if crash_server is not None:
+            fault_events.append(Crash(at_ns=crash_ns, node=crash_server))
+            fault_events.append(
+                Restart(
+                    at_ns=crash_ns,
+                    node=crash_server,
+                    delay_ns=restart_delay_ns,
+                )
+            )
+        has_crash = any(isinstance(ev, Crash) for ev in fault_events)
         cluster = self.cluster = make_cluster(
             config,
             nodes=n_nodes,
@@ -157,15 +186,19 @@ class ServeRun:
             cluster.set_ecn_threshold(ecn_threshold_frames)
 
         self.recovery = None
-        if crash_server is not None:
+        if has_crash:
             self.recovery = cluster.enable_crash_recovery()
+        if has_crash or gray_detection:
             # The control plane watches every client<->server edge so a
-            # server crash escalates to PEER_DOWN and auto-reconnects.
+            # server crash escalates to PEER_DOWN and auto-reconnects
+            # (and the gray scorer has a population to compare).
             for c in clients:
                 for s in servers:
                     cluster.enable_edge_control(
                         c, s, detector_params=DetectorParams()
                     )
+        if gray_detection:
+            cluster.enable_gray_detection()
 
         from ..mp import MpWorld
 
@@ -183,6 +216,7 @@ class ServeRun:
                 window_ns=window_ns,
                 outbox_cap=outbox_cap,
                 slo=slo,
+                tail=tail,
             ),
         )
         self.monitor = None
@@ -190,17 +224,8 @@ class ServeRun:
             from ..verify.monitor import InvariantMonitor
 
             self.monitor = InvariantMonitor.attach(cluster, collect=True)
-        if crash_server is not None:
-            FaultSchedule(
-                [
-                    Crash(at_ns=crash_ns, node=crash_server),
-                    Restart(
-                        at_ns=crash_ns,
-                        node=crash_server,
-                        delay_ns=restart_delay_ns,
-                    ),
-                ]
-            ).apply(cluster)
+        if fault_events:
+            FaultSchedule(fault_events).apply(cluster)
         self.runtime.start()
         self._finished = False
 
@@ -230,6 +255,8 @@ class ServeRun:
         # Heartbeat probes recur forever; stop them so the drain converges.
         for mgr in list(cluster.control_planes.values()):
             mgr.stop()
+        if cluster.gray_scorer is not None:
+            cluster.gray_scorer.stop()
         # The drain must stay bounded: a peer that crashed close enough to
         # the end of the run that the detector never escalated PEER_DOWN
         # leaves survivor-side connections retransmitting into the void
@@ -284,6 +311,13 @@ class ServeRun:
             windows=rt.window_reports(),
             crashes=self.recovery.crashes if self.recovery else 0,
             reconnects=self.recovery.reconnects if self.recovery else 0,
+            hedges_sent=rt.tail.hedges_sent if rt.tail else 0,
+            hedges_won=rt.tail.hedges_won if rt.tail else 0,
+            retries_sent=rt.tail.retries_sent if rt.tail else 0,
+            retries_denied=rt.tail.budget.denied if rt.tail else 0,
+            breaker_opens=rt.tail.breaker_opens if rt.tail else 0,
+            ejections=rt.tail.ejections if rt.tail else 0,
+            p99_by_server={s: h.p99 for s, h in rt.hist_by_server.items()},
             violations=tuple(violations),
             fingerprint=fingerprint(self.cluster),
         )

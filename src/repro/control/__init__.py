@@ -19,16 +19,23 @@ concrete for the simulation:
 from .adaptive import AdaptiveStriping
 from .detector import DetectorParams, EdgeFailureDetector, EdgeState, EdgeTransition
 from .faults import (
+    AsymmetricPartition,
     BitErrorRamp,
     Crash,
+    DegradedLink,
     FaultEvent,
     FaultSchedule,
+    FaultScheduleError,
     Flap,
+    IntermittentDrop,
     Outage,
     PermanentFailure,
     Repair,
     Restart,
+    SlowNic,
+    SlowNode,
 )
+from .grayscore import GrayScoreParams, GrayScorer
 from .health import EdgeHealthMonitor, HealthParams
 from .lifecycle import EdgeLifecycleManager
 
@@ -41,7 +48,10 @@ __all__ = [
     "EdgeHealthMonitor",
     "EdgeLifecycleManager",
     "AdaptiveStriping",
+    "GrayScoreParams",
+    "GrayScorer",
     "FaultSchedule",
+    "FaultScheduleError",
     "FaultEvent",
     "Outage",
     "Flap",
@@ -50,4 +60,9 @@ __all__ = [
     "Repair",
     "Crash",
     "Restart",
+    "SlowNode",
+    "SlowNic",
+    "DegradedLink",
+    "IntermittentDrop",
+    "AsymmetricPartition",
 ]

@@ -6,13 +6,24 @@ fed by the health monitor's probe outcomes.  The machine is:
 ::
 
     UP --(losses / low score)--> SUSPECT --(confirm window)--> DOWN
-     ^                              |                            |
-     |   (score recovers)           |                            |
-     +------------------------------+                 (probe answered)
+     ^ |                          ^ |                            |
+     | +--(differential flag)--+  | |                            |
+     |   (score recovers)      |  | |                            |
+     +-------------------------|--+ |                 (probe answered)
+     ^                         v    |                            |
+     |      (flag clears)  DEGRADED-+ (losses / low score)       |
+     +---------------------+   |                                 |
      ^                                                           |
      +--(recovery_probes successes)-- RECOVERING <---------------+
                                           |
                                           +--(any loss)--> DOWN
+
+DEGRADED sits *between* UP and SUSPECT: the edge still answers probes
+(no failure detector would ever fire) but the differential gray scorer
+(:mod:`repro.control.grayscore`) found its RTT/loss/backlog EWMAs to be
+population outliers.  A DEGRADED edge keeps carrying traffic — the
+adaptive striping policy just drains it — and can still escalate to
+SUSPECT/DOWN through the ordinary probe path.
 
 Detection latency is bounded by the parameters alone
 (:attr:`DetectorParams.detect_bound_ns`), which is what the failover
@@ -34,6 +45,7 @@ class EdgeState(Enum):
     """Lifecycle state of one edge (rail) of a connection."""
 
     UP = "up"
+    DEGRADED = "degraded"  # gray: alive but a population outlier
     SUSPECT = "suspect"
     DOWN = "down"
     RECOVERING = "recovering"
@@ -116,34 +128,54 @@ class EdgeFailureDetector:
         self.recovery_successes = 0
         self.suspect_since: Optional[int] = None
         self.down_since: Optional[int] = None
+        self.degraded_since: Optional[int] = None
         self.transitions = 0
+        # Per-state residency accounting (ns), for the analysis roll-up;
+        # close the open interval with finalize_state_time() at run end.
+        self.state_time_ns: dict[EdgeState, int] = {s: 0 for s in EdgeState}
+        self._state_entered_ns = 0
 
     def _move(self, new: EdgeState, now: int, reason: str) -> None:
         old = self.state
         if new is old:
             return
+        self.state_time_ns[old] += max(0, now - self._state_entered_ns)
+        self._state_entered_ns = now
         self.state = new
         self.transitions += 1
         if new is EdgeState.SUSPECT:
             self.suspect_since = now
+            self.degraded_since = None
         elif new is EdgeState.DOWN:
             self.down_since = now
             self.recovery_successes = 0
+            self.degraded_since = None
         elif new is EdgeState.UP:
             self.consecutive_losses = 0
             self.suspect_since = None
             self.down_since = None
+            self.degraded_since = None
         elif new is EdgeState.RECOVERING:
             self.recovery_successes = 1
+        elif new is EdgeState.DEGRADED:
+            self.degraded_since = now
         if self.on_transition is not None:
             self.on_transition(self.rail, old, new, now, reason)
+
+    def finalize_state_time(self, now: int) -> dict[EdgeState, int]:
+        """Close the open residency interval and return the per-state map."""
+        self.state_time_ns[self.state] += max(0, now - self._state_entered_ns)
+        self._state_entered_ns = now
+        return self.state_time_ns
 
     # -- probe outcomes (called by the health monitor) --------------------
 
     def on_probe_success(self, now: int, score: float) -> None:
         self.consecutive_losses = 0
         state = self.state
-        if state is EdgeState.UP:
+        if state is EdgeState.UP or state is EdgeState.DEGRADED:
+            # DEGRADED behaves like UP to the probe path: recovery back to
+            # UP belongs to the differential scorer, escalation stays here.
             if score < self.params.suspect_score:
                 self._move(EdgeState.SUSPECT, now, f"score {score:.2f}")
         elif state is EdgeState.SUSPECT:
@@ -161,7 +193,7 @@ class EdgeFailureDetector:
     def on_probe_loss(self, now: int, score: float) -> None:
         self.consecutive_losses += 1
         state = self.state
-        if state is EdgeState.UP:
+        if state is EdgeState.UP or state is EdgeState.DEGRADED:
             if (
                 self.consecutive_losses >= self.params.suspect_after_losses
                 or score < self.params.suspect_score
@@ -177,6 +209,18 @@ class EdgeFailureDetector:
                 self._move(EdgeState.DOWN, now, "confirm window elapsed")
         elif state is EdgeState.RECOVERING:
             self._move(EdgeState.DOWN, now, "loss during recovery")
+
+    # -- differential gray scoring (repro.control.grayscore) ---------------
+
+    def mark_degraded(self, now: int, reason: str = "differential") -> None:
+        """Flag a population-outlier edge; legal only from UP."""
+        if self.state is EdgeState.UP:
+            self._move(EdgeState.DEGRADED, now, reason)
+
+    def clear_degraded(self, now: int, reason: str = "differential") -> None:
+        """The outlier flag cleared; DEGRADED returns to UP."""
+        if self.state is EdgeState.DEGRADED:
+            self._move(EdgeState.UP, now, reason)
 
     # -- external overrides ----------------------------------------------
 

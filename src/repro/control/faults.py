@@ -12,16 +12,31 @@ time — applied to a :class:`~repro.bench.cluster.Cluster` before the run:
 ... ])
 >>> schedule.apply(cluster)
 
-All faults hit the full-duplex cable between the node's NIC and its
-switch port, both directions, which is what a yanked cable or dead port
-does in practice.  Every event is deterministic: the schedule only
-installs simulator timers, so same seed + same schedule = same run.
+Fail-stop faults hit the full-duplex cable between the node's NIC and
+its switch port, both directions, which is what a yanked cable or dead
+port does in practice.  *Gray* faults degrade without killing: a node's
+CPU slows (:class:`SlowNode`), a NIC drains its TX ring late
+(:class:`SlowNic`), a link gets noisy and jittery (:class:`DegradedLink`),
+drops frames in bursts (:class:`IntermittentDrop`), or blackholes one
+direction only (:class:`AsymmetricPartition`).  Every event is
+deterministic: the schedule only installs simulator timers, and gray
+randomness (burst loss, jitter) draws from dedicated per-link RNG
+streams that exist only while the fault is active, so same seed + same
+schedule = same run and a schedule without gray events is byte-identical
+to one built before they existed.
+
+Schedules are validated at :meth:`FaultSchedule.apply` time: overlapping
+or contradictory windows on the same target (two gray windows on one
+edge, a Crash inside an impairment window, a double-Crash with no
+Restart between) raise a typed :class:`FaultScheduleError` naming the
+conflicting events instead of silently producing a run whose fault
+timeline means something other than what was written.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..bench.cluster import Cluster
@@ -35,9 +50,23 @@ __all__ = [
     "Repair",
     "Crash",
     "Restart",
+    "SlowNode",
+    "SlowNic",
+    "DegradedLink",
+    "IntermittentDrop",
+    "AsymmetricPartition",
     "FaultEvent",
     "FaultSchedule",
+    "FaultScheduleError",
 ]
+
+
+class FaultScheduleError(ValueError):
+    """A schedule contains overlapping or contradictory events.
+
+    Raised at :meth:`FaultSchedule.apply` time, before any timer is
+    installed; the message names the two conflicting events.
+    """
 
 
 @dataclass(frozen=True)
@@ -143,9 +172,147 @@ class Restart:
             raise ValueError("delay_ns must be >= 0")
 
 
+@dataclass(frozen=True)
+class SlowNode:
+    """Gray fault: the node's CPU runs slow for ``duration_ns``.
+
+    Service times at the node's :class:`~repro.serve.ServerLoop` stretch
+    by ``factor`` and every pump batch pays an extra per-frame CPU charge
+    (billed under the ``gray.slow-node`` accounting tag so the pump-CPU
+    conservation invariant stays exact).  The node never crashes and no
+    failure detector fires — this is the canonical gray failure.
+    """
+
+    at_ns: int
+    node: int
+    duration_ns: int
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1 (1 = no slowdown)")
+        if self.duration_ns <= 0:
+            raise ValueError("duration_ns must be positive")
+
+
+@dataclass(frozen=True)
+class SlowNic:
+    """Gray fault: the NIC drains its TX ring ``factor``x slower.
+
+    Every frame's serialisation time is stretched, so the ring backs up,
+    the health monitor's backlog EWMA climbs, and probe RTTs inflate —
+    without a single loss.
+    """
+
+    at_ns: int
+    node: int
+    rail: int
+    duration_ns: int
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1 (1 = no slowdown)")
+        if self.duration_ns <= 0:
+            raise ValueError("duration_ns must be positive")
+
+
+@dataclass(frozen=True)
+class DegradedLink:
+    """Gray fault: elevated bit errors + latency jitter, link stays up.
+
+    Both directions of the edge get a private :class:`LinkParams` copy
+    with ``bit_error_rate`` raised and a uniform ``[0, jitter_ns)`` delay
+    added per frame from the link's dedicated ``.grayjitter`` RNG stream.
+    """
+
+    at_ns: int
+    node: int
+    rail: int
+    duration_ns: int
+    bit_error_rate: float = 1e-6
+    jitter_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.bit_error_rate < 1.0:
+            raise ValueError("bit_error_rate must be in [0, 1)")
+        if self.jitter_ns < 0:
+            raise ValueError("jitter_ns must be >= 0")
+        if self.duration_ns <= 0:
+            raise ValueError("duration_ns must be positive")
+
+
+@dataclass(frozen=True)
+class IntermittentDrop:
+    """Gray fault: seeded burst loss (a two-state Gilbert model).
+
+    While active the link flips between a good state and a loss burst;
+    ``drop_p`` is the long-run loss fraction and ``burst_len`` the mean
+    frames per burst.  Draws come from the link's dedicated
+    ``.graydrop`` RNG stream, so runs without this fault never touch it.
+    """
+
+    at_ns: int
+    node: int
+    rail: int
+    duration_ns: int
+    drop_p: float = 0.05
+    burst_len: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.drop_p < 1.0:
+            raise ValueError("drop_p must be in (0, 1)")
+        if self.burst_len < 1.0:
+            raise ValueError("burst_len must be >= 1")
+        if self.duration_ns <= 0:
+            raise ValueError("duration_ns must be positive")
+
+
+@dataclass(frozen=True)
+class AsymmetricPartition:
+    """Gray fault: blackhole one *direction* of an edge.
+
+    ``direction="tx"`` kills frames leaving the node (requests vanish,
+    responses still arrive); ``"rx"`` kills the switch-to-node leg.  The
+    opposite direction is untouched — the classic half-open link that
+    keeps ARP-style liveness alive while the data path is dead.
+    """
+
+    at_ns: int
+    node: int
+    rail: int
+    duration_ns: int
+    direction: str = "tx"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("tx", "rx"):
+            raise ValueError('direction must be "tx" or "rx"')
+        if self.duration_ns <= 0:
+            raise ValueError("duration_ns must be positive")
+
+
 FaultEvent = Union[
-    Outage, Flap, BitErrorRamp, PermanentFailure, Repair, Crash, Restart
+    Outage, Flap, BitErrorRamp, PermanentFailure, Repair, Crash, Restart,
+    SlowNode, SlowNic, DegradedLink, IntermittentDrop, AsymmetricPartition,
 ]
+
+# Gray events whose effect spans a [at_ns, at_ns + duration_ns) window on
+# one (node, rail) edge — used by the overlap validator.
+_GRAY_EDGE_EVENTS = (DegradedLink, IntermittentDrop, AsymmetricPartition, SlowNic)
+
+
+def _window(ev) -> Optional[tuple[int, int]]:
+    """The [start, end) active window of an event, None if pointlike."""
+    if isinstance(ev, Outage):
+        return (ev.at_ns, ev.at_ns + ev.duration_ns)
+    if isinstance(ev, Flap):
+        return (
+            ev.at_ns,
+            ev.at_ns + (ev.count - 1) * ev.period_ns + ev.down_ns,
+        )
+    if isinstance(ev, (SlowNode, *_GRAY_EDGE_EVENTS)):
+        return (ev.at_ns, ev.at_ns + ev.duration_ns)
+    return None
 
 
 class FaultSchedule:
@@ -176,16 +343,109 @@ class FaultSchedule:
         self.events.append(event)
         return self
 
+    def validate(self) -> None:
+        """Reject overlapping/contradictory windows on the same target.
+
+        Three classes of conflict, each previously accepted silently:
+
+        * two gray windows on the same ``(node, rail)`` edge (or two
+          :class:`SlowNode` windows on the same node) that overlap in
+          time — the second would clobber the first's saved pristine
+          state on expiry;
+        * a :class:`Crash` inside any impairment window targeting the
+          same node — the window's expiry timer would "repair" hardware
+          that no longer exists (and the window meant to degrade a live
+          node, not a corpse);
+        * two :class:`Crash` events on one node with no :class:`Restart`
+          taking effect between them, or a :class:`Restart` whose
+          effective time lands after a *later* crash of the same node.
+        """
+        events = list(enumerate(self.events))
+
+        def clash(i, a, j, b, why):
+            raise FaultScheduleError(
+                f"conflicting fault events: #{i} {a!r} and #{j} {b!r} ({why})"
+            )
+
+        # -- overlapping gray windows on one target ------------------------
+        windowed = [
+            (i, ev) for i, ev in events
+            if isinstance(ev, (SlowNode, *_GRAY_EDGE_EVENTS))
+        ]
+        for k, (i, a) in enumerate(windowed):
+            ka = (a.node, getattr(a, "rail", None))
+            sa, ea = _window(a)
+            for j, b in windowed[k + 1:]:
+                if (b.node, getattr(b, "rail", None)) != ka:
+                    continue
+                sb, eb = _window(b)
+                if sa < eb and sb < ea:
+                    clash(i, a, j, b, "overlapping gray windows on one target")
+
+        # -- a crash inside an impairment window of the same node ----------
+        for i, ev in events:
+            if not isinstance(ev, Crash):
+                continue
+            for j, other in events:
+                win = _window(other)
+                if win is None or other.node != ev.node:
+                    continue
+                if win[0] <= ev.at_ns < win[1]:
+                    clash(
+                        j, other, i, ev,
+                        "crash inside the event's active window",
+                    )
+
+        # -- crash/restart ordering per node -------------------------------
+        per_node: dict[int, list] = {}
+        for i, ev in events:
+            if isinstance(ev, Crash):
+                per_node.setdefault(ev.node, []).append((ev.at_ns, 0, i, ev))
+            elif isinstance(ev, Restart):
+                per_node.setdefault(ev.node, []).append(
+                    (ev.at_ns + ev.delay_ns, 1, i, ev)
+                )
+        for timeline in per_node.values():
+            timeline.sort(key=lambda t: (t[0], t[1]))
+            last_crash = None
+            for _t, _kind, i, ev in timeline:
+                if isinstance(ev, Crash):
+                    if last_crash is not None:
+                        clash(
+                            last_crash[0], last_crash[1], i, ev,
+                            "second crash with no restart taking effect "
+                            "in between",
+                        )
+                    last_crash = (i, ev)
+                else:
+                    last_crash = None
+
     def apply(self, cluster: "Cluster") -> None:
         """Install every event as simulator timers on ``cluster``."""
         if self._applied:
             raise RuntimeError("schedule already applied; build a new one")
+        self.validate()
         self._applied = True
         sim = self._sim = cluster.sim
         for ev in self.events:
             handles: list = []
             self._handles.append(handles)
             # Node-scoped events first: they have no rail and no cable.
+            if isinstance(ev, SlowNode):
+                if not 0 <= ev.node < len(cluster.nodes):
+                    raise ValueError(f"no node {ev.node} in the cluster")
+                node = cluster.nodes[ev.node]
+                handles.append(
+                    sim.schedule_cancellable(
+                        ev.at_ns, _slow_node_start, node, ev.factor
+                    )
+                )
+                handles.append(
+                    sim.schedule_cancellable(
+                        ev.at_ns + ev.duration_ns, _slow_node_end, node
+                    )
+                )
+                continue
             if isinstance(ev, Crash):
                 recovery = cluster.enable_crash_recovery()
                 handles.append(
@@ -230,6 +490,52 @@ class FaultSchedule:
                 handles.append(
                     sim.schedule_cancellable(ev.at_ns, _repair, cable)
                 )
+            elif isinstance(ev, SlowNic):
+                nic = cluster.nodes[ev.node].nics[ev.rail]
+                handles.append(
+                    sim.schedule_cancellable(
+                        ev.at_ns, _slow_nic_start, nic, ev.factor
+                    )
+                )
+                handles.append(
+                    sim.schedule_cancellable(
+                        ev.at_ns + ev.duration_ns, _slow_nic_end, nic
+                    )
+                )
+            elif isinstance(ev, DegradedLink):
+                handles.append(
+                    sim.schedule_cancellable(
+                        ev.at_ns, _degrade_start, cable,
+                        ev.bit_error_rate, ev.jitter_ns, 0.0, 1.0,
+                    )
+                )
+                handles.append(
+                    sim.schedule_cancellable(
+                        ev.at_ns + ev.duration_ns, _degrade_end, cable
+                    )
+                )
+            elif isinstance(ev, IntermittentDrop):
+                handles.append(
+                    sim.schedule_cancellable(
+                        ev.at_ns, _degrade_start, cable,
+                        0.0, 0, ev.drop_p, ev.burst_len,
+                    )
+                )
+                handles.append(
+                    sim.schedule_cancellable(
+                        ev.at_ns + ev.duration_ns, _degrade_end, cable
+                    )
+                )
+            elif isinstance(ev, AsymmetricPartition):
+                nic = cluster.nodes[ev.node].nics[ev.rail]
+                link = cable.link_from(nic)
+                if ev.direction == "rx":
+                    link = cable.ab if link is cable.ba else cable.ba
+                handles.append(
+                    sim.schedule_cancellable(
+                        ev.at_ns, link.fail_for, ev.duration_ns
+                    )
+                )
             else:
                 raise TypeError(f"unknown fault event {ev!r}")
 
@@ -269,3 +575,50 @@ def _repair(cable: "Cable") -> None:
         pristine = getattr(link, "_pristine_params", None)
         if pristine is not None:
             link.params = pristine
+
+
+# -- gray fault actuators --------------------------------------------------
+
+
+def _slow_node_start(node, factor: float) -> None:
+    node.gray_slow_factor = factor
+    # Extra protocol-CPU cost per pumped frame, billed under its own
+    # accounting tag (see Connection.pump) so pump-CPU conservation holds.
+    node.gray_pump_extra_ns = int(
+        node.params.per_frame_send_ns * (factor - 1.0)
+    )
+
+
+def _slow_node_end(node) -> None:
+    node.gray_slow_factor = 1.0
+    node.gray_pump_extra_ns = 0
+
+
+def _slow_nic_start(nic, factor: float) -> None:
+    nic.set_tx_throttle(factor)
+
+
+def _slow_nic_end(nic) -> None:
+    nic.set_tx_throttle(1.0)
+
+
+def _degrade_start(
+    cable: "Cable", ber: float, jitter_ns: int, drop_p: float, burst_len: float
+) -> None:
+    for link in (cable.ab, cable.ba):
+        if ber > 0.0:
+            if not hasattr(link, "_pristine_params"):
+                link._pristine_params = link.params
+            link.params = replace(link._pristine_params, bit_error_rate=ber)
+            link._gray_ber_raised = True
+        link.degrade(jitter_ns=jitter_ns, drop_p=drop_p, burst_len=burst_len)
+
+
+def _degrade_end(cable: "Cable") -> None:
+    for link in (cable.ab, cable.ba):
+        if getattr(link, "_gray_ber_raised", False):
+            link._gray_ber_raised = False
+            pristine = getattr(link, "_pristine_params", None)
+            if pristine is not None:
+                link.params = pristine
+        link.clear_degraded()

@@ -1,0 +1,187 @@
+"""Differential gray-failure detection across the edge population.
+
+A *gray* edge is alive enough to answer every heartbeat — the failure
+detector (:mod:`repro.control.detector`) never fires — yet slow or lossy
+enough to drag tail latency for everything striped across it.  Absolute
+thresholds cannot catch this: a loaded-but-healthy fabric and a gray rail
+look identical to any single edge's monitor.
+
+The :class:`GrayScorer` therefore compares *peers*.  Every
+``check_interval_ns`` it collects the per-edge EWMAs the health monitors
+already maintain (RTT, probe loss, TX-ring backlog) over the population
+of UP/DEGRADED edges it watches, takes the population median of each,
+and flags edges that deviate from the median by more than the configured
+margins.  An edge flagged ``degrade_after`` consecutive checks enters
+the DEGRADED lifecycle state; one clean for ``recover_after`` checks
+returns to UP.  Hysteresis on both sides keeps a noisy sample from
+flapping the state.
+
+DEGRADED is deliberately gentle: the rail keeps carrying traffic and its
+probes keep flowing, but the scorer installs a score *cap*
+(:attr:`~repro.control.lifecycle.EdgeLifecycleManager.gray_cap`) so the
+adaptive striping policy drains weight off the gray rail long before the
+probe path could ever declare it SUSPECT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..sim import Simulator
+from .detector import EdgeState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .lifecycle import EdgeLifecycleManager
+
+__all__ = ["GrayScoreParams", "GrayScorer"]
+
+
+@dataclass
+class GrayScoreParams:
+    """Margins and hysteresis for differential peer comparison."""
+
+    check_interval_ns: int = 1_000_000  # population comparison period
+    rtt_factor: float = 2.0  # RTT beyond factor*median is deviant
+    loss_margin: float = 0.15  # loss EWMA beyond median+margin is deviant
+    backlog_margin: float = 0.25  # backlog EWMA beyond median+margin
+    min_population: int = 3  # below this, no median is trustworthy
+    degrade_after: int = 2  # consecutive deviant checks to mark
+    recover_after: int = 2  # consecutive clean checks to clear
+    degraded_score: float = 0.2  # striping score cap while DEGRADED
+
+    def __post_init__(self) -> None:
+        if self.check_interval_ns <= 0:
+            raise ValueError("check_interval_ns must be positive")
+        if self.rtt_factor <= 1.0:
+            raise ValueError("rtt_factor must exceed 1.0")
+        if self.min_population < 2:
+            raise ValueError("min_population must be >= 2")
+        if self.degrade_after < 1 or self.recover_after < 1:
+            raise ValueError("hysteresis counts must be >= 1")
+        if not 0.0 <= self.degraded_score <= 1.0:
+            raise ValueError("degraded_score must be in [0, 1]")
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+class GrayScorer:
+    """Population-median outlier detection over watched edge managers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        managers: Optional[list["EdgeLifecycleManager"]] = None,
+        params: Optional[GrayScoreParams] = None,
+        name: str = "grayscore",
+    ) -> None:
+        self.sim = sim
+        self.params = params or GrayScoreParams()
+        self.managers: list["EdgeLifecycleManager"] = []
+        # Hysteresis counters keyed by (manager index, rail); manager
+        # index (list position) keeps iteration order deterministic.
+        self._deviant_streak: dict[tuple[int, int], int] = {}
+        self._clean_streak: dict[tuple[int, int], int] = {}
+        self.checks = 0
+        self.degrade_marks = 0
+        self.degrade_clears = 0
+        self._running = True
+        for mgr in managers or []:
+            self.watch(mgr)
+        sim.process(self._body(), name=name)
+
+    def watch(self, manager: "EdgeLifecycleManager") -> None:
+        """Add a connection endpoint's edges to the compared population."""
+        self.managers.append(manager)
+
+    def stop(self) -> None:
+        self._running = False
+
+    @property
+    def flagged(self) -> list[tuple[int, int]]:
+        """Currently-DEGRADED (manager index, rail) pairs."""
+        out = []
+        for mi, mgr in enumerate(self.managers):
+            for rail, det in enumerate(mgr.detectors):
+                if det.state is EdgeState.DEGRADED:
+                    out.append((mi, rail))
+        return out
+
+    # -- periodic comparison ----------------------------------------------
+
+    def _body(self):
+        interval = self.params.check_interval_ns
+        while self._running:
+            yield interval
+            if not self._running:
+                return
+            self._check()
+
+    def _population(self) -> list[tuple[int, "EdgeLifecycleManager", int]]:
+        """Comparable edges: UP or DEGRADED, with at least one acked probe."""
+        pop = []
+        for mi, mgr in enumerate(self.managers):
+            for rail, det in enumerate(mgr.detectors):
+                if det.state not in (EdgeState.UP, EdgeState.DEGRADED):
+                    continue
+                if mgr.monitors[rail].probes_acked == 0:
+                    continue
+                pop.append((mi, mgr, rail))
+        return pop
+
+    def _check(self) -> None:
+        self.checks += 1
+        pop = self._population()
+        if len(pop) < self.params.min_population:
+            return
+        rtt_med = _median([m.monitors[r].rtt_ewma_ns for _, m, r in pop])
+        loss_med = _median([m.monitors[r].loss_ewma for _, m, r in pop])
+        backlog_med = _median([m.monitors[r].backlog_ewma for _, m, r in pop])
+        p = self.params
+        for mi, mgr, rail in pop:
+            mon = mgr.monitors[rail]
+            deviant = (
+                (rtt_med > 0 and mon.rtt_ewma_ns > p.rtt_factor * rtt_med)
+                or mon.loss_ewma > loss_med + p.loss_margin
+                or mon.backlog_ewma > backlog_med + p.backlog_margin
+            )
+            key = (mi, rail)
+            if deviant:
+                self._clean_streak[key] = 0
+                streak = self._deviant_streak.get(key, 0) + 1
+                self._deviant_streak[key] = streak
+                if (
+                    streak >= p.degrade_after
+                    and mgr.detectors[rail].state is EdgeState.UP
+                ):
+                    self._mark(mgr, rail)
+            else:
+                self._deviant_streak[key] = 0
+                streak = self._clean_streak.get(key, 0) + 1
+                self._clean_streak[key] = streak
+                if (
+                    streak >= p.recover_after
+                    and mgr.detectors[rail].state is EdgeState.DEGRADED
+                ):
+                    self._clear(mgr, rail)
+
+    # -- acting on a verdict -----------------------------------------------
+
+    def _mark(self, mgr: "EdgeLifecycleManager", rail: int) -> None:
+        self.degrade_marks += 1
+        mgr.detectors[rail].mark_degraded(self.sim.now)
+        mgr.gray_cap[rail] = self.params.degraded_score
+        mgr._push_score(rail)
+
+    def _clear(self, mgr: "EdgeLifecycleManager", rail: int) -> None:
+        self.degrade_clears += 1
+        mgr.gray_cap.pop(rail, None)
+        mgr.detectors[rail].clear_degraded(self.sim.now)
+        mgr._push_score(rail)

@@ -61,6 +61,11 @@ class EdgeLifecycleManager:
         # normal runs — per-edge failover then remains the only response.
         self.peer_down_handler = None
         self._peer_down_fired = False
+        # Per-rail score ceiling imposed by the differential gray scorer
+        # (repro.control.grayscore).  Absent rails are uncapped; the cap
+        # shifts adaptive striping weight off a gray rail *before* the
+        # failure detector could ever fire.
+        self.gray_cap: dict[int, float] = {}
         for rail in range(len(connection.nics)):
             self._make_edge(rail, health_params)
         connection.control_plane = self
@@ -155,8 +160,11 @@ class EdgeLifecycleManager:
         if self.auto_failover:
             if new is EdgeState.DOWN:
                 self.conn.remove_edge(rail)
-            elif new is EdgeState.UP and old is not EdgeState.SUSPECT:
-                # SUSPECT→UP never masked the rail, so nothing to undo.
+            elif new is EdgeState.UP and old not in (
+                EdgeState.SUSPECT, EdgeState.DEGRADED
+            ):
+                # SUSPECT→UP and DEGRADED→UP never masked the rail, so
+                # there is nothing to undo; DEGRADED only drains weight.
                 self.conn.add_edge(rail)
         if new is EdgeState.DOWN and all(
             d.state is EdgeState.DOWN for d in self.detectors
@@ -175,4 +183,8 @@ class EdgeLifecycleManager:
         striping = self.conn.striping
         set_score = getattr(striping, "set_score", None)
         if set_score is not None:
-            set_score(rail, self.monitors[rail].score)
+            score = self.monitors[rail].score
+            cap = self.gray_cap.get(rail)
+            if cap is not None and cap < score:
+                score = cap
+            set_score(rail, score)

@@ -520,6 +520,12 @@ class Connection:
                 return
             batch = min(n, self.params.pump_batch)
             yield from cpu.run(batch * per_frame, tag)
+            gray_extra = self.node.gray_pump_extra_ns
+            if gray_extra:
+                # SlowNode gray fault: the core really is this much slower,
+                # but the surplus is billed under its own tag so the
+                # pump-CPU conservation invariant stays exact.
+                yield from cpu.run(batch * gray_extra, "gray.slow-node")
             # Transmit atomically (no yields) — recheck state after the wait.
             sent = 0
             while sent < batch:
@@ -838,6 +844,11 @@ class Connection:
         if not isinstance(rail, int) or not 0 <= rail < len(self.nics):
             return
         yield from cpu.run(self.node.params.per_frame_send_ns, "protocol.send")
+        gray_extra = self.node.gray_pump_extra_ns
+        if gray_extra:
+            # A slow node answers probes slowly too — that is exactly the
+            # RTT inflation the differential gray scorer keys on.
+            yield from cpu.run(gray_extra, "gray.slow-node")
         nic = self.nics[rail]
         probe_ack = make_probe_ack_frame(
             nic.mac, self.peer_macs[rail], self.conn_id, frame

@@ -75,6 +75,11 @@ class Link:
         self._fold = None
         self._last_arrival = 0
         self._failed_until = -1
+        # Gray impairment (repro.control gray faults): None keeps deliver()
+        # on the pristine path; when set, burst loss and latency jitter draw
+        # from dedicated ``.graydrop`` / ``.grayjitter`` RNG streams that
+        # are created lazily, so un-degraded runs never touch them.
+        self._gray: Optional[_GrayImpairment] = None
         # Fast-forward discontinuity guard (repro.fastpath); a fault or
         # repair on this link aborts any in-progress flow-level jump.
         self.fastpath_guard: Optional[object] = None
@@ -82,6 +87,7 @@ class Link:
         self.frames_delivered = 0
         self.frames_corrupted = 0
         self.frames_lost_outage = 0
+        self.frames_lost_gray = 0
         self.bytes_delivered = 0
 
     def attach_receiver(self, endpoint: LinkEndpoint) -> None:
@@ -107,6 +113,29 @@ class Link:
         self._failed_until = -1
         self._bump_fastpath("link-repair")
 
+    def degrade(
+        self, jitter_ns: int = 0, drop_p: float = 0.0, burst_len: float = 4.0
+    ) -> None:
+        """Enter gray-degraded mode: burst loss and/or latency jitter.
+
+        ``drop_p`` is the long-run loss fraction of a two-state Gilbert
+        model with mean burst length ``burst_len``; ``jitter_ns`` adds a
+        uniform ``[0, jitter_ns)`` delay per frame.  Replaces any prior
+        impairment on this link.
+        """
+        self._gray = _GrayImpairment(jitter_ns, drop_p, burst_len)
+        self._bump_fastpath("link-degrade")
+
+    def clear_degraded(self) -> None:
+        """Leave gray-degraded mode (no-op when not degraded)."""
+        if self._gray is not None:
+            self._gray = None
+            self._bump_fastpath("link-degrade-clear")
+
+    @property
+    def degraded(self) -> bool:
+        return self._gray is not None
+
     def _bump_fastpath(self, reason: str) -> None:
         guard = self.fastpath_guard
         if guard is not None:
@@ -123,6 +152,10 @@ class Link:
         if self.sim.now < self._failed_until:
             self.frames_lost_outage += 1
             return
+        gray = self._gray
+        if gray is not None and gray.drop_p > 0.0 and gray.drops_frame(self):
+            self.frames_lost_gray += 1
+            return
         if self.params.bit_error_rate > 0.0:
             p_corrupt = 1.0 - (1.0 - self.params.bit_error_rate) ** (
                 frame.wire_bytes * 8
@@ -131,6 +164,12 @@ class Link:
                 frame.corrupted = True
                 self.frames_corrupted += 1
         arrival = self.sim.now + self.params.propagation_ns
+        if gray is not None and gray.jitter_ns > 0:
+            arrival += int(
+                self.rng.stream(f"{self.name}.grayjitter").integers(
+                    0, gray.jitter_ns
+                )
+            )
         # FIFO: a link can never reorder.  (Guards against misuse where a
         # device forgets serialisation ordering.)
         arrival = max(arrival, self._last_arrival)
@@ -141,6 +180,40 @@ class Link:
         if fold is not None and fold(frame, arrival):
             return
         self.sim.at(arrival, self.receiver.on_frame, frame)
+
+
+class _GrayImpairment:
+    """Per-link gray-degradation state (two-state Gilbert burst loss).
+
+    In the good state each frame enters a loss burst with probability
+    ``p_enter``; in the bad state each frame is dropped and the burst
+    ends with probability ``1 / burst_len``.  ``p_enter`` is solved so
+    the stationary loss fraction equals ``drop_p``.
+    """
+
+    __slots__ = ("jitter_ns", "drop_p", "burst_len", "p_enter", "in_burst")
+
+    def __init__(self, jitter_ns: int, drop_p: float, burst_len: float) -> None:
+        self.jitter_ns = jitter_ns
+        self.drop_p = drop_p
+        self.burst_len = max(1.0, burst_len)
+        # Stationary bad-state probability drop_p with mean burst length L
+        # needs p_enter = drop_p / (L * (1 - drop_p)).
+        self.p_enter = (
+            drop_p / (self.burst_len * (1.0 - drop_p)) if drop_p > 0 else 0.0
+        )
+        self.in_burst = False
+
+    def drops_frame(self, link: "Link") -> bool:
+        stream_name = f"{link.name}.graydrop"
+        if self.in_burst:
+            if link.rng.bernoulli(stream_name, 1.0 / self.burst_len):
+                self.in_burst = False
+            return True
+        if link.rng.bernoulli(stream_name, min(1.0, self.p_enter)):
+            self.in_burst = True
+            return True
+        return False
 
 
 class Cable:

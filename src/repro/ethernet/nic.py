@@ -126,6 +126,9 @@ class Nic:
         # None (the default) keeps the transmit path byte-identical to the
         # unpaced NIC.  Installed via set_pacing_rate().
         self.pacer = None
+        # Gray-fault TX drain throttle (repro.control.SlowNic): serialisation
+        # time is multiplied by this; 1.0 keeps the pristine path.
+        self.gray_tx_throttle = 1.0
 
         # Power state (whole-node crash model).  The epoch invalidates
         # in-flight DMA/serialisation callbacks scheduled before a crash:
@@ -175,6 +178,21 @@ class Nic:
             self.pacer = TokenBucket(rate_bps, burst_bytes)
         else:
             self.pacer.set_rate(rate_bps, burst_bytes)
+
+    def set_tx_throttle(self, factor: float) -> None:
+        """Stretch (or restore, ``factor=1.0``) TX serialisation time.
+
+        Models a gray NIC that drains its ring slowly — the backlog
+        builds and RTTs inflate with zero losses.  A throttle change is
+        a timing discontinuity for the flow-level fast path.
+        """
+        if factor < 1.0:
+            raise ValueError("throttle factor must be >= 1")
+        if factor == self.gray_tx_throttle:
+            return
+        self.gray_tx_throttle = factor
+        if self.fastpath_guard is not None:
+            self.fastpath_guard.bump("nic-tx-throttle")
 
     # -- transmit path ---------------------------------------------------
 
@@ -227,6 +245,8 @@ class Nic:
         if tx_time is None:
             tx_time = wire_time_ns(wb, params.speed_bps)
             self._wt_cache[wb] = tx_time
+        if self.gray_tx_throttle != 1.0:
+            tx_time = int(tx_time * self.gray_tx_throttle)
         self._line_free_at = begin + tx_time
         self.sim.at(self._line_free_at, self._tx_done, frame, self._power_epoch)
         if self.monitor is not None:

@@ -38,6 +38,13 @@ class Node:
         self.rng = rng or RngRegistry(0)
         self.name = name or f"node{node_id}"
 
+        # Gray-fault CPU slowdown (repro.control.SlowNode).  A factor of
+        # 1.0 / extra of 0 keeps every hot path pristine; the extra is the
+        # additional protocol-CPU cost per pumped frame, billed under the
+        # dedicated "gray.slow-node" tag so pump-CPU conservation holds.
+        self.gray_slow_factor = 1.0
+        self.gray_pump_extra_ns = 0
+
         self.accounting = CpuAccounting()
         self.cpus = [
             Cpu(sim, i, self.accounting, name=f"{self.name}.cpu{i}")

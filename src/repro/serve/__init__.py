@@ -32,8 +32,22 @@ from .balancer import (
 )
 from .runtime import ServeConfig, ServeRuntime, enable_serving
 from .server import FLAG_SHED, TAG_REQ, TAG_RESP, ServerLoop, ServerSpec
+from .tail import (
+    CircuitBreaker,
+    OutlierEjector,
+    QuantileTracker,
+    RetryBudget,
+    TailController,
+    TailSpec,
+)
 
 __all__ = [
+    "TailSpec",
+    "TailController",
+    "RetryBudget",
+    "CircuitBreaker",
+    "OutlierEjector",
+    "QuantileTracker",
     "ArrivalSpec",
     "ArrivalSource",
     "Request",

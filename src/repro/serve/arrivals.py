@@ -30,7 +30,7 @@ other subsystem's draws.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 __all__ = ["ArrivalSpec", "ArrivalSource", "Request", "draw_size"]
@@ -46,9 +46,17 @@ class Request:
     req_bytes: int
     resp_bytes: int
     deadline_ns: int  # 0 = no deadline
-    server: int = -1  # chosen by the load balancer at dispatch
+    server: int = -1  # most recent dispatch target
     t_dispatch: int = 0  # when the client outbox handed it to mp
-    attempts: int = 0  # dispatch attempts (> 1 after crash replay)
+    attempts: int = 0  # dispatch attempts (> 1 after replay/hedge/retry)
+    # -- tail-tolerance state (repro.serve.tail) --------------------------
+    # Servers with an attempt currently in flight (one normally; more
+    # while a hedge is racing the primary).
+    pending_servers: set = field(default_factory=set)
+    # server -> the sim time its attempt left the client outbox; the
+    # winner's entry feeds the latency decomposition.
+    dispatch_ns: dict = field(default_factory=dict)
+    hedges: int = 0  # hedged attempts issued for this request
 
 
 @dataclass(frozen=True)

@@ -39,6 +39,7 @@ from ..analysis.latency import LatencyHistogram, SloSpec
 from ..sim import Event
 from .arrivals import ArrivalSource, ArrivalSpec, Request
 from .balancer import make_balancer
+from .tail import TailController, TailSpec
 from .server import (
     FLAG_SHED,
     TAG_REQ,
@@ -69,6 +70,9 @@ class ServeConfig:
     window_ns: int = 0  # 0 = no windowed attainment tracking
     outbox_cap: int = 0  # 0 = unbounded client outboxes
     slo: Optional[SloSpec] = None
+    # Tail-tolerant client machinery (repro.serve.tail); None keeps the
+    # classic dispatch-once path byte-identical.
+    tail: Optional[TailSpec] = None
 
     def __post_init__(self) -> None:
         if not self.clients or not self.servers:
@@ -118,6 +122,7 @@ class _Outbox:
             payload, tag, req = self.entries.popleft()
             if req is not None:
                 req.t_dispatch = self.sim.now
+                req.dispatch_ns[self.dst] = self.sim.now
             try:
                 yield from self.ep.send(self.dst, payload, tag=tag)
             except RuntimeError:
@@ -176,6 +181,16 @@ class ServeRuntime:
         self.outstanding: dict[int, Request] = {}
         # Requests with no eligible server right now (crash windows).
         self.holding: deque = deque()
+        # Losing attempts of already-answered requests: req_id -> the
+        # servers whose (duplicate) responses are still expected.  Keeps
+        # the balancer's outstanding counts honest under hedging.
+        self._absorbing: dict[int, set] = {}
+        # Tail tolerance: hedging, retry budget, breakers, ejection.
+        self.tail: Optional[TailController] = (
+            TailController(config.tail, config.servers)
+            if config.tail is not None
+            else None
+        )
         # -- conservation counters (client-side view) ----------------------
         self.generated = 0
         self.completed = 0  # served responses seen by clients
@@ -244,11 +259,16 @@ class ServeRuntime:
 
     def _on_arrival(self, req: Request) -> None:
         self.generated += 1
+        if self.tail is not None:
+            self.tail.budget.on_fresh()
         self._window(req.t_arrival)["generated"] += 1
         self._dispatch(req)
 
     def _dispatch(self, req: Request) -> None:
-        server = self.balancer.choose(req, candidates=self.reachable[req.client])
+        candidates = self.reachable[req.client]
+        if self.tail is not None:
+            candidates = self.tail.filter_candidates(candidates, self.sim.now)
+        server = self.balancer.choose(req, candidates=candidates)
         if server is None:
             self.holding.append(req)
             return
@@ -257,13 +277,70 @@ class ServeRuntime:
             self.shed_client += 1
             self._window(self.sim.now)["shed"] += 1
             return
+        self._send_attempt(req, server, outbox)
+        self._arm_hedge(req)
+
+    def _send_attempt(self, req: Request, server: int,
+                      outbox: Optional[_Outbox] = None) -> None:
+        """Put one attempt for ``req`` on the wire toward ``server``."""
         req.server = server
         req.attempts += 1
+        req.pending_servers.add(server)
+        # Placeholder keeps dispatch order (first key = primary attempt);
+        # the outbox overwrites the value with the real drain time.
+        req.dispatch_ns.setdefault(server, self.sim.now)
         self.balancer.note_dispatch(server)
+        if self.tail is not None:
+            self.tail.on_dispatch(server, self.sim.now)
         self.outstanding[req.req_id] = req
         payload = pack_request(req.req_id, req.client, 0, req.resp_bytes,
                                req.req_bytes)
-        outbox.push(payload, TAG_REQ, req)
+        (outbox or self._outbox(req.client, server)).push(payload, TAG_REQ, req)
+
+    # -- hedging (repro.serve.tail) ---------------------------------------
+
+    def _arm_hedge(self, req: Request) -> None:
+        tail = self.tail
+        if tail is None:
+            return
+        if (req.hedges >= tail.spec.max_hedges
+                or req.attempts >= tail.spec.max_attempts):
+            return
+        delay = tail.hedge_delay_ns()
+        if delay is None:
+            return  # hedging disabled or quantile not warmed up yet
+        self.sim.timer(delay, self._maybe_hedge, req.req_id, req.attempts)
+
+    def _maybe_hedge(self, req_id: int, attempts_snapshot: int) -> None:
+        tail = self.tail
+        req = self.outstanding.get(req_id)
+        if tail is None or req is None:
+            return  # answered (or failed) before the hedge delay elapsed
+        if req.attempts != attempts_snapshot:
+            return  # a replay or retry superseded this timer
+        if (req.hedges >= tail.spec.max_hedges
+                or req.attempts >= tail.spec.max_attempts):
+            return
+        now = self.sim.now
+        candidates = {
+            s for s in self.reachable[req.client]
+            if s not in req.pending_servers
+        }
+        if not candidates:
+            return  # nowhere different to hedge to
+        server = self.balancer.choose(
+            req, candidates=tail.filter_candidates(candidates, now)
+        )
+        if server is None:
+            return
+        outbox = self._outbox(req.client, server)
+        if self.config.outbox_cap and len(outbox.entries) >= self.config.outbox_cap:
+            return  # the client itself is backlogged; don't add load
+        if not tail.budget.try_spend():
+            return  # budget exhausted: the bound beats the tail
+        req.hedges += 1
+        tail.hedges_sent += 1
+        self._send_attempt(req, server, outbox)
 
     def _outbox(self, src: int, dst: int) -> _Outbox:
         key = (src, dst)
@@ -285,35 +362,134 @@ class ServeRuntime:
             req_id, server, flags, t_rx, t_start, t_end = unpack_response(
                 msg.data
             )
-            req = self.outstanding.pop(req_id, None)
-            if req is None:
-                # A crash replay raced a response that was already on the
-                # wire; the request was answered once already.
-                self.duplicate_responses += 1
+            if self.tail is None:
+                # Classic single-attempt path, byte-identical to the
+                # pre-tail runtime (pinned fuzz fingerprints depend on it).
+                self._legacy_on_response(
+                    req_id, server, flags, t_rx, t_start, t_end
+                )
                 continue
-            self.balancer.note_done(req.server)
             now = self.sim.now
-            win = self._window(now)
-            if flags & FLAG_SHED:
-                self.shed += 1
-                win["shed"] += 1
+            req = self.outstanding.get(req_id)
+            if req is None:
+                # The request was answered once already: this is a losing
+                # hedge attempt's response, or a crash replay raced a
+                # response that was already on the wire.
+                self._absorb_duplicate(req_id, server)
                 continue
-            total = now - req.t_arrival
-            queueing = (req.t_dispatch - req.t_arrival) + (t_start - t_rx)
-            service = t_end - t_start
-            network = max(0, total - queueing - service)
-            self.completed += 1
-            self.hist_by_server[server].record(total)
-            self.hist_queueing.record(queueing)
-            self.hist_service.record(service)
-            self.hist_network.record(network)
-            win["completed"] += 1
-            win["hist"].record(total)
-            if req.deadline_ns and total > req.deadline_ns:
-                self.deadline_missed += 1
-            # A parked request may now have an eligible server again.
-            if self.holding and self.balancer.alive:
-                self._drain_holding()
+            if flags & FLAG_SHED:
+                self._on_shed_response(req, server, now)
+                continue
+            self._complete(req, server, flags, t_rx, t_start, t_end, now)
+
+    def _legacy_on_response(self, req_id: int, server: int, flags: int,
+                            t_rx: int, t_start: int, t_end: int) -> None:
+        req = self.outstanding.pop(req_id, None)
+        if req is None:
+            # A crash replay raced a response that was already on the
+            # wire; the request was answered once already.
+            self.duplicate_responses += 1
+            return
+        self.balancer.note_done(req.server)
+        req.pending_servers.clear()
+        now = self.sim.now
+        win = self._window(now)
+        if flags & FLAG_SHED:
+            self.shed += 1
+            win["shed"] += 1
+            return
+        total = now - req.t_arrival
+        queueing = (req.t_dispatch - req.t_arrival) + (t_start - t_rx)
+        service = t_end - t_start
+        network = max(0, total - queueing - service)
+        self.completed += 1
+        self.hist_by_server[server].record(total)
+        self.hist_queueing.record(queueing)
+        self.hist_service.record(service)
+        self.hist_network.record(network)
+        win["completed"] += 1
+        win["hist"].record(total)
+        if req.deadline_ns and total > req.deadline_ns:
+            self.deadline_missed += 1
+        # A parked request may now have an eligible server again.
+        if self.holding and self.balancer.alive:
+            self._drain_holding()
+
+    def _complete(self, req: Request, server: int, flags: int, t_rx: int,
+                  t_start: int, t_end: int, now: int) -> None:
+        self.outstanding.pop(req.req_id)
+        if server in req.pending_servers:
+            req.pending_servers.discard(server)
+            self.balancer.note_done(server)
+        # Attempts still racing (hedge losers, or the replay of a request
+        # a stale pre-crash response just answered) stay tracked until
+        # their responses arrive or their server dies.
+        if req.pending_servers:
+            self._absorbing[req.req_id] = set(req.pending_servers)
+            req.pending_servers.clear()
+        win = self._window(now)
+        total = now - req.t_arrival
+        dispatch = req.dispatch_ns.get(server, req.t_dispatch)
+        queueing = (dispatch - req.t_arrival) + (t_start - t_rx)
+        service = t_end - t_start
+        network = max(0, total - queueing - service)
+        self.completed += 1
+        self.hist_by_server[server].record(total)
+        self.hist_queueing.record(queueing)
+        self.hist_service.record(service)
+        self.hist_network.record(network)
+        win["completed"] += 1
+        win["hist"].record(total)
+        if req.deadline_ns and total > req.deadline_ns:
+            self.deadline_missed += 1
+        if self.tail is not None:
+            self.tail.on_success(server, total, now)
+            if req.hedges and server != next(iter(req.dispatch_ns), server):
+                # Answered by other than the primary attempt's server.
+                self.tail.hedges_won += 1
+        # A parked request may now have an eligible server again.
+        if self.holding and self.balancer.alive:
+            self._drain_holding()
+
+    def _on_shed_response(self, req: Request, server: int, now: int) -> None:
+        tail = self.tail
+        if server in req.pending_servers:
+            req.pending_servers.discard(server)
+            self.balancer.note_done(server)
+        if tail is not None:
+            tail.on_shed(server, now)
+        if req.pending_servers:
+            return  # a hedge attempt is still racing; let it decide
+        if (
+            tail is not None
+            and tail.spec.retry_sheds
+            and req.attempts < tail.spec.max_attempts
+        ):
+            candidates = {
+                s for s in self.reachable[req.client] if s != server
+            }
+            retry_server = self.balancer.choose(
+                req,
+                candidates=tail.filter_candidates(candidates, now)
+                if candidates else candidates,
+            )
+            if retry_server is not None and tail.budget.try_spend():
+                tail.retries_sent += 1
+                self._send_attempt(req, retry_server)
+                self._arm_hedge(req)
+                return
+        self.outstanding.pop(req.req_id, None)
+        self.shed += 1
+        self._window(now)["shed"] += 1
+
+    def _absorb_duplicate(self, req_id: int, server: int) -> None:
+        self.duplicate_responses += 1
+        losers = self._absorbing.get(req_id)
+        if losers is not None and server in losers:
+            losers.discard(server)
+            self.balancer.note_done(server)
+            if not losers:
+                del self._absorbing[req_id]
 
     def _drain_holding(self) -> None:
         pending, self.holding = self.holding, deque()
@@ -329,33 +505,76 @@ class ServeRuntime:
         self.servers[node_id].on_crash()
         for client in self.config.clients:
             self.reachable[client].discard(node_id)
+        if self.tail is None:
+            # Classic collect-then-replay (kept byte-identical for pinned
+            # fingerprints): a request both queued in an outbox toward the
+            # dead server and journaled appears in the list twice and is
+            # re-dispatched twice, exactly as before the tail machinery.
+            to_replay: list[Request] = []
+            for (src, dst), outbox in self.outboxes.items():
+                if dst == node_id:
+                    to_replay.extend(outbox.purge_requests())
+                if src == node_id:
+                    outbox.entries.clear()  # dead server's unsent responses
+            for req in list(self.outstanding.values()):
+                if req.server == node_id:
+                    to_replay.append(req)
+            for req in to_replay:
+                self._legacy_replay(req)
+            return
         # Requests parked in outboxes toward the dead server never left
-        # the client; re-dispatch them with everything else outstanding.
-        to_replay: list[Request] = []
+        # the client; abandon those attempts with everything in flight.
         for (src, dst), outbox in self.outboxes.items():
             if dst == node_id:
-                to_replay.extend(outbox.purge_requests())
+                for req in outbox.purge_requests():
+                    self._abandon_attempt(req, node_id)
             if src == node_id:
                 outbox.entries.clear()  # dead server's unsent responses
         for req in list(self.outstanding.values()):
-            if req.server == node_id:
-                to_replay.append(req)
-        for req in to_replay:
-            self._replay(req)
+            if node_id in req.pending_servers:
+                self._abandon_attempt(req, node_id)
+        # Losing hedge attempts at the dead server will never answer.
+        for req_id, losers in list(self._absorbing.items()):
+            if node_id in losers:
+                losers.discard(node_id)
+                self.balancer.note_done(node_id)
+                if not losers:
+                    del self._absorbing[req_id]
 
     def _on_request_send_failed(self, req: Request, failed_dst: int) -> None:
         """The outbox hit a typed failure mid-send for this request.
 
         The crash notification usually replays the request before the
-        failed sender process resumes; only replay here if the request
-        is still journaled *and* still targeted at the dead leg.
+        failed sender process resumes; only act here if the request is
+        still journaled *and* still has an attempt toward the dead leg.
         """
-        if self.outstanding.get(req.req_id) is req and req.server == failed_dst:
-            self._replay(req)
+        if self.tail is None:
+            if (self.outstanding.get(req.req_id) is req
+                    and req.server == failed_dst):
+                self._legacy_replay(req)
+            return
+        if (self.outstanding.get(req.req_id) is req
+                and failed_dst in req.pending_servers):
+            self._abandon_attempt(req, failed_dst)
 
-    def _replay(self, req: Request) -> None:
+    def _legacy_replay(self, req: Request) -> None:
         self.outstanding.pop(req.req_id, None)
         self.balancer.note_done(req.server)
+        req.pending_servers.clear()
+        req.server = -1
+        self.replayed += 1
+        self._dispatch(req)
+
+    def _abandon_attempt(self, req: Request, server: int) -> None:
+        """One attempt died with its server; replay when none survive."""
+        if server in req.pending_servers:
+            req.pending_servers.discard(server)
+            self.balancer.note_done(server)
+        if req.pending_servers:
+            return  # another attempt (a hedge) is still live
+        if self.outstanding.get(req.req_id) is not req:
+            return  # already answered or already failed
+        self.outstanding.pop(req.req_id)
         req.server = -1
         self.replayed += 1
         self._dispatch(req)
@@ -459,11 +678,23 @@ class ServeRuntime:
         answered become typed failures instead of dangling pending.
         """
         failed = 0
-        for req in list(self.outstanding.values()):
-            if req.server not in self.balancer.alive:
-                self.outstanding.pop(req.req_id, None)
-                self.balancer.note_done(req.server)
-                failed += 1
+        if self.tail is None:
+            for req in list(self.outstanding.values()):
+                if req.server not in self.balancer.alive:
+                    self.outstanding.pop(req.req_id, None)
+                    self.balancer.note_done(req.server)
+                    req.pending_servers.clear()
+                    failed += 1
+        else:
+            for req in list(self.outstanding.values()):
+                dead = [s for s in req.pending_servers
+                        if s not in self.balancer.alive]
+                for s in dead:
+                    req.pending_servers.discard(s)
+                    self.balancer.note_done(s)
+                if not req.pending_servers:
+                    self.outstanding.pop(req.req_id, None)
+                    failed += 1
         still_holding = deque()
         for req in self.holding:
             if self.balancer.choose(req, self.reachable[req.client]) is None:
@@ -513,17 +744,59 @@ class ServeRuntime:
                     f"{hist.total} samples for {self.completed} completions"
                 )
         tracked = sum(self.balancer.outstanding.values())
-        if tracked != len(self.outstanding):
-            problems.append(
-                f"balancer-accounting: balancer tracks {tracked} "
-                f"outstanding but the journal holds {len(self.outstanding)}"
-            )
+        if self.tail is None:
+            # Classic accounting: one attempt per journaled request.
+            if tracked != len(self.outstanding):
+                problems.append(
+                    f"balancer-accounting: balancer tracks {tracked} "
+                    f"outstanding but the journal holds "
+                    f"{len(self.outstanding)}"
+                )
+        else:
+            attempts = sum(
+                len(r.pending_servers) for r in self.outstanding.values()
+            ) + sum(len(s) for s in self._absorbing.values())
+            if tracked != attempts:
+                problems.append(
+                    f"balancer-accounting: balancer tracks {tracked} "
+                    f"outstanding but {attempts} attempts are in flight "
+                    f"({len(self.outstanding)} journaled, "
+                    f"{sum(len(s) for s in self._absorbing.values())} "
+                    "absorbing)"
+                )
         src_generated = sum(s.generated for s in self.sources.values())
         if src_generated != self.generated:
             problems.append(
                 f"arrival-accounting: sources emitted {src_generated}, "
                 f"runtime recorded {self.generated}"
             )
+        # -- tail-tolerance invariants ------------------------------------
+        tail = self.tail
+        hedges_sent = tail.hedges_sent if tail is not None else 0
+        if self.duplicate_responses > hedges_sent + self.replayed:
+            problems.append(
+                "hedge-duplicate-conservation: "
+                f"{self.duplicate_responses} duplicate responses exceed "
+                f"{hedges_sent} hedges + {self.replayed} replays"
+            )
+        if tail is not None:
+            budget = tail.budget
+            cap = budget.burst + budget.ratio * budget.earned
+            if budget.spent > cap + 1e-9:
+                problems.append(
+                    f"retry-budget-bound: {budget.spent} extra attempts "
+                    f"exceed the budget cap {cap:.1f} "
+                    f"({budget.burst} burst + {budget.ratio} x "
+                    f"{budget.earned} fresh)"
+                )
+            if tail.hedges_sent + tail.retries_sent != budget.spent:
+                problems.append(
+                    f"retry-budget-accounting: {tail.hedges_sent} hedges + "
+                    f"{tail.retries_sent} retries != {budget.spent} tokens "
+                    "spent"
+                )
+            for issue in tail.illegal_breaker_transitions():
+                problems.append(f"breaker-state-machine: {issue}")
         return problems
 
 

@@ -80,6 +80,8 @@ class ServerLoop:
         self.sim = ep.sim
         self.spec = spec
         self.rng = rng
+        # Gray-fault hook: SlowNode stretches this node's service times.
+        self.node = runtime.cluster.nodes[ep.rank]
         self.queue: deque = deque()
         self._idle: list[Event] = []  # parked workers, FIFO
         # Counters (server-side view; conservation is checked client-side).
@@ -138,7 +140,11 @@ class ServerLoop:
                 continue
             req_id, client, resp_bytes, t_rx = self.queue.popleft()
             t_start = self.sim.now
-            yield self._service_ns()
+            svc = self._service_ns()
+            factor = self.node.gray_slow_factor
+            if factor != 1.0:
+                svc = max(1, int(svc * factor))
+            yield svc
             t_end = self.sim.now
             self.served += 1
             self.runtime.enqueue_response(

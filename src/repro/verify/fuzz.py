@@ -62,6 +62,8 @@ __all__ = [
     "fabric_scenario_from_seed",
     "run_fabric_scenario",
     "ServeFuzzResult",
+    "GrayFuzzResult",
+    "run_gray_scenario",
     "run_serve_scenario",
 ]
 
@@ -1026,6 +1028,176 @@ def run_serve_scenario(seed: int) -> ServeFuzzResult:
         shed=res.shed + res.shed_client,
         failed=res.failed,
         replayed=res.replayed,
+        violations=res.violations,
+        fingerprint=res.fingerprint,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Gray-failure fuzzing (repro.control gray faults x repro.serve.tail)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GrayFuzzResult:
+    """Outcome of one :func:`run_gray_scenario` run."""
+
+    seed: int
+    config: str
+    policy: str
+    gray_kinds: tuple  # class names of the injected gray events
+    mitigated: bool  # a TailSpec was armed
+    detected: bool  # the differential gray scorer was armed
+    generated: int
+    completed: int
+    shed: int
+    failed: int
+    replayed: int
+    hedges_sent: int
+    retries_sent: int
+    duplicate_responses: int
+    violations: tuple
+    fingerprint: str
+
+    @property
+    def ok(self) -> bool:
+        return self.generated > 0 and not self.violations
+
+
+def run_gray_scenario(seed: int) -> GrayFuzzResult:
+    """One randomized serving run under gray (degraded-mode) faults.
+
+    Parameters come from their own ``multiedge-fuzz-gray:<seed>`` RNG
+    stream, so every pre-existing fuzz derivation — including the pinned
+    serve fingerprints — stays byte-identical.  The draw crosses gray
+    fault kind (slow node / slow NIC / degraded link / intermittent
+    drop / asymmetric partition) x tail-tolerance machinery (off, or
+    hedging + retry budget + breakers + ejection) x differential
+    detection (off/on) x an optional clean-node crash, and asserts the
+    same request-conservation and tail-accounting invariants as the
+    plain serve fuzzer: gray degradation may slow requests down, but
+    every one of them must still be accounted for.
+    """
+    from ..bench.serve import run_serve
+    from ..control import (
+        AsymmetricPartition,
+        DegradedLink,
+        IntermittentDrop,
+        SlowNic,
+        SlowNode,
+    )
+    from ..serve import ArrivalSpec, ServerSpec, TailSpec
+
+    rng = random.Random(f"multiedge-fuzz-gray:{seed}")
+    config = rng.choice(("1L-1G", "1L-10G", "2L-1G"))
+    rails = 2 if config.startswith("2") else 1
+    policy = rng.choice(("round-robin", "least-outstanding"))
+    n_clients = rng.randint(1, 2)
+    n_servers = rng.randint(2, 4)
+    duration_ns = rng.randint(4 * _MS, 6 * _MS)
+    arrival = ArrivalSpec(
+        kind=rng.choice(("poisson", "bursty")),
+        rate_rps=rng.choice((10_000, 30_000)),
+        request_bytes=("uniform", 32, 512),
+        response_bytes=("uniform", 64, 1_024),
+        batch=64,
+    )
+    server = ServerSpec(
+        queue_cap=rng.choice((16, 64)),
+        workers=rng.choice((2, 4)),
+        service=rng.choice((("fixed", 20_000), ("exp", 30_000))),
+    )
+    tail = None
+    if rng.random() < 0.7:
+        tail = TailSpec(
+            hedge=rng.random() < 0.8,
+            retry_budget=rng.choice((0.05, 0.1, 0.2)),
+            breaker=rng.random() < 0.8,
+            eject=rng.random() < 0.8,
+        )
+    detected = rng.random() < 0.5
+    # One gray event per node keeps the schedule trivially conflict-free
+    # (the validator rejects overlapping windows on one edge).
+    n_nodes = n_clients + n_servers
+    gray_nodes = rng.sample(range(n_nodes), rng.randint(1, 2))
+    faults = []
+    for node in gray_nodes:
+        at = rng.randint(_MS, duration_ns // 2)
+        dur = rng.randint(_MS, 2 * _MS)
+        rail = rng.randrange(rails)
+        kind = rng.choice(
+            ("slow-node", "slow-nic", "degraded", "drop", "partition")
+        )
+        if kind == "slow-node":
+            faults.append(
+                SlowNode(at_ns=at, node=node, duration_ns=dur,
+                         factor=rng.choice((2.0, 4.0, 8.0)))
+            )
+        elif kind == "slow-nic":
+            faults.append(
+                SlowNic(at_ns=at, node=node, rail=rail, duration_ns=dur,
+                        factor=rng.choice((2.0, 4.0)))
+            )
+        elif kind == "degraded":
+            faults.append(
+                DegradedLink(at_ns=at, node=node, rail=rail, duration_ns=dur,
+                             bit_error_rate=rng.choice((1e-7, 1e-6)),
+                             jitter_ns=rng.choice((0, 20_000)))
+            )
+        elif kind == "drop":
+            faults.append(
+                IntermittentDrop(at_ns=at, node=node, rail=rail,
+                                 duration_ns=dur,
+                                 drop_p=rng.choice((0.01, 0.05)),
+                                 burst_len=rng.choice((2.0, 4.0)))
+            )
+        else:
+            faults.append(
+                AsymmetricPartition(at_ns=at, node=node, rail=rail,
+                                    duration_ns=dur,
+                                    direction=rng.choice(("tx", "rx")))
+            )
+    kwargs: dict = {}
+    clean_servers = [
+        s for s in range(n_clients, n_nodes) if s not in gray_nodes
+    ]
+    if clean_servers and len(clean_servers) < n_servers and rng.random() < 0.3:
+        # A fail-stop crash on a gray-free server, racing the gray window.
+        kwargs.update(
+            crash_server=rng.choice(clean_servers),
+            crash_ns=rng.randint(_MS, duration_ns // 2),
+            restart_delay_ns=rng.randint(500 * _US, 2 * _MS),
+        )
+    res = run_serve(
+        config=config,
+        n_clients=n_clients,
+        n_servers=n_servers,
+        policy=policy,
+        arrival=arrival,
+        server=server,
+        duration_ns=duration_ns,
+        seed=seed,
+        use_monitor=True,
+        tail=tail,
+        faults=faults,
+        gray_detection=detected,
+        **kwargs,
+    )
+    return GrayFuzzResult(
+        seed=seed,
+        config=config,
+        policy=policy,
+        gray_kinds=tuple(type(ev).__name__ for ev in faults),
+        mitigated=tail is not None,
+        detected=detected,
+        generated=res.generated,
+        completed=res.completed,
+        shed=res.shed + res.shed_client,
+        failed=res.failed,
+        replayed=res.replayed,
+        hedges_sent=res.hedges_sent,
+        retries_sent=res.retries_sent,
+        duplicate_responses=res.duplicate_responses,
         violations=res.violations,
         fingerprint=res.fingerprint,
     )

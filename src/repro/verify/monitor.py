@@ -566,9 +566,17 @@ class InvariantMonitor:
             self._violation(
                 "edge-self-transition", f"{old} -> {new} ({reason})", where
             )
-        elif new is EdgeState.SUSPECT and old is not EdgeState.UP:
+        elif new is EdgeState.SUSPECT and old not in (
+            EdgeState.UP, EdgeState.DEGRADED
+        ):
             self._violation(
                 "edge-illegal-transition", f"{old} -> SUSPECT ({reason})", where
+            )
+        elif new is EdgeState.DEGRADED and old is not EdgeState.UP:
+            # Only the differential scorer enters DEGRADED, and only
+            # from a healthy edge; any other origin is a machine bug.
+            self._violation(
+                "edge-illegal-transition", f"{old} -> DEGRADED ({reason})", where
             )
         elif new is EdgeState.RECOVERING and old is not EdgeState.DOWN:
             self._violation(

@@ -1,0 +1,88 @@
+"""Latency accounting under hedging: losers vanish, winners are credited.
+
+A hedged request has two attempts in flight but is still *one* request:
+exactly one response may produce a latency sample, and it must land in
+the histogram of the server that actually answered first.  If the
+losing response were recorded too, every hedge would double-count and
+the merged tail would lie about the load the cluster served.
+"""
+
+from repro.analysis.latency import LatencyHistogram
+from repro.bench.serve import ServeRun
+from repro.control import SlowNode
+from repro.serve import ArrivalSpec, ServerSpec, TailSpec
+
+MS = 1_000_000
+
+
+def _hedged_run():
+    run = ServeRun(
+        config="1L-10G",
+        n_clients=2,
+        n_servers=8,
+        policy="least-outstanding",
+        arrival=ArrivalSpec(kind="poisson", rate_rps=30_000,
+                            request_bytes=("fixed", 128),
+                            response_bytes=("fixed", 512), batch=128),
+        server=ServerSpec(queue_cap=64, workers=4, service=("exp", 40_000)),
+        duration_ns=12 * MS,
+        seed=11,
+        faults=[SlowNode(at_ns=2 * MS, node=2, duration_ns=9 * MS,
+                         factor=10.0)],
+        tail=TailSpec(),
+    )
+    res = run.finish()
+    return run, res
+
+
+def test_hedge_losers_record_no_sample():
+    run, res = _hedged_run()
+    assert not res.violations, res.violations
+    rt = run.runtime
+    # The run actually hedged, and some losers came home late.
+    assert rt.tail.hedges_won > 0
+    assert rt.duplicate_responses > 0
+    # One sample per completed request — no double counting anywhere.
+    assert rt.merged_histogram().total == rt.completed
+    assert sum(h.total for h in rt.hist_by_server.values()) == rt.completed
+    for name in ("hist_queueing", "hist_service", "hist_network"):
+        assert getattr(rt, name).total == rt.completed, name
+
+
+def test_hedge_wins_credited_to_the_winner():
+    run, _ = _hedged_run()
+    rt = run.runtime
+    slow = 2  # the SlowNode target
+    others = [s for s in rt.hist_by_server if s != slow]
+    fair_share = rt.completed / len(rt.hist_by_server)
+    # Wins land in the winning (fast) servers' histograms, so the gray
+    # replica holds well under a fair share of the credited samples...
+    assert rt.hist_by_server[slow].total < 0.5 * fair_share
+    # ...while the books still balance across the pool.
+    assert rt.hist_by_server[slow].total + sum(
+        rt.hist_by_server[s].total for s in others
+    ) == rt.completed
+
+
+def test_merged_histogram_is_associative_and_commutative():
+    parts = []
+    for base in (100, 10_000, 1_000_000):
+        h = LatencyHistogram()
+        for i in range(50):
+            h.record(base + i * base // 10)
+        parts.append(h)
+    a, b, c = parts
+    left = LatencyHistogram.merged(
+        [LatencyHistogram.merged([a, b]), c]
+    )
+    right = LatencyHistogram.merged(
+        [a, LatencyHistogram.merged([b, c])]
+    )
+    shuffled = LatencyHistogram.merged([c, a, b])
+    assert left == right == shuffled
+    assert left.total == sum(p.total for p in parts)
+    assert left.p99 == shuffled.p99
+    # Merging never mutates percentile semantics: the merged p50 sits
+    # inside the span of the parts' extremes.
+    assert min(p.min_value for p in parts) <= left.p50
+    assert left.p50 <= max(p.max_value for p in parts)

@@ -133,6 +133,27 @@ def test_leaf_spine():
     assert "3:1 oversubscribed" in out
 
 
+def test_gray_failure():
+    mod = load_example("gray_failure")
+    mod.DURATION_NS = 12 * 1_000_000  # shrink the gray window
+    out = run_main(mod)
+    # All three serving runs conserve every request.
+    assert out.count("conserved=True") == 3
+    assert out.count("invariant violations=0") == 4  # + the detection run
+    # Hedging actually fired and won races against the gray replica.
+    sections = out.split("--- ")
+    base = next(s for s in sections if s.startswith("baseline"))
+    unmit = next(s for s in sections if s.startswith("gray, unmitigated"))
+    mit = next(s for s in sections if s.startswith("gray, mitigated"))
+    assert "hedges sent=0" in base and "hedges sent=0" in unmit
+    assert "hedges sent=0" not in mit and "won=0" not in mit
+    assert "recovered" in out
+    # The scorer flagged the throttled edge and cleared it — never DOWN.
+    assert "marks=0" not in out and "clears=0" not in out
+    assert "still flagged=0" in out
+    assert "DOWN transitions=0" in out
+
+
 def test_serving():
     mod = load_example("serving")
     mod.DURATION_NS = 25 * 1_000_000  # shrink the post-recovery tail
